@@ -1,0 +1,578 @@
+(* Regenerates every table and figure of "Dancing the Quantum Waltz"
+   (ISCA 2023). Each section prints the same rows/series the paper reports;
+   see EXPERIMENTS.md for the paper-vs-measured record.
+
+   Environment knobs:
+     WALTZ_TRAJ       trajectories per simulated point (default 20)
+     WALTZ_SIZES      comma-separated simulated circuit sizes (default "5,7,9")
+     WALTZ_EPS_SIZES  sizes for the EPS studies (default "5,9,13,17,21")
+     WALTZ_SECTIONS   comma-separated subset of
+                      table1,table2,fig2,fig7,fig8,fig9a,fig9b,fig9c,fig9d,
+                      ablations,resynth,pulses,micro (default: all)
+     WALTZ_PULSE_ITERS  GRAPE iterations in the pulse section (default 400)
+     WALTZ_SENS_N     circuit size for the fig9b/c/d sensitivity sweeps
+                      (default 7; they run 3x the trajectories)
+
+   Command line: any arguments are treated as section names, overriding
+   WALTZ_SECTIONS. *)
+
+open Waltz_linalg
+open Waltz_qudit
+open Waltz_circuit
+open Waltz_noise
+open Waltz_core
+open Waltz_benchmarks
+
+let env_int name default =
+  match Sys.getenv_opt name with Some v -> int_of_string v | None -> default
+
+let env_int_list name default =
+  match Sys.getenv_opt name with
+  | Some v -> List.map int_of_string (String.split_on_char ',' v)
+  | None -> default
+
+let trajectories = env_int "WALTZ_TRAJ" 20
+let sim_sizes = env_int_list "WALTZ_SIZES" [ 5; 7; 9 ]
+let eps_sizes = env_int_list "WALTZ_EPS_SIZES" [ 5; 9; 13; 17; 21 ]
+let pulse_iters = env_int "WALTZ_PULSE_ITERS" 400
+
+(* The Fig. 9 sensitivity studies multiply trajectories by 3, so they use
+   their own (smaller) default size. *)
+let sens_n = env_int "WALTZ_SENS_N" 7
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subheader title = Printf.printf "\n-- %s --\n" title
+
+let simulate ?(model = Noise.default) ?(traj = trajectories) strategy circuit =
+  let compiled = Compile.compile strategy circuit in
+  let r =
+    Executor.simulate
+      ~config:{ Executor.model; trajectories = traj; base_seed = 20230617 }
+      compiled
+  in
+  (r.Executor.mean_fidelity, r.Executor.sem)
+
+(* ---------------- Table 1 & 2 ---------------- *)
+
+let print_entries entries =
+  List.iter
+    (fun (e : Calibration.entry) ->
+      Printf.printf "  %-14s %6.0f ns   F = %.3f\n" e.Calibration.label
+        e.Calibration.duration_ns e.Calibration.fidelity)
+    entries
+
+let table1 () =
+  header "Table 1: one-/two-qubit and iToffoli pulse calibration";
+  List.iteri
+    (fun k group ->
+      subheader
+        (List.nth
+           [ "(a) Qudit (single ququart)"; "(b) Qubit only"; "(c) Mixed-radix";
+             "(d) Full-ququart" ]
+           k);
+      print_entries group)
+    Calibration.table1;
+  let unitaries =
+    [ Ququart_gates.internal_cx ~target_slot:0;
+      Ququart_gates.internal_cx ~target_slot:1;
+      Ququart_gates.internal_swap;
+      Ququart_gates.mr_2q Gates.cx ~first:Qubit ~second:(Slot 0);
+      Ququart_gates.mr_2q Gates.cx ~first:(Slot 1) ~second:Qubit;
+      Ququart_gates.fq_2q Gates.cz ~first:(A 0) ~second:(B 1);
+      Encoding.enc ~incoming_slot:0;
+      Encoding.enc ~incoming_slot:1 ]
+  in
+  Printf.printf "\n  gate-set unitarity check: %s\n"
+    (if List.for_all (Mat.is_unitary ~tol:1e-9) unitaries then "PASS" else "FAIL")
+
+let table2 () =
+  header "Table 2: mixed-radix and full-ququart three-qubit gate durations";
+  List.iteri
+    (fun k group ->
+      subheader (List.nth [ "(a) Mixed-radix"; "(b) Full-ququart" ] k);
+      print_entries group)
+    Calibration.table2;
+  let unitaries =
+    [ Ququart_gates.mr_3q Gates.ccx ~operands:[ Slot 0; Slot 1; Qubit ];
+      Ququart_gates.mr_3q Gates.ccz ~operands:[ Slot 0; Slot 1; Qubit ];
+      Ququart_gates.mr_3q Gates.cswap ~operands:[ Qubit; Slot 0; Slot 1 ];
+      Ququart_gates.fq_3q Gates.ccx ~operands:[ A 0; A 1; B 0 ];
+      Ququart_gates.fq_3q Gates.ccz ~operands:[ A 0; A 1; B 1 ];
+      Ququart_gates.fq_3q Gates.cswap ~operands:[ A 0; B 0; B 1 ] ]
+  in
+  Printf.printf "\n  three-qubit gate-set unitarity check: %s\n"
+    (if List.for_all (Mat.is_unitary ~tol:1e-9) unitaries then "PASS" else "FAIL");
+  subheader "(extension) four-qubit pulse on two ququarts — not in the paper";
+  print_entries [ Calibration.fq_cccz ];
+  Printf.printf "  CCCZ unitarity: %s (duration extrapolated; see DESIGN.md)\n"
+    (if
+       Mat.is_unitary
+         (Ququart_gates.fq_4q (Gates.controlled Gates.ccz)
+            ~operands:[ A 0; A 1; B 0; B 1 ])
+     then "PASS"
+     else "FAIL")
+
+(* ---------------- Fig. 2: RB / IRB ---------------- *)
+
+let fig2 () =
+  header "Fig. 2: randomized benchmarking of a ququart (simulated device)";
+  let open Waltz_sim in
+  let rng = Rng.make ~seed:2 in
+  let depths = [ 1; 5; 10; 20; 40; 70; 100 ] in
+  let p_clifford = Rb.error_prob_of_fidelity 0.958 in
+  let hh = Mat.kron Gates.h Gates.h in
+  let p_hh = Rb.error_prob_of_fidelity 0.96 in
+  let samples = 40 in
+  let reference = Rb.run rng ~depths ~samples ~error_per_clifford:p_clifford () in
+  let interleaved =
+    Rb.run rng ~depths ~samples ~error_per_clifford:p_clifford ~interleave:(hh, p_hh) ()
+  in
+  Printf.printf "  %-7s %-22s %-22s\n" "depth" "RB survival" "IRB survival";
+  List.iter2
+    (fun (a : Rb.point) (b : Rb.point) ->
+      Printf.printf "  %-7d %.4f +- %.4f       %.4f +- %.4f\n" a.Rb.depth a.Rb.survival_mean
+        a.Rb.survival_sem b.Rb.survival_mean b.Rb.survival_sem)
+    reference.Rb.points interleaved.Rb.points;
+  let f_hh = Rb.interleaved_gate_fidelity ~reference ~interleaved in
+  Printf.printf "\n  fitted F_RB  = %.3f   (paper: 0.958)\n" reference.Rb.fidelity;
+  Printf.printf "  fitted F_IRB = %.3f   (paper: 0.921)\n" interleaved.Rb.fidelity;
+  Printf.printf "  extracted F_HH = %.3f   (paper: 0.960)\n" f_hh
+
+(* ---------------- Fig. 7 ---------------- *)
+
+let fig7_strategies = Strategy.fig7_set
+let circuit_of family n = Bench_circuits.by_total_qubits family n
+
+let fig7 () =
+  header "Fig. 7: simulated fidelities across circuits, sizes and strategies";
+  Printf.printf
+    "(trajectories per point: %d; sizes: %s; scale up with WALTZ_TRAJ / WALTZ_SIZES)\n"
+    trajectories
+    (String.concat "," (List.map string_of_int sim_sizes));
+  let results = Hashtbl.create 64 in
+  List.iter
+    (fun family ->
+      subheader (Printf.sprintf "Fig. 7: %s" (Bench_circuits.family_name family));
+      Printf.printf "  %-6s" "n";
+      List.iter (fun (s : Strategy.t) -> Printf.printf " %-16s" s.Strategy.name) fig7_strategies;
+      print_newline ();
+      List.iter
+        (fun n ->
+          let circuit = circuit_of family n in
+          Printf.printf "  %-6d" circuit.Circuit.n;
+          List.iter
+            (fun strategy ->
+              let f, sem = simulate strategy circuit in
+              Hashtbl.replace results (family, n, strategy.Strategy.name) f;
+              Printf.printf " %.3f+-%.3f    " f sem)
+            fig7_strategies;
+          print_newline ())
+        sim_sizes)
+    Bench_circuits.all_families;
+  subheader "Fig. 7e: average fidelity improvement over qubit-only";
+  Printf.printf "  %-6s" "n";
+  List.iter
+    (fun (s : Strategy.t) ->
+      if s.Strategy.name <> "qubit-only" then Printf.printf " %-16s" s.Strategy.name)
+    fig7_strategies;
+  print_newline ();
+  List.iter
+    (fun n ->
+      Printf.printf "  %-6d" n;
+      List.iter
+        (fun (strategy : Strategy.t) ->
+          if strategy.Strategy.name <> "qubit-only" then begin
+            let ratios =
+              List.filter_map
+                (fun family ->
+                  match
+                    ( Hashtbl.find_opt results (family, n, strategy.Strategy.name),
+                      Hashtbl.find_opt results (family, n, "qubit-only") )
+                  with
+                  | Some f, Some base when base > 1e-6 -> Some (f /. base)
+                  | _ -> None)
+                Bench_circuits.all_families
+            in
+            let avg =
+              List.fold_left ( +. ) 0. ratios /. float_of_int (max 1 (List.length ratios))
+            in
+            Printf.printf " %-16s" (Printf.sprintf "%.2fx" avg)
+          end)
+        fig7_strategies;
+      print_newline ())
+    sim_sizes
+
+(* ---------------- Fig. 8: EPS ---------------- *)
+
+let fig8 () =
+  header "Fig. 8: EPS statistics for the generalized Toffoli circuit";
+  Printf.printf "  %-6s %-16s %-10s %-10s %-10s %-12s\n" "n" "strategy" "gateEPS" "cohEPS"
+    "totalEPS" "duration(ns)";
+  List.iter
+    (fun n ->
+      let circuit = circuit_of Bench_circuits.Cnu n in
+      List.iter
+        (fun (strategy : Strategy.t) ->
+          let compiled = Compile.compile strategy circuit in
+          let e = Eps.estimate compiled in
+          Printf.printf "  %-6d %-16s %-10.4f %-10.4f %-10.4f %-12.0f\n" circuit.Circuit.n
+            strategy.Strategy.name e.Eps.gate_eps e.Eps.coherence_eps e.Eps.total_eps
+            e.Eps.duration_ns)
+        fig7_strategies;
+      print_newline ())
+    eps_sizes;
+  subheader "EPS-based improvement over qubit-only at the largest size";
+  let n = List.fold_left max 5 eps_sizes in
+  let circuit = circuit_of Bench_circuits.Cnu n in
+  let eps s = (Eps.estimate (Compile.compile s circuit)).Eps.total_eps in
+  let base = eps Strategy.qubit_only in
+  List.iter
+    (fun (s : Strategy.t) ->
+      if s.Strategy.name <> "qubit-only" then
+        Printf.printf "  %-16s %.2fx\n" s.Strategy.name (eps s /. base))
+    fig7_strategies
+
+(* ---------------- Fig. 9a: CSWAP case study ---------------- *)
+
+let fig9a () =
+  header "Fig. 9a: CSWAP orientation case study on QRAM";
+  let strategies =
+    [ Strategy.qubit_only;
+      Strategy.qubit_itoffoli;
+      Strategy.mixed_radix_ccz;
+      Strategy.mixed_radix_cswap;
+      Strategy.full_ququart;
+      Strategy.full_ququart_cswap;
+      Strategy.full_ququart_cswap_oriented ]
+  in
+  Printf.printf "  %-6s" "n";
+  List.iter (fun (s : Strategy.t) -> Printf.printf " %-18s" s.Strategy.name) strategies;
+  print_newline ();
+  List.iter
+    (fun n ->
+      let circuit = circuit_of Bench_circuits.Qram n in
+      Printf.printf "  %-6d" circuit.Circuit.n;
+      List.iter
+        (fun strategy ->
+          let f, _ = simulate strategy circuit in
+          Printf.printf " %-18s" (Printf.sprintf "%.3f" f))
+        strategies;
+      print_newline ())
+    sim_sizes
+
+(* ---------------- Fig. 9b: gate-error sensitivity ---------------- *)
+
+let sensitivity_strategies =
+  [ Strategy.qubit_only; Strategy.qubit_itoffoli; Strategy.mixed_radix_ccz;
+    Strategy.full_ququart ]
+
+let fig9b () =
+  header "Fig. 9b: sensitivity to ququart gate error (Cuccaro adder)";
+  let n = sens_n in
+  let circuit = circuit_of Bench_circuits.Cuccaro n in
+  let scales = [ 1.; 2.; 3.; 4.; 6. ] in
+  Printf.printf "  (n = %d)\n  %-8s" circuit.Circuit.n "scale";
+  List.iter (fun (s : Strategy.t) -> Printf.printf " %-16s" s.Strategy.name)
+    sensitivity_strategies;
+  print_newline ();
+  List.iter
+    (fun scale ->
+      Printf.printf "  %-8.1f" scale;
+      List.iter
+        (fun strategy ->
+          let model = { Noise.default with Noise.ww_error_scale = scale } in
+          let f, _ = simulate ~model ~traj:(3 * trajectories) strategy circuit in
+          Printf.printf " %-16s" (Printf.sprintf "%.3f" f))
+        sensitivity_strategies;
+      print_newline ())
+    scales;
+  Printf.printf "  (qubit-only and iToffoli use no ww pulses: flat lines, as in the paper)\n"
+
+(* ---------------- Fig. 9c: coherence sensitivity ---------------- *)
+
+let fig9c () =
+  header "Fig. 9c: sensitivity to |2>/|3> coherence (QRAM)";
+  let n = sens_n in
+  let circuit = circuit_of Bench_circuits.Qram n in
+  let scales = [ 1.; 2.; 4.; 8.; 16. ] in
+  Printf.printf "  (n = %d; scale divides the T1 of levels 2 and 3)\n  %-8s" circuit.Circuit.n
+    "scale";
+  List.iter (fun (s : Strategy.t) -> Printf.printf " %-16s" s.Strategy.name)
+    sensitivity_strategies;
+  print_newline ();
+  List.iter
+    (fun scale ->
+      Printf.printf "  %-8.1f" scale;
+      List.iter
+        (fun strategy ->
+          let model = { Noise.default with Noise.t1_high_scale = scale } in
+          let f, _ = simulate ~model ~traj:(3 * trajectories) strategy circuit in
+          Printf.printf " %-16s" (Printf.sprintf "%.3f" f))
+        sensitivity_strategies;
+      print_newline ())
+    scales
+
+(* ---------------- Fig. 9d: CX/CCX ratio ---------------- *)
+
+let fig9d () =
+  header "Fig. 9d: fidelity vs fraction of CX gates (synthetic circuit)";
+  let n = sens_n in
+  let gates = 4 * n in
+  let fractions = [ 0.; 0.2; 0.4; 0.6; 0.8; 1. ] in
+  Printf.printf "  (n = %d, %d multi-qubit gates)\n  %-8s" n gates "%CX";
+  List.iter (fun (s : Strategy.t) -> Printf.printf " %-16s" s.Strategy.name)
+    sensitivity_strategies;
+  print_newline ();
+  List.iter
+    (fun frac ->
+      let circuit = Bench_circuits.synthetic ~n ~gates ~cx_fraction:frac ~seed:42 in
+      Printf.printf "  %-8.0f" (frac *. 100.);
+      List.iter
+        (fun strategy ->
+          let f, _ = simulate ~traj:(3 * trajectories) strategy circuit in
+          Printf.printf " %-16s" (Printf.sprintf "%.3f" f))
+        sensitivity_strategies;
+      print_newline ())
+    fractions
+
+(* ---------------- Pulse synthesis demonstration ---------------- *)
+
+let pulses () =
+  header "Pulse synthesis (Juqbox substitute): direct-to-pulse gates";
+  let open Waltz_control in
+  subheader "X gate on one transmon (3 levels simulated)";
+  let spec1 = Transmon.paper_spec ~n:1 ~levels:[| 3 |] in
+  let report, _ =
+    Synthesis.synthesize ~seed:5 ~restarts:1 ~iters:pulse_iters ~spec:spec1
+      ~target:Synthesis.x_target ~logical_levels:[| 2 |] ~duration_ns:35. ~segments:140 ()
+  in
+  Printf.printf "  duration %.0f ns -> F = %.4f, leakage %.4f (paper: 35 ns @ 0.999)\n"
+    report.Synthesis.duration_ns report.Synthesis.fidelity report.Synthesis.leakage;
+  subheader "H(x)H on one ququart (5 levels simulated, 1 guard)";
+  (* Addressing the anharmonic 1-2 and 2-3 transitions needs sub-ns envelope
+     resolution: dt = 0.25 ns. *)
+  let spec4 = Transmon.paper_spec ~n:1 ~levels:[| 5 |] in
+  let report, _ =
+    Synthesis.synthesize ~seed:11 ~restarts:1 ~iters:(2 * pulse_iters) ~spec:spec4
+      ~target:Synthesis.hh_target ~logical_levels:[| 4 |] ~duration_ns:90. ~segments:360 ()
+  in
+  Printf.printf "  duration %.0f ns -> F = %.4f, leakage %.4f (cf. Fig. 2: F_HH ~ 0.960)\n"
+    report.Synthesis.duration_ns report.Synthesis.fidelity report.Synthesis.leakage;
+  subheader "open-system check (the Sec. 3.3 caveat, via Lindblad evolution)";
+  let _, x_pulse =
+    Synthesis.synthesize ~seed:5 ~restarts:1 ~iters:(pulse_iters / 2) ~spec:spec1
+      ~target:Synthesis.x_target ~logical_levels:[| 2 |] ~duration_ns:35. ~segments:70 ()
+  in
+  List.iter
+    (fun t1 ->
+      let f =
+        Lindblad.average_fidelity spec1 x_pulse ~target:Synthesis.x_target
+          ~logical_levels:[| 2 |] ~t1_ns:t1 ~samples:4 ~seed:3
+      in
+      Printf.printf "  X pulse under T1 = %6.1f us -> open-system F = %.4f\n" (t1 /. 1000.) f)
+    [ 163_450.; 16_345. ];
+  subheader "CZ_2 between two coupled transmons (3+3 levels, J = 3.8 MHz)";
+  let spec2 = Transmon.paper_spec ~n:2 ~levels:[| 3; 3 |] in
+  let report, _ =
+    Synthesis.synthesize ~seed:7 ~restarts:1 ~iters:(5 * pulse_iters / 4) ~spec:spec2
+      ~target:Gates.cz ~logical_levels:[| 2; 2 |] ~duration_ns:236. ~segments:472 ()
+  in
+  Printf.printf "  duration %.0f ns -> F = %.4f, leakage %.4f (paper: 236 ns @ 0.99)\n"
+    report.Synthesis.duration_ns report.Synthesis.fidelity report.Synthesis.leakage;
+  subheader "carrier-wave ansatz (Juqbox-style, ref. [47]): H(x)H with 270 params";
+  let carrier =
+    Carrier.create ~n_lines:1 ~carriers:[| 0.; -0.330; -0.660 |] ~n_env:45 ~fine_per_env:8
+      ~duration_ns:90. ~max_amp_ghz:0.045
+  in
+  Carrier.randomize (Rng.make ~seed:5) ~scale:0.5 carrier;
+  let robj =
+    { Grape.spec = spec4; target = Synthesis.hh_target; logical_levels = [| 4 |];
+      leak_weight = 0.1 }
+  in
+  let r = Carrier.optimize ~iters:(5 * pulse_iters / 4) robj carrier in
+  Printf.printf "  %d params (vs %d raw) -> F = %.4f, leakage %.4f\n"
+    (Carrier.param_count carrier) (2 * 360) r.Grape.final.Grape.fidelity
+    r.Grape.final.Grape.leakage;
+  subheader "iterative duration shrinking (re-seeded, ref. [51])";
+  let reports =
+    Synthesis.shrink_duration ~seed:5 ~iters:(pulse_iters / 2) ~spec:spec1
+      ~target:Synthesis.x_target ~logical_levels:[| 2 |] ~start_duration_ns:60. ~segments:120
+      ~target_fidelity:0.999 ()
+  in
+  List.iter
+    (fun (r : Synthesis.report) ->
+      Printf.printf "  T = %5.1f ns -> F = %.4f\n" r.Synthesis.duration_ns
+        r.Synthesis.fidelity)
+    reports
+
+(* ---------------- Ablations of the compiler's design choices ---------------- *)
+
+let ablations () =
+  header "Ablations: disruption-aware routing, slot choreography, peephole pass";
+  let circuits =
+    [ ("CNU-9", circuit_of Bench_circuits.Cnu 9);
+      ("Cuccaro-8", circuit_of Bench_circuits.Cuccaro 9);
+      ("QRAM-9", circuit_of Bench_circuits.Qram 9) ]
+  in
+  let variants strategy =
+    [ strategy;
+      Strategy.ablate ~disruption:false strategy;
+      Strategy.ablate ~choreography:false strategy ]
+  in
+  List.iter
+    (fun (label, circuit) ->
+      subheader label;
+      Printf.printf "  %-40s %8s %12s %10s\n" "variant" "2-dev" "duration" "totalEPS";
+      List.iter
+        (fun base ->
+          List.iter
+            (fun strategy ->
+              let compiled = Compile.compile strategy circuit in
+              let e = Eps.estimate compiled in
+              Printf.printf "  %-40s %8d %9.0f ns %10.4f\n" strategy.Strategy.name
+                (Physical.two_device_op_count compiled)
+                e.Eps.duration_ns e.Eps.total_eps)
+            (variants base))
+        [ Strategy.mixed_radix_cswap; Strategy.full_ququart ])
+    circuits;
+  subheader "peephole optimizer (Optimizer.simplify) on a redundant circuit";
+  let noisy_circuit =
+    (* A Grover iteration surrounded by gates that partially cancel. *)
+    let g = Bench_circuits.grover ~address_bits:3 ~marked:5 ~iterations:1 in
+    let pad =
+      Circuit.of_gates ~n:g.Circuit.n
+        [ Gate.make Gate.T [ 0 ]; Gate.make Gate.T [ 0 ]; Gate.make Gate.H [ 1 ];
+          Gate.make Gate.H [ 1 ]; Gate.make (Gate.Rz 0.4) [ 2 ];
+          Gate.make (Gate.Rz (-0.4)) [ 2 ] ]
+    in
+    Circuit.append pad g
+  in
+  let simplified, stats = Optimizer.simplify_with_stats noisy_circuit in
+  Printf.printf "  gates: %d -> %d (removed %d, fused %d)\n"
+    (Circuit.gate_count noisy_circuit) (Circuit.gate_count simplified)
+    stats.Optimizer.removed stats.Optimizer.fused;
+  List.iter
+    (fun (label, c) ->
+      let compiled = Compile.compile Strategy.mixed_radix_ccz c in
+      let e = Eps.estimate compiled in
+      Printf.printf "  %-12s duration %8.0f ns, total EPS %.4f\n" label e.Eps.duration_ns
+        e.Eps.total_eps)
+    [ ("raw", noisy_circuit); ("simplified", simplified) ]
+
+(* ---------------- Resynthesis (the paper's Sec. 7.4 future work) ---------------- *)
+
+let resynth () =
+  header "Resynthesis: recovering three-qubit gates from two-qubit circuits";
+  Printf.printf
+    "(Sec. 7.4: 'we can use resynthesis tools to automatically insert\n three-qubit gates into the circuit')\n";
+  let n = List.fold_left max 5 sim_sizes in
+  let circuits =
+    [ ("CNU", circuit_of Bench_circuits.Cnu n); ("Cuccaro", circuit_of Bench_circuits.Cuccaro n) ]
+  in
+  List.iter
+    (fun (label, original) ->
+      subheader label;
+      let decomposed = Decompose.pre Strategy.qubit_only original in
+      let rerolled, stats = Resynthesis.reroll_with_stats decomposed in
+      let _, two_d, three_d = Circuit.count_by_arity decomposed in
+      let _, two_r, three_r = Circuit.count_by_arity rerolled in
+      Printf.printf
+        "  CX-only form: %d 2q / %d 3q gates -> rerolled: %d 2q / %d 3q (%d three-qubit rerolls)\n"
+        two_d three_d two_r three_r stats.Resynthesis.rerolled_3q;
+      List.iter
+        (fun (form, circuit) ->
+          let compiled = Compile.compile Strategy.full_ququart circuit in
+          let e = Eps.estimate compiled in
+          Printf.printf "  full-ququart on %-12s duration %8.0f ns, total EPS %.4f\n" form
+            e.Eps.duration_ns e.Eps.total_eps)
+        [ ("CX-only", decomposed); ("rerolled", rerolled) ])
+    circuits
+
+(* ---------------- Bechamel micro-benchmarks ---------------- *)
+
+let micro () =
+  header "Bechamel micro-benchmarks (one Test.make per table/figure kernel)";
+  let open Bechamel in
+  let toffoli = Circuit.of_gates ~n:3 [ Gate.make Gate.Ccx [ 0; 1; 2 ] ] in
+  let cnu7 = Bench_circuits.cnu ~controls:4 in
+  let tests =
+    [ Test.make ~name:"table1/calibration-lookup"
+        (Staged.stage (fun () -> ignore (Calibration.mr_cx ~control:Qubit ~target:(Slot 0))));
+      Test.make ~name:"table2/gate-construction"
+        (Staged.stage (fun () ->
+             ignore (Ququart_gates.mr_3q Gates.ccz ~operands:[ Slot 0; Slot 1; Qubit ])));
+      Test.make ~name:"fig2/rb-sequence"
+        (Staged.stage (fun () ->
+             let r = Rng.make ~seed:1 in
+             ignore (Waltz_sim.Rb.run r ~depths:[ 5 ] ~samples:2 ~error_per_clifford:0.05 ())));
+      Test.make ~name:"fig7/compile-mixed-radix"
+        (Staged.stage (fun () -> ignore (Compile.compile Strategy.mixed_radix_ccz cnu7)));
+      Test.make ~name:"fig7/compile-full-ququart"
+        (Staged.stage (fun () -> ignore (Compile.compile Strategy.full_ququart cnu7)));
+      Test.make ~name:"fig8/eps-estimate"
+        (Staged.stage (fun () ->
+             ignore (Eps.estimate (Compile.compile Strategy.full_ququart cnu7))));
+      Test.make ~name:"fig9/trajectory-sim"
+        (Staged.stage (fun () ->
+             let compiled = Compile.compile Strategy.full_ququart toffoli in
+             ignore
+               (Executor.simulate
+                  ~config:{ Executor.default_config with Executor.trajectories = 2 }
+                  compiled))) ]
+  in
+  List.iter
+    (fun test ->
+      let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 0.25) ~kde:None () in
+      let results = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test in
+      Hashtbl.iter
+        (fun name (b : Benchmark.t) ->
+          let total_time = ref 0. and total_runs = ref 0. in
+          Array.iter
+            (fun raw ->
+              total_time := !total_time +. Measurement_raw.get ~label:"monotonic-clock" raw;
+              total_runs := !total_runs +. Measurement_raw.run raw)
+            b.Benchmark.lr;
+          Printf.printf "  %-30s %14.0f ns/run (%d samples)\n" name
+            (!total_time /. Float.max 1. !total_runs)
+            (Array.length b.Benchmark.lr))
+        results)
+    tests
+
+(* ---------------- main ---------------- *)
+
+let all_sections =
+  [ ("table1", table1);
+    ("table2", table2);
+    ("fig2", fig2);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9a", fig9a);
+    ("fig9b", fig9b);
+    ("fig9c", fig9c);
+    ("fig9d", fig9d);
+    ("ablations", ablations);
+    ("resynth", resynth);
+    ("pulses", pulses);
+    ("micro", micro) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> begin
+      match Sys.getenv_opt "WALTZ_SECTIONS" with
+      | Some v -> String.split_on_char ',' v
+      | None -> List.map fst all_sections
+    end
+  in
+  Printf.printf "Quantum Waltz reproduction bench (trajectories = %d)\n" trajectories;
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all_sections with
+      | Some f -> f ()
+      | None ->
+        Printf.printf "unknown section %s (available: %s)\n" name
+          (String.concat ", " (List.map fst all_sections)))
+    requested

@@ -1,0 +1,402 @@
+(* Command-line front end for the Quantum Waltz compiler.
+
+   Examples:
+     waltz_cli compile  -c cuccaro -n 8 -s full-ququart --ops
+     waltz_cli estimate -c cnu -n 13
+     waltz_cli simulate -c qram -n 7 -s mr-ccz --trajectories 100
+     waltz_cli sweep    -c cuccaro -n 7 --knob gate-error --values 1,2,4
+     waltz_cli rb       --samples 50
+     waltz_cli pulse    --target hh --duration 90 *)
+
+open Cmdliner
+open Waltz_circuit
+open Waltz_core
+open Waltz_noise
+
+(* ---- shared arguments ---- *)
+
+let strategies =
+  [ Strategy.qubit_only; Strategy.qubit_itoffoli; Strategy.mixed_radix_basic;
+    Strategy.mixed_radix_retarget; Strategy.mixed_radix_ccz; Strategy.full_ququart;
+    Strategy.mixed_radix_cswap; Strategy.full_ququart_cswap;
+    Strategy.full_ququart_cswap_oriented ]
+
+let strategy_of_name name =
+  match List.find_opt (fun s -> s.Strategy.name = name) strategies with
+  | Some s -> Ok s
+  | None ->
+    Error
+      (Printf.sprintf "unknown strategy %s (known: %s)" name
+         (String.concat ", " (List.map (fun s -> s.Strategy.name) strategies)))
+
+let strategy_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (strategy_of_name s) in
+  let print ppf s = Format.pp_print_string ppf s.Strategy.name in
+  Arg.conv (parse, print)
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  contents
+
+let circuit_of ~family ~n ~cx_fraction ~qasm ~optimize =
+  let base =
+    match qasm with
+    | Some path -> begin
+      try Ok (Qasm.of_string (read_file path)) with
+      | Failure msg -> Error msg
+      | Sys_error msg -> Error msg
+    end
+    | None -> begin
+      match String.lowercase_ascii family with
+      | "cnu" -> Ok (Waltz_benchmarks.Bench_circuits.by_total_qubits Cnu n)
+      | "cuccaro" -> Ok (Waltz_benchmarks.Bench_circuits.by_total_qubits Cuccaro n)
+      | "qram" -> Ok (Waltz_benchmarks.Bench_circuits.by_total_qubits Qram n)
+      | "select" -> Ok (Waltz_benchmarks.Bench_circuits.by_total_qubits Select n)
+      | "grover" ->
+        let bits = max 2 ((n + 1) / 2) in
+        Ok
+          (Waltz_benchmarks.Bench_circuits.grover ~address_bits:bits
+             ~marked:((1 lsl bits) - 1) ~iterations:1)
+      | "synthetic" ->
+        Ok
+          (Waltz_benchmarks.Bench_circuits.synthetic ~n ~gates:(4 * n) ~cx_fraction
+             ~seed:42)
+      | other -> Error (Printf.sprintf "unknown circuit family %s" other)
+    end
+  in
+  Result.map (fun c -> if optimize then Optimizer.simplify c else c) base
+
+let topology_of name devices =
+  match String.lowercase_ascii name with
+  | "mesh" -> Ok (Waltz_arch.Topology.mesh devices)
+  | "line" -> Ok (Waltz_arch.Topology.line devices)
+  | "ring" -> Ok (Waltz_arch.Topology.ring devices)
+  | "heavy-hex" | "heavyhex" -> Ok (Waltz_arch.Topology.heavy_hex devices)
+  | other -> Error (Printf.sprintf "unknown topology %s (mesh, line, ring, heavy-hex)" other)
+
+let family_arg =
+  Arg.(
+    value
+    & opt string "cuccaro"
+    & info [ "c"; "circuit" ] ~docv:"FAMILY"
+        ~doc:"Circuit family: cnu, cuccaro, qram, select, grover or synthetic.")
+
+let qasm_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "qasm" ] ~docv:"FILE" ~doc:"Read the circuit from an OpenQASM 2.0 file.")
+
+let optimize_arg =
+  Arg.(
+    value & flag
+    & info [ "O"; "optimize" ] ~doc:"Run the peephole optimizer before compiling.")
+
+let topology_arg =
+  Arg.(
+    value
+    & opt string "mesh"
+    & info [ "topology" ] ~docv:"TOPO" ~doc:"mesh (default), line, ring or heavy-hex.")
+
+let n_arg =
+  Arg.(value & opt int 7 & info [ "n" ] ~docv:"N" ~doc:"Total qubit budget (>= 5).")
+
+let cx_fraction_arg =
+  Arg.(
+    value
+    & opt float 0.5
+    & info [ "cx-fraction" ] ~docv:"F" ~doc:"CX share for the synthetic family.")
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt strategy_conv Strategy.mixed_radix_ccz
+    & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+        ~doc:"Compilation strategy (see waltz_cli compile --help).")
+
+let trajectories_arg =
+  Arg.(
+    value & opt int 50 & info [ "trajectories" ] ~docv:"K" ~doc:"Trajectories per point.")
+
+let with_circuit ?(qasm = None) ?(optimize = false) ?(reroll = false) family n cx_fraction f =
+  match
+    Result.map
+      (fun c -> if reroll then Resynthesis.reroll c else c)
+      (circuit_of ~family ~n ~cx_fraction ~qasm ~optimize)
+  with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok circuit -> f circuit
+
+(* ---- compile ---- *)
+
+let compile_cmd =
+  let run family n cx_fraction strategy show_ops qasm optimize reroll topology emit_qasm =
+    with_circuit ~qasm ~optimize ~reroll family n cx_fraction (fun circuit ->
+        let devices = Compile.device_count strategy circuit.Circuit.n in
+        match topology_of topology devices with
+        | Error e ->
+          prerr_endline e;
+          1
+        | Ok topology ->
+          let compiled = Compile.compile ~topology strategy circuit in
+          let one, two, three = Circuit.count_by_arity circuit in
+          Printf.printf "circuit: %d qubits, %d gates (%d/%d/%d by arity)\n"
+            circuit.Circuit.n (Circuit.gate_count circuit) one two three;
+          Printf.printf "%s\n" (Physical.summary compiled);
+          let eps = Eps.estimate compiled in
+          Printf.printf "gate EPS %.4f, coherence EPS %.4f, total %.4f\n" eps.Eps.gate_eps
+            eps.Eps.coherence_eps eps.Eps.total_eps;
+          if show_ops then print_string (Format.asprintf "%a" Physical.pp_ops compiled);
+          (match emit_qasm with
+          | Some path ->
+            let oc = open_out path in
+            output_string oc (Qasm.to_string circuit);
+            close_out oc;
+            Printf.printf "wrote %s\n" path
+          | None -> ());
+          0)
+  in
+  let show_ops =
+    Arg.(value & flag & info [ "ops" ] ~doc:"Print the scheduled physical ops.")
+  in
+  let reroll_arg =
+    Arg.(
+      value & flag
+      & info [ "reroll" ]
+          ~doc:"Resynthesize three-qubit gates from two-qubit runs before compiling.")
+  in
+  let emit_qasm =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit-qasm" ] ~docv:"FILE" ~doc:"Write the logical circuit as OpenQASM 2.0.")
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a benchmark or QASM circuit and report its schedule")
+    Term.(
+      const run $ family_arg $ n_arg $ cx_fraction_arg $ strategy_arg $ show_ops $ qasm_arg
+      $ optimize_arg $ reroll_arg $ topology_arg $ emit_qasm)
+
+(* ---- estimate ---- *)
+
+let estimate_cmd =
+  let run family n cx_fraction =
+    with_circuit family n cx_fraction (fun circuit ->
+        Printf.printf "%-18s %8s %10s %10s %10s %12s\n" "strategy" "2-dev" "gateEPS"
+          "cohEPS" "totalEPS" "duration";
+        List.iter
+          (fun strategy ->
+            let compiled = Compile.compile strategy circuit in
+            let eps = Eps.estimate compiled in
+            Printf.printf "%-18s %8d %10.4f %10.4f %10.4f %9.0f ns\n"
+              strategy.Strategy.name
+              (Physical.two_device_op_count compiled)
+              eps.Eps.gate_eps eps.Eps.coherence_eps eps.Eps.total_eps eps.Eps.duration_ns)
+          Strategy.fig7_set;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "estimate" ~doc:"EPS estimates for every strategy (no simulation)")
+    Term.(const run $ family_arg $ n_arg $ cx_fraction_arg)
+
+(* ---- simulate ---- *)
+
+let simulate_cmd =
+  let run family n cx_fraction strategy trajectories seed qasm optimize =
+    with_circuit ~qasm ~optimize family n cx_fraction (fun circuit ->
+        let compiled = Compile.compile strategy circuit in
+        let d =
+          Executor.simulate_detailed
+            ~config:{ Executor.model = Noise.default; trajectories; base_seed = seed }
+            compiled
+        in
+        let result = d.Executor.summary in
+        Printf.printf "%s\n" (Physical.summary compiled);
+        Printf.printf "simulated fidelity: %.4f +- %.4f (%d trajectories)\n"
+          result.Executor.mean_fidelity result.Executor.sem result.Executor.trajectories;
+        Printf.printf "mean leakage %.4f, mean error draws %.2f per trajectory\n"
+          d.Executor.mean_leakage d.Executor.mean_error_draws;
+        0)
+  in
+  let seed = Arg.(value & opt int 2023 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Trajectory-method fidelity of a compiled circuit")
+    Term.(
+      const run $ family_arg $ n_arg $ cx_fraction_arg $ strategy_arg $ trajectories_arg
+      $ seed $ qasm_arg $ optimize_arg)
+
+(* ---- sweep ---- *)
+
+let sweep_cmd =
+  let run family n cx_fraction knob values trajectories =
+    with_circuit family n cx_fraction (fun circuit ->
+        let strategies =
+          [ Strategy.qubit_only; Strategy.qubit_itoffoli; Strategy.mixed_radix_ccz;
+            Strategy.full_ququart ]
+        in
+        let model_of v =
+          match knob with
+          | "gate-error" -> Ok { Noise.default with Noise.ww_error_scale = v }
+          | "coherence" -> Ok { Noise.default with Noise.t1_high_scale = v }
+          | other -> Error (Printf.sprintf "unknown knob %s (gate-error, coherence)" other)
+        in
+        let values = List.map float_of_string (String.split_on_char ',' values) in
+        Printf.printf "%-8s" "value";
+        List.iter (fun s -> Printf.printf " %-16s" s.Strategy.name) strategies;
+        print_newline ();
+        let rc = ref 0 in
+        List.iter
+          (fun v ->
+            match model_of v with
+            | Error e ->
+              prerr_endline e;
+              rc := 1
+            | Ok model ->
+              Printf.printf "%-8.2f" v;
+              List.iter
+                (fun strategy ->
+                  let compiled = Compile.compile strategy circuit in
+                  let result =
+                    Executor.simulate
+                      ~config:{ Executor.model; trajectories; base_seed = 2023 }
+                      compiled
+                  in
+                  Printf.printf " %-16.4f" result.Executor.mean_fidelity)
+                strategies;
+              print_newline ())
+          values;
+        !rc)
+  in
+  let knob =
+    Arg.(
+      value
+      & opt string "gate-error"
+      & info [ "knob" ] ~docv:"KNOB" ~doc:"Sensitivity knob: gate-error or coherence.")
+  in
+  let values =
+    Arg.(
+      value
+      & opt string "1,2,4"
+      & info [ "values" ] ~docv:"V1,V2,…" ~doc:"Comma-separated knob values.")
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Sensitivity sweeps (the Fig. 9 studies)")
+    Term.(
+      const run $ family_arg $ n_arg $ cx_fraction_arg $ knob $ values $ trajectories_arg)
+
+(* ---- breakdown ---- *)
+
+let breakdown_cmd =
+  let run family n cx_fraction strategy =
+    with_circuit family n cx_fraction (fun circuit ->
+        let compiled = Compile.compile strategy circuit in
+        Printf.printf "%s\n" (Physical.summary compiled);
+        Printf.printf "%-8s %10s %10s %12s %10s\n" "device" "busy(ns)" "idle(ns)"
+          "encoded(ns)" "survival";
+        List.iter
+          (fun (r : Eps.device_report) ->
+            Printf.printf "%-8d %10.0f %10.0f %12.0f %10.4f\n" r.Eps.device r.Eps.busy_ns
+              r.Eps.idle_ns r.Eps.encoded_ns r.Eps.survival)
+          (Eps.device_breakdown compiled);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "breakdown" ~doc:"Per-device coherence budget of a compiled circuit")
+    Term.(const run $ family_arg $ n_arg $ cx_fraction_arg $ strategy_arg)
+
+(* ---- rb ---- *)
+
+let rb_cmd =
+  let run samples clifford_f gate_f seed =
+    let open Waltz_sim in
+    let rng = Waltz_linalg.Rng.make ~seed in
+    let depths = [ 1; 5; 10; 20; 40; 70; 100 ] in
+    let p_c = Rb.error_prob_of_fidelity clifford_f in
+    let p_g = Rb.error_prob_of_fidelity gate_f in
+    let hh = Waltz_linalg.Mat.kron Waltz_qudit.Gates.h Waltz_qudit.Gates.h in
+    let reference = Rb.run rng ~depths ~samples ~error_per_clifford:p_c () in
+    let interleaved =
+      Rb.run rng ~depths ~samples ~error_per_clifford:p_c ~interleave:(hh, p_g) ()
+    in
+    Printf.printf "F_RB = %.4f, F_IRB = %.4f, extracted F_HH = %.4f\n"
+      reference.Rb.fidelity interleaved.Rb.fidelity
+      (Rb.interleaved_gate_fidelity ~reference ~interleaved);
+    0
+  in
+  let samples =
+    Arg.(value & opt int 40 & info [ "samples" ] ~docv:"K" ~doc:"Sequences per depth.")
+  in
+  let clifford_f =
+    Arg.(
+      value & opt float 0.958 & info [ "clifford-fidelity" ] ~doc:"Injected Clifford F.")
+  in
+  let gate_f =
+    Arg.(value & opt float 0.96 & info [ "gate-fidelity" ] ~doc:"Injected H(x)H F.")
+  in
+  let seed = Arg.(value & opt int 2023 & info [ "seed" ] ~doc:"RNG seed.") in
+  Cmd.v
+    (Cmd.info "rb" ~doc:"Randomized benchmarking on a simulated ququart (Fig. 2)")
+    Term.(const run $ samples $ clifford_f $ gate_f $ seed)
+
+(* ---- pulse ---- *)
+
+let pulse_cmd =
+  let run target duration segments iters =
+    let open Waltz_control in
+    let pick = function
+      | "x" -> Ok (Synthesis.x_target, [| 3 |], [| 2 |])
+      | "h" -> Ok (Synthesis.h_target, [| 3 |], [| 2 |])
+      | "hh" -> Ok (Synthesis.hh_target, [| 5 |], [| 4 |])
+      | "cx-internal" -> Ok (Synthesis.cx_internal_target, [| 5 |], [| 4 |])
+      | "cz2" -> Ok (Waltz_qudit.Gates.cz, [| 3; 3 |], [| 2; 2 |])
+      | "cx2" -> Ok (Waltz_qudit.Gates.cx, [| 3; 3 |], [| 2; 2 |])
+      | other ->
+        Error (Printf.sprintf "unknown target %s (x, h, hh, cx-internal, cz2, cx2)" other)
+    in
+    match pick target with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok (target_u, levels, logical_levels) ->
+      let spec = Transmon.paper_spec ~n:(Array.length levels) ~levels in
+      let report, _ =
+        Synthesis.synthesize ~seed:11 ~restarts:1 ~iters ~spec ~target:target_u
+          ~logical_levels ~duration_ns:duration ~segments ()
+      in
+      Printf.printf "T = %.1f ns: F = %.4f, leakage = %.4f (%d iterations)\n"
+        report.Synthesis.duration_ns report.Synthesis.fidelity report.Synthesis.leakage
+        report.Synthesis.iterations;
+      0
+  in
+  let target =
+    Arg.(
+      value & opt string "hh"
+      & info [ "target" ] ~docv:"GATE" ~doc:"x, h, hh, cx-internal, cz2 or cx2.")
+  in
+  let duration =
+    Arg.(value & opt float 90. & info [ "duration" ] ~docv:"NS" ~doc:"Gate time (ns).")
+  in
+  let segments =
+    Arg.(
+      value & opt int 360
+      & info [ "segments" ] ~docv:"S" ~doc:"Pulse segments (use dt <= 0.25 ns).")
+  in
+  let iters =
+    Arg.(value & opt int 600 & info [ "iters" ] ~docv:"I" ~doc:"GRAPE iterations.")
+  in
+  Cmd.v
+    (Cmd.info "pulse" ~doc:"Synthesize a ququart pulse with optimal control")
+    Term.(const run $ target $ duration $ segments $ iters)
+
+let () =
+  let doc = "The Quantum Waltz: three-qubit gates on four-level architectures" in
+  let info = Cmd.info "waltz_cli" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval' (Cmd.group info
+       [ compile_cmd; estimate_cmd; simulate_cmd; sweep_cmd; breakdown_cmd; rb_cmd;
+         pulse_cmd ]))

@@ -1,0 +1,41 @@
+(* Grover search end-to-end: build the oracle + diffusion circuit from
+   Toffoli AND-chains, compile with qubit-only vs ququart strategies, and
+   check that the noisy execution still finds the marked item.
+
+   Run with: dune exec examples/grover_demo.exe *)
+
+open Waltz_linalg
+open Waltz_circuit
+open Waltz_core
+
+let () =
+  let address_bits = 3 and marked = 5 in
+  let circuit =
+    Waltz_benchmarks.Bench_circuits.grover ~address_bits ~marked ~iterations:2
+  in
+  Printf.printf "Grover over %d addresses, marked item %d: %d qubits, %d gates\n\n"
+    (1 lsl address_bits) marked circuit.Circuit.n (Circuit.gate_count circuit);
+  (* Ideal success probability. *)
+  let u = Circuit.to_unitary circuit in
+  let final = Mat.apply u (Vec.basis (1 lsl circuit.Circuit.n) 0) in
+  let p_ideal =
+    Cplx.norm2 (Vec.get final (marked lsl (circuit.Circuit.n - address_bits)))
+  in
+  Printf.printf "ideal success probability: %.4f\n\n" p_ideal;
+  Printf.printf "%-18s %12s %10s %14s\n" "strategy" "duration" "EPS" "sim fidelity";
+  List.iter
+    (fun strategy ->
+      let compiled = Compile.compile strategy circuit in
+      let eps = Eps.estimate compiled in
+      let sim =
+        Executor.simulate
+          ~config:{ Executor.default_config with Executor.trajectories = 30 }
+          compiled
+      in
+      Printf.printf "%-18s %9.0f ns %10.4f %10.3f\n" strategy.Strategy.name
+        (Physical.total_duration compiled) eps.Eps.total_eps sim.Executor.mean_fidelity)
+    [ Strategy.qubit_only; Strategy.qubit_itoffoli; Strategy.mixed_radix_ccz;
+      Strategy.full_ququart ];
+  Printf.printf
+    "\nGrover's AND-chains are pure Toffoli ladders — exactly the workload\n\
+     the Quantum Waltz was designed for.\n"

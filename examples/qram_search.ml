@@ -1,0 +1,40 @@
+(* QRAM case study (Sec. 7.1): the CSWAP orientation matters. Compare
+   decomposing CSWAPs to Toffolis, executing them directly in whatever
+   configuration routing yields, and choreographing targets into the same
+   ququart.
+
+   Run with: dune exec examples/qram_search.exe *)
+
+open Waltz_core
+
+let () =
+  let circuit = Waltz_benchmarks.Bench_circuits.qram ~address_bits:2 ~cells:4 in
+  Printf.printf "QRAM lookup circuit: %d qubits, %d gates (%d CSWAPs)\n\n"
+    circuit.Waltz_circuit.Circuit.n
+    (Waltz_circuit.Circuit.gate_count circuit)
+    (Waltz_circuit.Circuit.count_kind circuit (fun k -> k = Waltz_circuit.Gate.Cswap));
+  let strategies =
+    [ ("decompose to Toffoli (CCZ)", Strategy.mixed_radix_ccz);
+      ("direct CSWAP, oriented (MR)", Strategy.mixed_radix_cswap);
+      ("full-ququart, CCZ decomposition", Strategy.full_ququart);
+      ("full-ququart, direct CSWAP", Strategy.full_ququart_cswap);
+      ("full-ququart, targets together", Strategy.full_ququart_cswap_oriented) ]
+  in
+  Printf.printf "%-34s %8s %12s %10s %10s\n" "strategy" "2-dev" "duration" "gateEPS" "sim";
+  List.iter
+    (fun (label, strategy) ->
+      let compiled = Compile.compile strategy circuit in
+      let eps = Eps.estimate compiled in
+      let sim =
+        Executor.simulate
+          ~config:{ Executor.default_config with Executor.trajectories = 30 }
+          compiled
+      in
+      Printf.printf "%-34s %8d %9.0f ns %10.4f %10.3f\n" label
+        (Physical.two_device_op_count compiled)
+        (Physical.total_duration compiled) eps.Eps.gate_eps sim.Executor.mean_fidelity)
+    strategies;
+  Printf.printf
+    "\nDirect CSWAP pulses skip the 2-CX shell of the Toffoli decomposition;\n\
+     putting both swap targets in one ququart uses the fastest configuration\n\
+     (CSWAP^{q01}, 444 ns vs 762 ns for the worst orientation).\n"

@@ -1,0 +1,42 @@
+(* Topology study: the paper evaluates on a 2D mesh (Sycamore-like density);
+   this example compares the same compilation on a line, a ring, the mesh,
+   and a heavy-hex-like lattice, showing how connectivity interacts with
+   each encoding.
+
+   Run with: dune exec examples/topology_study.exe *)
+
+open Waltz_arch
+open Waltz_core
+
+let () =
+  let circuit = Waltz_benchmarks.Bench_circuits.cnu ~controls:5 in
+  Printf.printf "Circuit: generalized Toffoli, %d qubits, %d gates\n\n"
+    circuit.Waltz_circuit.Circuit.n
+    (Waltz_circuit.Circuit.gate_count circuit);
+  let strategies = [ Strategy.qubit_only; Strategy.mixed_radix_ccz; Strategy.full_ququart ] in
+  Printf.printf "%-12s" "topology";
+  List.iter
+    (fun (s : Strategy.t) -> Printf.printf " %-26s" (s.Strategy.name ^ " (2dev/ns/EPS)"))
+    strategies;
+  print_newline ();
+  List.iter
+    (fun (name, make) ->
+      Printf.printf "%-12s" name;
+      List.iter
+        (fun strategy ->
+          let devices = Compile.device_count strategy circuit.Waltz_circuit.Circuit.n in
+          let topology = make devices in
+          let compiled = Compile.compile ~topology strategy circuit in
+          let eps = Eps.estimate compiled in
+          Printf.printf " %-26s"
+            (Printf.sprintf "%d / %.0f / %.3f"
+               (Physical.two_device_op_count compiled)
+               eps.Eps.duration_ns eps.Eps.total_eps))
+        strategies;
+      print_newline ())
+    [ ("mesh", Topology.mesh); ("line", Topology.line); ("ring", Topology.ring);
+      ("heavy-hex", Topology.heavy_hex) ];
+  Printf.printf
+    "\nSparser connectivity costs the qubit-only baseline the most SWAPs;\n\
+     packing two qubits per ququart halves the device count, which also\n\
+     shrinks routing distances — a second-order benefit of the encoding.\n"

@@ -1,0 +1,26 @@
+type node = { device : int; slot : int }
+type t = { topo : Topology.t; slots : int }
+
+let make topo ~slots_per_device =
+  if slots_per_device < 1 || slots_per_device > 2 then
+    invalid_arg "Interaction_graph.make: slots_per_device must be 1 or 2";
+  { topo; slots = slots_per_device }
+
+let topology t = t.topo
+let slots_per_device t = t.slots
+let node_count t = Topology.device_count t.topo * t.slots
+
+let nodes t =
+  List.concat_map
+    (fun device -> List.init t.slots (fun slot -> { device; slot }))
+    (List.init (Topology.device_count t.topo) Fun.id)
+
+let adjacent t a b =
+  if a.device = b.device then a.slot <> b.slot
+  else Topology.are_adjacent t.topo a.device b.device
+
+let distance t a b =
+  if a.device = b.device then 0. else float_of_int (Topology.distance t.topo a.device b.device)
+
+let neighbors t a =
+  List.filter (fun b -> b <> a && adjacent t a b) (nodes t)

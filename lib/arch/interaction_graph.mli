@@ -1,0 +1,29 @@
+(** The expanded interaction graph of Sec. 5.1: each ququart contributes two
+    virtual qubit slots, fully connected to each other and to the slots of
+    neighbouring devices.
+
+    A virtual node is a (device, slot) pair; slots are 0 and 1 when
+    [slots_per_device] is 2, just 0 when it is 1 (qubit-only hardware). *)
+
+type node = { device : int; slot : int }
+
+type t
+
+val make : Topology.t -> slots_per_device:int -> t
+
+val topology : t -> Topology.t
+
+val slots_per_device : t -> int
+
+val node_count : t -> int
+
+val nodes : t -> node list
+
+val adjacent : t -> node -> node -> bool
+(** Same device, or slots of neighbouring devices. *)
+
+val distance : t -> node -> node -> float
+(** The routing cost metric: 0 within a device, otherwise the device hop
+    distance. Used as the paper's specialized distance function d(·,·). *)
+
+val neighbors : t -> node -> node list

@@ -1,0 +1,101 @@
+type t = { name : string; n : int; adj : int list array; dist : int array array }
+
+let bfs_all_pairs n adj =
+  let dist = Array.make_matrix n n max_int in
+  for src = 0 to n - 1 do
+    let q = Queue.create () in
+    dist.(src).(src) <- 0;
+    Queue.add src q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun v ->
+          if dist.(src).(v) = max_int then begin
+            dist.(src).(v) <- dist.(src).(u) + 1;
+            Queue.add v q
+          end)
+        adj.(u)
+    done;
+    for v = 0 to n - 1 do
+      if dist.(src).(v) = max_int then failwith "Topology: graph is disconnected"
+    done
+  done;
+  dist
+
+let of_edges name n edges =
+  if n <= 0 then invalid_arg "Topology: need at least one device";
+  let adj = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      if a < 0 || b < 0 || a >= n || b >= n || a = b then invalid_arg "Topology: bad edge";
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b))
+    edges;
+  let adj = Array.map (List.sort_uniq compare) adj in
+  { name; n; adj; dist = (if n = 1 then [| [| 0 |] |] else bfs_all_pairs n adj) }
+
+let mesh n =
+  let cols = int_of_float (Float.ceil (sqrt (float_of_int n))) in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    let r = i / cols and c = i mod cols in
+    if c + 1 < cols && i + 1 < n then edges := (i, i + 1) :: !edges;
+    if (r + 1) * cols + c < n then edges := (i, i + cols) :: !edges
+  done;
+  of_edges (Printf.sprintf "mesh-%d" n) n !edges
+
+let line n = of_edges (Printf.sprintf "line-%d" n) n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let ring n =
+  if n < 3 then line n
+  else
+    of_edges (Printf.sprintf "ring-%d" n) n
+      ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let heavy_hex n =
+  (* Rows of width 8 connected linearly, with bridges at columns 0 and 4 of
+     alternating parity between consecutive rows. *)
+  let width = 8 in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    let r = i / width and c = i mod width in
+    if c + 1 < width && i + 1 < n then edges := (i, i + 1) :: !edges;
+    let bridge_col = if r mod 2 = 0 then 0 else 4 in
+    if c = bridge_col && i + width < n then edges := (i, i + width) :: !edges
+  done;
+  (* Guarantee connectivity for small n or rows without bridges. *)
+  for r = 1 to ((n - 1) / width) do
+    let a = (r - 1) * width and b = r * width in
+    if b < n then edges := (a, b) :: !edges
+  done;
+  of_edges (Printf.sprintf "heavy-hex-%d" n) n !edges
+
+let name t = t.name
+let device_count t = t.n
+let neighbors t d = t.adj.(d)
+let are_adjacent t a b = List.mem b t.adj.(a)
+
+let distance t a b =
+  if a < 0 || b < 0 || a >= t.n || b >= t.n then invalid_arg "Topology.distance";
+  t.dist.(a).(b)
+
+let center t =
+  let best = ref 0 and best_sum = ref max_int in
+  for d = 0 to t.n - 1 do
+    let sum = Array.fold_left ( + ) 0 t.dist.(d) in
+    if sum < !best_sum then begin
+      best := d;
+      best_sum := sum
+    end
+  done;
+  !best
+
+let edges t =
+  let acc = ref [] in
+  for a = 0 to t.n - 1 do
+    List.iter (fun b -> if a < b then acc := (a, b) :: !acc) t.adj.(a)
+  done;
+  List.rev !acc
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %d devices, %d edges" t.name t.n (List.length (edges t))

@@ -1,0 +1,39 @@
+(** Physical device connectivity graphs.
+
+    The paper evaluates on a 2D mesh of dimensions ⌈√n⌉ × n/⌈√n⌉ with
+    nearest-neighbour coupling (Sec. 6.2); line, ring and a heavy-hex-like
+    lattice are provided for comparison studies. *)
+
+type t
+
+val mesh : int -> t
+(** [mesh n] is the paper's grid: row-major placement of [n] devices in a
+    ⌈√n⌉-wide grid. *)
+
+val line : int -> t
+
+val ring : int -> t
+
+val heavy_hex : int -> t
+(** A sparse heavy-hex-like lattice: rows of linearly coupled devices with
+    vertical bridges every fourth column (an approximation of IBM's
+    heavy-hex with the same average degree ≈ 2.3). *)
+
+val name : t -> string
+
+val device_count : t -> int
+
+val neighbors : t -> int -> int list
+
+val are_adjacent : t -> int -> int -> bool
+
+val distance : t -> int -> int -> int
+(** Hop distance (precomputed all-pairs BFS). Raises if disconnected. *)
+
+val center : t -> int
+(** The device minimizing total distance to all others (ties broken by
+    lowest index) — the paper's "center-most qudit". *)
+
+val edges : t -> (int * int) list
+
+val pp : Format.formatter -> t -> unit

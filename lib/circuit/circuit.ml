@@ -1,0 +1,124 @@
+open Waltz_linalg
+open Waltz_qudit
+
+type t = { n : int; gates : Gate.t list }
+
+let empty n =
+  if n <= 0 then invalid_arg "Circuit.empty";
+  { n; gates = [] }
+
+let check_gate n (g : Gate.t) =
+  List.iter
+    (fun q -> if q < 0 || q >= n then invalid_arg "Circuit: qubit index out of range")
+    g.Gate.qubits
+
+let add c kind qubits =
+  let g = Gate.make kind qubits in
+  check_gate c.n g;
+  { c with gates = c.gates @ [ g ] }
+
+let of_gates ~n gates =
+  List.iter (check_gate n) gates;
+  { n; gates }
+
+let append a b =
+  if a.n <> b.n then invalid_arg "Circuit.append: qubit counts differ";
+  { a with gates = a.gates @ b.gates }
+
+let gate_count c = List.length c.gates
+
+let count_by_arity c =
+  List.fold_left
+    (fun (one, two, three) g ->
+      match Gate.arity g.Gate.kind with
+      | 1 -> (one + 1, two, three)
+      | 2 -> (one, two + 1, three)
+      | 3 -> (one, two, three + 1)
+      | _ -> (one, two, three))
+    (0, 0, 0) c.gates
+
+let count_kind c pred = List.length (List.filter (fun g -> pred g.Gate.kind) c.gates)
+
+let moments c =
+  let last_use = Array.make c.n (-1) in
+  let buckets : Gate.t list array ref = ref (Array.make 16 []) in
+  let max_moment = ref (-1) in
+  let ensure m =
+    if m >= Array.length !buckets then begin
+      let bigger = Array.make (max (m + 1) (2 * Array.length !buckets)) [] in
+      Array.blit !buckets 0 bigger 0 (Array.length !buckets);
+      buckets := bigger
+    end
+  in
+  List.iter
+    (fun g ->
+      let m = 1 + List.fold_left (fun acc q -> max acc last_use.(q)) (-1) g.Gate.qubits in
+      ensure m;
+      !buckets.(m) <- g :: !buckets.(m);
+      List.iter (fun q -> last_use.(q) <- m) g.Gate.qubits;
+      if m > !max_moment then max_moment := m)
+    c.gates;
+  List.init (!max_moment + 1) (fun m -> List.rev !buckets.(m))
+
+let depth c = List.length (moments c)
+
+let interaction_weights c =
+  let w = Array.make_matrix c.n c.n 0. in
+  List.iteri
+    (fun m gates ->
+      let weight = 1. /. float_of_int (m + 1) in
+      List.iter
+        (fun g ->
+          let qs = g.Gate.qubits in
+          List.iter
+            (fun a ->
+              List.iter
+                (fun b ->
+                  if a < b then begin
+                    w.(a).(b) <- w.(a).(b) +. weight;
+                    w.(b).(a) <- w.(b).(a) +. weight
+                  end)
+                qs)
+            qs)
+        gates)
+    (moments c);
+  w
+
+let map_qubits f c =
+  let gates =
+    List.map (fun g -> Gate.make g.Gate.kind (List.map f g.Gate.qubits)) c.gates
+  in
+  let n = List.fold_left (fun acc g -> List.fold_left max acc g.Gate.qubits) 0 gates + 1 in
+  { n; gates }
+
+let adjoint_kind (k : Gate.kind) : Gate.kind =
+  match k with
+  | X | Y | Z | H | Cx | Cz | Swap | Ccx | Ccz | Cswap | Cccx | Cccz -> k
+  | S -> Sdg
+  | Sdg -> S
+  | T -> Tdg
+  | Tdg -> T
+  | Rx theta -> Rx (-.theta)
+  | Ry theta -> Ry (-.theta)
+  | Rz theta -> Rz (-.theta)
+  | Phase theta -> Phase (-.theta)
+  | Csdg -> Custom ("CS", Gates.cs)
+  | Custom (label, m) -> Custom (label ^ "^dag", Mat.adjoint m)
+
+let reverse c =
+  { c with
+    gates = List.rev_map (fun g -> { g with Gate.kind = adjoint_kind g.Gate.kind }) c.gates }
+
+let to_unitary c =
+  if c.n > 12 then invalid_arg "Circuit.to_unitary: too many qubits";
+  List.fold_left
+    (fun acc g ->
+      let u = Embed.on_qubits ~n:c.n ~targets:g.Gate.qubits (Gate.unitary g.Gate.kind) in
+      Mat.mul u acc)
+    (Mat.identity (1 lsl c.n))
+    c.gates
+
+let pp ppf c =
+  Format.fprintf ppf "@[<v>circuit on %d qubits (%d gates):" c.n (gate_count c);
+  List.iter (fun g -> Format.fprintf ppf "@,  %a" Gate.pp g) c.gates;
+  Format.fprintf ppf "@]"

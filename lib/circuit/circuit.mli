@@ -1,0 +1,48 @@
+(** Logical quantum circuits: an ordered list of gates over [n] qubits. *)
+
+open Waltz_linalg
+
+type t = { n : int; gates : Gate.t list }
+
+val empty : int -> t
+
+val add : t -> Gate.kind -> int list -> t
+(** Appends a gate; validates operand indices against [n]. *)
+
+val of_gates : n:int -> Gate.t list -> t
+
+val append : t -> t -> t
+(** Concatenates two circuits over the same qubit count. *)
+
+val gate_count : t -> int
+
+val count_by_arity : t -> int * int * int
+(** (one-qubit, two-qubit, three-qubit) gate counts. *)
+
+val count_kind : t -> (Gate.kind -> bool) -> int
+
+val depth : t -> int
+(** Number of moments in the greedy ASAP layering. *)
+
+val moments : t -> Gate.t list list
+(** Greedy ASAP layering: each gate is placed in the earliest moment after
+    the last use of any of its operands. Moment index + 1 is the paper's
+    time step [t] in the mapping weight w(i, j) = Σ_t o(i,j,t)/t. *)
+
+val interaction_weights : t -> float array array
+(** The lookahead-weighted interaction matrix of Sec. 5.2: symmetric, with
+    w.(i).(j) = Σ over moments m containing a gate on both i and j of
+    1/(m+1). All operand pairs of a three-qubit gate count as interacting. *)
+
+val map_qubits : (int -> int) -> t -> t
+(** Relabels qubit indices (new [n] is the max image + 1). *)
+
+val reverse : t -> t
+(** Gates in reverse order with each gate replaced by its adjoint
+    (as a [Custom] gate when no named adjoint exists). *)
+
+val to_unitary : t -> Mat.t
+(** Elaborates the whole circuit to a 2^n unitary. Intended for n ≤ 12;
+    raises [Invalid_argument] for larger circuits. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,57 @@
+(** Logical gates of the compiler's input IR.
+
+    Operand order conventions match [Waltz_qudit.Gates]: controls precede
+    targets ([Ccx c0 c1 t], [Cswap c t0 t1], [Cx c t]). *)
+
+open Waltz_linalg
+
+type kind =
+  | X
+  | Y
+  | Z
+  | H
+  | S
+  | Sdg
+  | T
+  | Tdg
+  | Rx of float
+  | Ry of float
+  | Rz of float
+  | Phase of float
+  | Cx
+  | Cz
+  | Swap
+  | Csdg
+  | Ccx
+  | Ccz
+  | Cswap
+  | Cccx
+      (** triply-controlled X — the four-qubit extension the full-ququart
+          gate set supports natively on two devices (Sec. 1) *)
+  | Cccz
+  | Custom of string * Mat.t
+      (** arbitrary unitary; arity inferred from the matrix dimension *)
+
+type t = { kind : kind; qubits : int list }
+
+val make : kind -> int list -> t
+(** Builds a gate, checking operand count and distinctness. *)
+
+val arity : kind -> int
+
+val name : kind -> string
+
+val unitary : kind -> Mat.t
+(** The gate's unitary on [arity] qubits, most significant operand first. *)
+
+val is_three_qubit : t -> bool
+
+val controls : t -> int list
+(** Qubits that act as controls (for CCZ, all operands: the gate is
+    target-independent). *)
+
+val targets : t -> int list
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+(** Peephole circuit optimization.
+
+    Passes operate on the logical IR before compilation: cancelling an
+    adjacent CCX pair saves two full ENC/pulse/DEC brackets downstream, so
+    running [simplify] first is almost always worth it.
+
+    Rules (applied to convergence):
+    - adjacent self-inverse pairs on identical operands cancel
+      (X, Y, Z, H, CX, CZ, SWAP, CCX, CCZ, CSWAP);
+    - adjacent inverse pairs cancel (S·S†, T·T†, and rotations with opposite
+      angles);
+    - consecutive rotations of the same axis on the same qubit fuse, and
+      rotations by ≈0 (mod 2π) are dropped.
+
+    "Adjacent" means no intervening gate touches any shared qubit, tracked
+    on the circuit DAG rather than the flat list. *)
+
+val simplify : Circuit.t -> Circuit.t
+
+type stats = { removed : int; fused : int }
+
+val simplify_with_stats : Circuit.t -> Circuit.t * stats

@@ -1,0 +1,224 @@
+let gate_line (g : Gate.t) =
+  let q i = Printf.sprintf "q[%d]" (List.nth g.Gate.qubits i) in
+  let simple name arity =
+    Printf.sprintf "%s %s;" name (String.concat "," (List.init arity q))
+  in
+  let rotation name theta arity =
+    Printf.sprintf "%s(%.17g) %s;" name theta (String.concat "," (List.init arity q))
+  in
+  match g.Gate.kind with
+  | Gate.X -> simple "x" 1
+  | Gate.Y -> simple "y" 1
+  | Gate.Z -> simple "z" 1
+  | Gate.H -> simple "h" 1
+  | Gate.S -> simple "s" 1
+  | Gate.Sdg -> simple "sdg" 1
+  | Gate.T -> simple "t" 1
+  | Gate.Tdg -> simple "tdg" 1
+  | Gate.Rx theta -> rotation "rx" theta 1
+  | Gate.Ry theta -> rotation "ry" theta 1
+  | Gate.Rz theta -> rotation "rz" theta 1
+  | Gate.Phase theta -> rotation "u1" theta 1
+  | Gate.Cx -> simple "cx" 2
+  | Gate.Cz -> simple "cz" 2
+  | Gate.Swap -> simple "swap" 2
+  | Gate.Csdg -> simple "csdg" 2
+  | Gate.Ccx -> simple "ccx" 3
+  | Gate.Ccz -> simple "ccz" 3
+  | Gate.Cswap -> simple "cswap" 3
+  | Gate.Cccx -> simple "c3x" 4
+  | Gate.Cccz -> simple "cccz" 4
+  | Gate.Custom (label, _) ->
+    failwith (Printf.sprintf "Qasm.to_string: cannot export custom gate %s" label)
+
+let prelude =
+  "OPENQASM 2.0;\n\
+   include \"qelib1.inc\";\n\
+   gate ccz a,b,c { h c; ccx a,b,c; h c; }\n\
+   gate csdg a,b { cu1(-pi/2) a,b; }\n\
+   gate cccz a,b,c,d { h d; c3x a,b,c,d; h d; }\n"
+
+let to_string (c : Circuit.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf prelude;
+  Buffer.add_string buf (Printf.sprintf "qreg q[%d];\n" c.Circuit.n);
+  List.iter
+    (fun g ->
+      Buffer.add_string buf (gate_line g);
+      Buffer.add_char buf '\n')
+    c.Circuit.gates;
+  Buffer.contents buf
+
+(* ---- import ---- *)
+
+(* Angle expressions: products/quotients of numbers and [pi] with unary
+   minus, e.g. "-3*pi/4". *)
+let eval_angle line_no expr =
+  let fail () = failwith (Printf.sprintf "QASM line %d: bad angle %S" line_no expr) in
+  let expr = String.trim expr in
+  let negative, expr =
+    if String.length expr > 0 && expr.[0] = '-' then
+      (true, String.sub expr 1 (String.length expr - 1))
+    else (false, expr)
+  in
+  (* Split into alternating atoms and * / operators. *)
+  let atoms = ref [] and ops = ref [] in
+  let buf = Buffer.create 8 in
+  String.iter
+    (fun ch ->
+      if ch = '*' || ch = '/' then begin
+        atoms := Buffer.contents buf :: !atoms;
+        Buffer.clear buf;
+        ops := ch :: !ops
+      end
+      else if ch <> ' ' then Buffer.add_char buf ch)
+    expr;
+  atoms := Buffer.contents buf :: !atoms;
+  let atoms = List.rev_map String.trim !atoms and ops = List.rev !ops in
+  let value_of atom =
+    match String.lowercase_ascii atom with
+    | "pi" -> Float.pi
+    | "" -> fail ()
+    | s -> ( try float_of_string s with Failure _ -> fail ())
+  in
+  match atoms with
+  | [] -> fail ()
+  | first :: rest ->
+    let v =
+      List.fold_left2
+        (fun acc op atom ->
+          match op with
+          | '*' -> acc *. value_of atom
+          | '/' -> acc /. value_of atom
+          | _ -> fail ())
+        (value_of first) ops rest
+    in
+    if negative then -.v else v
+
+let named_gates =
+  [ ("x", (Gate.X, 1)); ("y", (Gate.Y, 1)); ("z", (Gate.Z, 1)); ("h", (Gate.H, 1));
+    ("s", (Gate.S, 1)); ("sdg", (Gate.Sdg, 1)); ("t", (Gate.T, 1));
+    ("tdg", (Gate.Tdg, 1)); ("cx", (Gate.Cx, 2)); ("cz", (Gate.Cz, 2));
+    ("swap", (Gate.Swap, 2)); ("csdg", (Gate.Csdg, 2)); ("ccx", (Gate.Ccx, 3));
+    ("toffoli", (Gate.Ccx, 3)); ("ccz", (Gate.Ccz, 3)); ("cswap", (Gate.Cswap, 3));
+    ("fredkin", (Gate.Cswap, 3)); ("c3x", (Gate.Cccx, 4)); ("cccx", (Gate.Cccx, 4));
+    ("cccz", (Gate.Cccz, 4)) ]
+
+let rotation_gates =
+  [ ("rx", fun t -> Gate.Rx t); ("ry", fun t -> Gate.Ry t); ("rz", fun t -> Gate.Rz t);
+    ("u1", fun t -> Gate.Phase t); ("p", fun t -> Gate.Phase t) ]
+
+let of_string text =
+  (* Strip comments, split statements on ';'. *)
+  let without_comments =
+    String.split_on_char '\n' text
+    |> List.map (fun line ->
+           match String.index_opt line '/' with
+           | Some i when i + 1 < String.length line && line.[i + 1] = '/' ->
+             String.sub line 0 i
+           | _ -> line)
+    |> String.concat "\n"
+  in
+  (* Excise gate definitions (gate NAME … { body }) before splitting on
+     ';' so their bodies are not parsed as top-level applications. *)
+  let without_defs =
+    let buf = Buffer.create (String.length without_comments) in
+    let len = String.length without_comments in
+    let rec scan i =
+      if i >= len then ()
+      else if
+        i + 5 <= len
+        && String.sub without_comments i 5 = "gate "
+        && (i = 0
+           ||
+           match without_comments.[i - 1] with
+           | ' ' | '\n' | '\t' | ';' -> true
+           | _ -> false)
+      then begin
+        match String.index_from_opt without_comments i '}' with
+        | Some close -> scan (close + 1)
+        | None -> failwith "QASM: unterminated gate definition"
+      end
+      else begin
+        Buffer.add_char buf without_comments.[i];
+        scan (i + 1)
+      end
+    in
+    scan 0;
+    Buffer.contents buf
+  in
+  let statements = String.split_on_char ';' without_defs in
+  let n = ref 0 in
+  let register = ref "" in
+  let gates = ref [] in
+  let parse_operands line_no s =
+    String.split_on_char ',' s
+    |> List.map (fun operand ->
+           let operand = String.trim operand in
+           match String.index_opt operand '[' with
+           | Some i
+             when String.length operand > i + 1 && operand.[String.length operand - 1] = ']'
+             ->
+             let name = String.sub operand 0 i in
+             if !register <> "" && name <> !register then
+               failwith
+                 (Printf.sprintf "QASM line %d: unknown register %s" line_no name);
+             int_of_string (String.sub operand (i + 1) (String.length operand - i - 2))
+           | _ -> failwith (Printf.sprintf "QASM line %d: bad operand %S" line_no operand))
+  in
+  List.iteri
+    (fun line_no statement ->
+      let s = String.trim statement in
+      if s = "" then ()
+      else begin
+        let lower = String.lowercase_ascii s in
+        let starts prefix =
+          String.length lower >= String.length prefix
+          && String.sub lower 0 (String.length prefix) = prefix
+        in
+        if starts "openqasm" || starts "include" || starts "creg" || starts "barrier"
+           || starts "measure" || starts "gate " || s.[0] = '{' || s.[0] = '}'
+           || starts "}"
+        then ()
+        else if starts "qreg" then begin
+          match (String.index_opt s '[', String.index_opt s ']') with
+          | Some i, Some j when j > i ->
+            n := int_of_string (String.sub s (i + 1) (j - i - 1));
+            let name_part = String.trim (String.sub s 4 (i - 4)) in
+            register := name_part
+          | _ -> failwith (Printf.sprintf "QASM line %d: bad qreg" line_no)
+        end
+        else begin
+          (* gate application: NAME[(angle)] operands *)
+          let name_end =
+            match (String.index_opt s ' ', String.index_opt s '(') with
+            | Some i, Some j -> min i j
+            | Some i, None -> i
+            | None, Some j -> j
+            | None, None -> failwith (Printf.sprintf "QASM line %d: bad statement %S" line_no s)
+          in
+          let name = String.lowercase_ascii (String.sub s 0 name_end) in
+          let rest = String.sub s name_end (String.length s - name_end) in
+          let kind, operand_str =
+            match List.assoc_opt name rotation_gates with
+            | Some make -> begin
+              match (String.index_opt rest '(', String.index_opt rest ')') with
+              | Some i, Some j when j > i ->
+                let theta = eval_angle line_no (String.sub rest (i + 1) (j - i - 1)) in
+                (make theta, String.sub rest (j + 1) (String.length rest - j - 1))
+              | _ -> failwith (Printf.sprintf "QASM line %d: %s needs an angle" line_no name)
+            end
+            | None -> begin
+              match List.assoc_opt name named_gates with
+              | Some (kind, _) -> (kind, rest)
+              | None ->
+                failwith (Printf.sprintf "QASM line %d: unsupported gate %s" line_no name)
+            end
+          in
+          let operands = parse_operands line_no operand_str in
+          gates := Gate.make kind operands :: !gates
+        end
+      end)
+    statements;
+  if !n = 0 then failwith "QASM: no qreg declaration found";
+  Circuit.of_gates ~n:!n (List.rev !gates)

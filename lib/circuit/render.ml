@@ -1,0 +1,65 @@
+(* Cell contents for one gate at one qubit: the glyph drawn on the wire. *)
+let glyphs (g : Gate.t) =
+  let name = Gate.name g.Gate.kind in
+  match (g.Gate.kind, g.Gate.qubits) with
+  | Gate.Cx, [ c; t ] -> [ (c, "o"); (t, "X") ]
+  | Gate.Cz, [ c; t ] -> [ (c, "o"); (t, "Z") ]
+  | Gate.Csdg, [ c; t ] -> [ (c, "o"); (t, "Sdg") ]
+  | Gate.Swap, [ a; b ] -> [ (a, "x"); (b, "x") ]
+  | Gate.Ccx, [ c0; c1; t ] -> [ (c0, "o"); (c1, "o"); (t, "X") ]
+  | Gate.Ccz, [ c0; c1; t ] -> [ (c0, "o"); (c1, "o"); (t, "Z") ]
+  | Gate.Cswap, [ c; a; b ] -> [ (c, "o"); (a, "x"); (b, "x") ]
+  | _, qs -> List.map (fun q -> (q, name)) qs
+
+let render (c : Circuit.t) =
+  let moments = Circuit.moments c in
+  let n = c.Circuit.n in
+  (* Build the cell matrix: one string option per (qubit, column); [None]
+     for plain wire, [Some glyph] otherwise; spanned wires get "|". *)
+  let columns =
+    List.map
+      (fun gates ->
+        let cells = Array.make n None in
+        List.iter
+          (fun (g : Gate.t) ->
+            let qs = g.Gate.qubits in
+            let lo = List.fold_left min (List.hd qs) qs in
+            let hi = List.fold_left max (List.hd qs) qs in
+            for q = lo + 1 to hi - 1 do
+              if cells.(q) = None then cells.(q) <- Some "|"
+            done;
+            List.iter (fun (q, glyph) -> cells.(q) <- Some glyph) (glyphs g))
+          gates;
+        cells)
+      moments
+  in
+  let widths =
+    List.map
+      (fun cells ->
+        Array.fold_left
+          (fun acc cell -> match cell with Some s -> max acc (String.length s) | None -> acc)
+          1 cells)
+      columns
+  in
+  let buf = Buffer.create 256 in
+  let label_width = String.length (string_of_int (n - 1)) in
+  for q = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "q%-*d: " label_width q);
+    List.iter2
+      (fun cells width ->
+        let s = match cells.(q) with Some s -> s | None -> "-" in
+        let pad = width - String.length s in
+        let left = pad / 2 in
+        let centred =
+          String.make left '-' ^ s ^ String.make (pad - left) '-'
+        in
+        let centred = String.map (fun ch -> if ch = '-' && s = "-" then '-' else ch) centred in
+        Buffer.add_char buf '-';
+        Buffer.add_string buf centred;
+        Buffer.add_char buf '-')
+      columns widths;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let print c = print_string (render c)

@@ -1,0 +1,10 @@
+(** ASCII circuit diagrams.
+
+    Moments become columns; controls render as [o], X-targets as [X],
+    swap ends as [x], other targets by their gate name, and wires a gate
+    spans (between its topmost and bottommost operand) carry a [|]
+    connector. Intended for examples and debugging, not round-tripping. *)
+
+val render : Circuit.t -> string
+
+val print : Circuit.t -> unit

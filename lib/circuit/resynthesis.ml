@@ -1,0 +1,146 @@
+open Waltz_linalg
+open Waltz_qudit
+
+type stats = { rerolled_3q : int; rerolled_2q : int }
+
+(* All operand permutations of a list. *)
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x -> List.map (fun rest -> x :: rest) (permutations (List.filter (( <> ) x) l)))
+      l
+
+let three_q_kinds = [ Gate.Ccx; Gate.Ccz; Gate.Cswap ]
+let two_q_kinds = [ Gate.Cx; Gate.Cz; Gate.Swap; Gate.Csdg ]
+
+(* The unitary of a gate run over the (sorted) support qubits, most
+   significant first. *)
+let run_unitary support gates =
+  let k = List.length support in
+  let wire_of q =
+    let rec index i = function
+      | [] -> assert false
+      | q' :: rest -> if q' = q then i else index (i + 1) rest
+    in
+    index 0 support
+  in
+  List.fold_left
+    (fun acc (g : Gate.t) ->
+      let u =
+        Embed.on_qubits ~n:k ~targets:(List.map wire_of g.Gate.qubits)
+          (Gate.unitary g.Gate.kind)
+      in
+      Mat.mul u acc)
+    (Mat.identity (1 lsl k))
+    gates
+
+(* Try to express [u] over [support] as a single named gate (or nothing). *)
+let match_run support u =
+  let k = List.length support in
+  if Mat.equal_up_to_phase ~tol:1e-9 u (Mat.identity (1 lsl k)) then Some []
+  else begin
+    let kinds = if k = 3 then three_q_kinds else if k = 2 then two_q_kinds else [] in
+    let wire_of q =
+      let rec index i = function
+        | [] -> assert false
+        | q' :: rest -> if q' = q then i else index (i + 1) rest
+      in
+      index 0 support
+    in
+    let matching =
+      List.find_map
+        (fun kind ->
+          List.find_map
+            (fun operands ->
+              let cand =
+                Embed.on_qubits ~n:k ~targets:(List.map wire_of operands)
+                  (Gate.unitary kind)
+              in
+              if Mat.equal_up_to_phase ~tol:1e-9 u cand then
+                Some [ Gate.make kind operands ]
+              else None)
+            (permutations support))
+        kinds
+    in
+    matching
+  end
+
+let support_of gates =
+  List.sort_uniq compare (List.concat_map (fun (g : Gate.t) -> g.Gate.qubits) gates)
+
+let rec take k = function
+  | [] -> []
+  | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+
+let rec drop k = function
+  | [] -> []
+  | _ :: rest as l -> if k = 0 then l else drop (k - 1) rest
+
+(* Replace the longest matching prefix of the run (runs absorb trailing
+   gates of the *next* logical block when they share qubits, so whole-run
+   matching alone misses most rerolls), then recurse on the tail. *)
+let rec close_run stats gates =
+  let len = List.length gates in
+  if len < 2 then gates
+  else begin
+    let rec try_prefix plen =
+      if plen < 2 then None
+      else begin
+        let prefix = take plen gates in
+        let support = support_of prefix in
+        let matched =
+          if List.length support >= 1 && List.length support <= 3 then
+            match_run support (run_unitary support prefix)
+          else None
+        in
+        match matched with
+        | Some replacement -> Some (replacement, drop plen gates)
+        | None -> try_prefix (plen - 1)
+      end
+    in
+    match try_prefix len with
+    | Some (replacement, rest) ->
+      (match replacement with
+      | [ g ] when Gate.arity g.Gate.kind = 3 ->
+        stats := { !stats with rerolled_3q = !stats.rerolled_3q + 1 }
+      | [ _ ] -> stats := { !stats with rerolled_2q = !stats.rerolled_2q + 1 }
+      | _ -> ());
+      replacement @ close_run stats rest
+    | None -> ( match gates with g :: rest -> g :: close_run stats rest | [] -> [])
+  end
+
+let pass circuit =
+  let stats = ref { rerolled_3q = 0; rerolled_2q = 0 } in
+  let out = ref [] in
+  let run_gates = ref [] in
+  let run_support = Hashtbl.create 4 in
+  let flush () =
+    out := List.rev_append (close_run stats (List.rev !run_gates)) !out;
+    run_gates := [];
+    Hashtbl.reset run_support
+  in
+  List.iter
+    (fun (g : Gate.t) ->
+      let fresh = List.filter (fun q -> not (Hashtbl.mem run_support q)) g.Gate.qubits in
+      if Hashtbl.length run_support + List.length fresh > 3 then flush ();
+      List.iter (fun q -> Hashtbl.replace run_support q ()) g.Gate.qubits;
+      run_gates := g :: !run_gates)
+    circuit.Circuit.gates;
+  flush ();
+  (Circuit.of_gates ~n:circuit.Circuit.n (List.rev !out), !stats)
+
+let reroll_with_stats circuit =
+  let rec go c acc =
+    let c', s = pass c in
+    let acc =
+      { rerolled_3q = acc.rerolled_3q + s.rerolled_3q;
+        rerolled_2q = acc.rerolled_2q + s.rerolled_2q }
+    in
+    if s.rerolled_3q = 0 && s.rerolled_2q = 0 && Circuit.gate_count c' = Circuit.gate_count c
+    then (c', acc)
+    else go c' acc
+  in
+  go circuit { rerolled_3q = 0; rerolled_2q = 0 }
+
+let reroll circuit = fst (reroll_with_stats circuit)

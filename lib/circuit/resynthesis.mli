@@ -1,0 +1,22 @@
+(** Numeric resynthesis: re-rolling runs of small gates into native multi-
+    qubit gates.
+
+    The paper points out (Sec. 7.4) that circuits written with two-qubit
+    gates only cannot benefit from ququart execution, and defers to
+    resynthesis tools (BQSKit [59], Geyser-style passes [45]) that
+    re-introduce three-qubit gates. This module implements the lightweight
+    variant: scan for maximal runs of consecutive gates supported on at most
+    three qubits, elaborate the run to its unitary, and when it matches a
+    native gate (CCX, CCZ, CSWAP — or CX, CZ, SWAP, CS† for two-qubit
+    windows) up to global phase, replace the whole run by that single gate.
+
+    The pass is exact (no approximation) and conservative: runs interrupted
+    by gates on other qubits are not reassembled across the interruption. *)
+
+val reroll : Circuit.t -> Circuit.t
+(** Applies the rewrite to convergence. Semantics are preserved up to
+    global phase (property-tested). *)
+
+type stats = { rerolled_3q : int; rerolled_2q : int }
+
+val reroll_with_stats : Circuit.t -> Circuit.t * stats

@@ -1,0 +1,173 @@
+open Waltz_linalg
+
+type objective = {
+  spec : Transmon.spec;
+  target : Mat.t;
+  logical_levels : int array;
+  leak_weight : float;
+}
+
+type evaluation = { fidelity : float; leakage : float; propagator : Mat.t }
+
+let two_pi = 2. *. Float.pi
+
+(* The target embedded into the full space (zero outside the logical
+   subspace) and the logical projector. *)
+let embed_target obj =
+  let d = Transmon.dim obj.spec in
+  let indices = Transmon.logical_indices obj.spec ~logical_levels:obj.logical_levels in
+  let h = Array.length indices in
+  if obj.target.Mat.rows <> h then invalid_arg "Grape: target dimension mismatch";
+  let v_full = Mat.zeros d d in
+  for i = 0 to h - 1 do
+    for j = 0 to h - 1 do
+      Mat.set v_full indices.(i) indices.(j) (Mat.get obj.target i j)
+    done
+  done;
+  let proj = Mat.zeros d d in
+  Array.iter (fun gi -> Mat.set proj gi gi Cplx.one) indices;
+  (v_full, proj, h)
+
+(* Amplitudes as a [n_ctrl][n_seg] array in GHz; controls 2k and 2k+1 are
+   the two quadratures of transmon k. *)
+let pulse_amplitudes pulse =
+  Array.init pulse.Pulse.n_ctrl (fun ctrl ->
+      Array.init pulse.Pulse.n_seg (fun seg -> Pulse.amp pulse ~ctrl ~seg))
+
+let segment_propagators_of_amps obj ~dt_ns amps =
+  let h0 = Transmon.drift obj.spec in
+  let drives = Transmon.drive_ops obj.spec in
+  let n_transmons = Array.length drives in
+  let n_seg = Array.length amps.(0) in
+  List.init n_seg (fun seg ->
+      let h = ref h0 in
+      for k = 0 to n_transmons - 1 do
+        let re_op, im_op = drives.(k) in
+        let p = amps.(2 * k).(seg) in
+        let q = amps.((2 * k) + 1).(seg) in
+        h := Mat.add !h (Mat.add (Mat.scale (Cplx.re p) re_op) (Mat.scale (Cplx.re q) im_op))
+      done;
+      Mat.expm (Mat.scale (Cplx.c 0. (-.two_pi *. dt_ns)) !h))
+
+(* Tr(A·B) without forming the product. *)
+let trace_prod (a : Mat.t) (b : Mat.t) =
+  let n = a.Mat.rows in
+  let re = ref 0. and im = ref 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let are = a.Mat.re.((i * n) + j) and aim = a.Mat.im.((i * n) + j) in
+      let bre = b.Mat.re.((j * n) + i) and bim = b.Mat.im.((j * n) + i) in
+      re := !re +. (are *. bre) -. (aim *. bim);
+      im := !im +. (are *. bim) +. (aim *. bre)
+    done
+  done;
+  Cplx.c !re !im
+
+let evaluation_of obj ~v_full ~proj ~h u =
+  let t = trace_prod (Mat.adjoint v_full) u in
+  let fidelity = Cplx.norm2 t /. float_of_int (h * h) in
+  let pup = Mat.mul proj (Mat.mul u proj) in
+  let logical_pop = ref 0. in
+  Array.iter (fun x -> logical_pop := !logical_pop +. (x *. x)) pup.Mat.re;
+  Array.iter (fun x -> logical_pop := !logical_pop +. (x *. x)) pup.Mat.im;
+  let leakage = 1. -. (!logical_pop /. float_of_int h) in
+  ignore obj;
+  { fidelity; leakage; propagator = u }
+
+let evaluate_amplitudes obj ~dt_ns amps =
+  let v_full, proj, h = embed_target obj in
+  let us = segment_propagators_of_amps obj ~dt_ns amps in
+  let u =
+    List.fold_left (fun acc us -> Mat.mul us acc) (Mat.identity (Transmon.dim obj.spec)) us
+  in
+  evaluation_of obj ~v_full ~proj ~h u
+
+let evaluate obj pulse =
+  evaluate_amplitudes obj ~dt_ns:pulse.Pulse.dt_ns (pulse_amplitudes pulse)
+
+let amplitude_gradient obj ~dt_ns amps =
+  let v_full, proj, h = embed_target obj in
+  let dim = Transmon.dim obj.spec in
+  let us = Array.of_list (segment_propagators_of_amps obj ~dt_ns amps) in
+  let n_seg = Array.length us in
+  (* Forward products f.(s) = U_s···U_1 (f.(0) = I before any segment). *)
+  let fwd = Array.make (n_seg + 1) (Mat.identity dim) in
+  for s = 0 to n_seg - 1 do
+    fwd.(s + 1) <- Mat.mul us.(s) fwd.(s)
+  done;
+  (* Backward products b.(s) = U_S···U_{s+2} (b.(S-1) = I after the last). *)
+  let bwd = Array.make n_seg (Mat.identity dim) in
+  for s = n_seg - 2 downto 0 do
+    bwd.(s) <- Mat.mul bwd.(s + 1) us.(s + 1)
+  done;
+  let u = fwd.(n_seg) in
+  let eval = evaluation_of obj ~v_full ~proj ~h u in
+  let t_total = trace_prod (Mat.adjoint v_full) u in
+  let v_dag = Mat.adjoint v_full in
+  let pu_dag_p = Mat.mul proj (Mat.mul (Mat.adjoint u) proj) in
+  let drives = Transmon.drive_ops obj.spec in
+  let n_ctrl = Array.length amps in
+  let grad = Array.init n_ctrl (fun _ -> Array.make n_seg 0.) in
+  let hh = float_of_int (h * h) in
+  let dt_factor = Cplx.c 0. (-.two_pi *. dt_ns) in
+  for s = 0 to n_seg - 1 do
+    (* dT/df = −i2πdt · Tr(V† B H F) = −i2πdt · Tr(H · F·V†·B). *)
+    let m1 = Mat.mul fwd.(s + 1) (Mat.mul v_dag bwd.(s)) in
+    let m2 = Mat.mul fwd.(s + 1) (Mat.mul pu_dag_p bwd.(s)) in
+    Array.iteri
+      (fun k (re_op, im_op) ->
+        List.iter
+          (fun (ctrl, op) ->
+            let dt_tr1 = Cplx.( *: ) dt_factor (trace_prod op m1) in
+            let d_fid = 2. /. hh *. ((t_total.Complex.re *. dt_tr1.Complex.re) +. (t_total.Complex.im *. dt_tr1.Complex.im)) in
+            let dt_tr2 = Cplx.( *: ) dt_factor (trace_prod op m2) in
+            let d_leak = -.(2. *. dt_tr2.Complex.re) /. float_of_int h in
+            grad.(ctrl).(s) <- -.d_fid +. (obj.leak_weight *. d_leak))
+          [ (2 * k, re_op); ((2 * k) + 1, im_op) ])
+      drives
+  done;
+  (grad, eval)
+
+let gradient obj pulse =
+  let n_seg = pulse.Pulse.n_seg in
+  let damps, eval =
+    amplitude_gradient obj ~dt_ns:pulse.Pulse.dt_ns (pulse_amplitudes pulse)
+  in
+  let grad = Array.make (Pulse.param_count pulse) 0. in
+  for ctrl = 0 to pulse.Pulse.n_ctrl - 1 do
+    for s = 0 to n_seg - 1 do
+      let chain = Pulse.amp_gradient_factor pulse ~ctrl ~seg:s in
+      grad.((ctrl * n_seg) + s) <- damps.(ctrl).(s) *. chain
+    done
+  done;
+  (grad, eval)
+
+type opt_report = { final : evaluation; iterations : int; history : float list }
+
+let optimize ?(learning_rate = 0.1) ?(iters = 300) obj pulse =
+  let n = Pulse.param_count pulse in
+  let m = Array.make n 0. and v = Array.make n 0. in
+  let beta1 = 0.9 and beta2 = 0.999 and eps = 1e-8 in
+  let history = ref [] in
+  let best = ref None in
+  for it = 1 to iters do
+    let grad, eval = gradient obj pulse in
+    let objective = 1. -. eval.fidelity +. (obj.leak_weight *. eval.leakage) in
+    history := objective :: !history;
+    (match !best with
+    | Some (f, _) when f >= eval.fidelity -> ()
+    | _ -> best := Some (eval.fidelity, Array.copy pulse.Pulse.theta));
+    let b1t = 1. -. (beta1 ** float_of_int it) and b2t = 1. -. (beta2 ** float_of_int it) in
+    for k = 0 to n - 1 do
+      m.(k) <- (beta1 *. m.(k)) +. ((1. -. beta1) *. grad.(k));
+      v.(k) <- (beta2 *. v.(k)) +. ((1. -. beta2) *. grad.(k) *. grad.(k));
+      let mhat = m.(k) /. b1t and vhat = v.(k) /. b2t in
+      pulse.Pulse.theta.(k) <- pulse.Pulse.theta.(k) -. (learning_rate *. mhat /. (sqrt vhat +. eps))
+    done
+  done;
+  (* Keep the best parameters seen. *)
+  (match !best with
+  | Some (_, theta) -> Array.blit theta 0 pulse.Pulse.theta 0 n
+  | None -> ());
+  let final = evaluate obj pulse in
+  { final; iterations = iters; history = List.rev !history }

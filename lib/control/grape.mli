@@ -1,0 +1,47 @@
+(** GRAPE optimal control: gradient ascent on the Eq. 1 gate fidelity with a
+    leakage penalty, over piecewise-constant bounded pulses.
+
+    The gradient uses the standard first-order segment-propagator
+    approximation dU_s ≈ −i·2π·dt·H_c·U_s together with exact forward /
+    backward propagator accumulation, and Adam for the update. *)
+
+open Waltz_linalg
+
+type objective = {
+  spec : Transmon.spec;
+  target : Mat.t;  (** unitary on the logical subspace (dimension h) *)
+  logical_levels : int array;  (** logical levels per transmon *)
+  leak_weight : float;  (** weight of the guard-population penalty L *)
+}
+
+type evaluation = {
+  fidelity : float;  (** Eq. 1: |Tr(V†·ΠUΠ)|²/h² *)
+  leakage : float;  (** 1 − mean logical-input population remaining logical *)
+  propagator : Mat.t;  (** full-space U for the current pulse *)
+}
+
+val evaluate : objective -> Pulse.t -> evaluation
+
+val gradient : objective -> Pulse.t -> float array * evaluation
+(** d(1 − F + λL)/dθ for every pulse parameter, plus the evaluation. *)
+
+val amplitude_gradient :
+  objective -> dt_ns:float -> float array array -> float array array * evaluation
+(** d(1 − F + λL)/df for every raw segment amplitude (a [n_ctrl][n_seg]
+    array in GHz, controls 2k/2k+1 the quadratures of transmon k) — the
+    building block for alternative pulse parameterizations such as
+    [Carrier]. *)
+
+val evaluate_amplitudes : objective -> dt_ns:float -> float array array -> evaluation
+(** Evaluation for raw segment amplitudes. *)
+
+type opt_report = {
+  final : evaluation;
+  iterations : int;
+  history : float list;  (** objective value per iteration, oldest first *)
+}
+
+val optimize :
+  ?learning_rate:float -> ?iters:int -> objective -> Pulse.t -> opt_report
+(** Adam descent on the objective, mutating the pulse in place (default 300
+    iterations, rate 0.1). *)

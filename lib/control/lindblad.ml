@@ -1,0 +1,107 @@
+open Waltz_linalg
+
+let two_pi = 2. *. Float.pi
+
+(* dρ/dt for a fixed segment Hamiltonian (GHz) and collapse operators with
+   precomputed pieces: a, a†, a†a. *)
+let derivative ~h ~collapse rho =
+  let comm =
+    Mat.scale (Cplx.c 0. (-.two_pi)) (Mat.sub (Mat.mul h rho) (Mat.mul rho h))
+  in
+  List.fold_left
+    (fun acc (gamma, a, adag, n_op) ->
+      let jump = Mat.mul a (Mat.mul rho adag) in
+      let anti =
+        Mat.scale (Cplx.re 0.5) (Mat.add (Mat.mul n_op rho) (Mat.mul rho n_op))
+      in
+      Mat.add acc (Mat.scale (Cplx.re gamma) (Mat.sub jump anti)))
+    comm collapse
+
+let rk4_step ~h ~collapse ~dt rho =
+  let f = derivative ~h ~collapse in
+  let k1 = f rho in
+  let k2 = f (Mat.add rho (Mat.scale (Cplx.re (dt /. 2.)) k1)) in
+  let k3 = f (Mat.add rho (Mat.scale (Cplx.re (dt /. 2.)) k2)) in
+  let k4 = f (Mat.add rho (Mat.scale (Cplx.re dt) k3)) in
+  let sum =
+    Mat.add k1 (Mat.add (Mat.scale (Cplx.re 2.) k2) (Mat.add (Mat.scale (Cplx.re 2.) k3) k4))
+  in
+  Mat.add rho (Mat.scale (Cplx.re (dt /. 6.)) sum)
+
+let segment_hamiltonians spec pulse =
+  let h0 = Transmon.drift spec in
+  let drives = Transmon.drive_ops spec in
+  List.init pulse.Pulse.n_seg (fun seg ->
+      let h = ref h0 in
+      Array.iteri
+        (fun k (re_op, im_op) ->
+          let p = Pulse.amp pulse ~ctrl:(2 * k) ~seg in
+          let q = Pulse.amp pulse ~ctrl:((2 * k) + 1) ~seg in
+          h := Mat.add !h (Mat.add (Mat.scale (Cplx.re p) re_op) (Mat.scale (Cplx.re q) im_op)))
+        drives;
+      !h)
+
+let collapse_ops spec ~t1_ns =
+  let n = Array.length spec.Transmon.levels in
+  List.init n (fun k ->
+      let d = spec.Transmon.levels.(k) in
+      let a_local = Transmon.annihilation d in
+      let lift m =
+        let factors =
+          List.init n (fun i -> if i = k then m else Mat.identity spec.Transmon.levels.(i))
+        in
+        Mat.kron_many factors
+      in
+      let a = lift a_local in
+      let adag = Mat.adjoint a in
+      (1. /. t1_ns, a, adag, Mat.mul adag a))
+
+let evolve spec pulse ~t1_ns ~rho0 ?substeps () =
+  let substeps =
+    match substeps with
+    | Some s -> max 1 s
+    | None -> max 1 (int_of_float (Float.ceil (pulse.Pulse.dt_ns /. 0.05)))
+  in
+  let collapse = collapse_ops spec ~t1_ns in
+  let dt = pulse.Pulse.dt_ns /. float_of_int substeps in
+  List.fold_left
+    (fun rho h ->
+      let r = ref rho in
+      for _ = 1 to substeps do
+        r := rk4_step ~h ~collapse ~dt !r
+      done;
+      !r)
+    (Mat.copy rho0)
+    (segment_hamiltonians spec pulse)
+
+let average_fidelity spec pulse ~target ~logical_levels ~t1_ns ~samples ~seed =
+  let indices = Transmon.logical_indices spec ~logical_levels in
+  let h = Array.length indices in
+  if target.Mat.rows <> h then invalid_arg "Lindblad.average_fidelity: target dimension";
+  let d = Transmon.dim spec in
+  let rng = Rng.make ~seed in
+  let total = ref 0. in
+  for _ = 1 to samples do
+    (* Haar-random logical input, embedded into the full space. *)
+    let psi_logical = Vec.gaussian (fun () -> Rng.gaussian rng) h in
+    let psi = Vec.create d in
+    Array.iteri (fun i gi -> Vec.set psi gi (Vec.get psi_logical i)) indices;
+    let rho0 = Mat.init d d (fun i j -> Cplx.( *: ) (Vec.get psi i) (Cplx.conj (Vec.get psi j))) in
+    let rho = evolve spec pulse ~t1_ns ~rho0 () in
+    (* Target output, embedded. *)
+    let out_logical = Mat.apply target psi_logical in
+    let out = Vec.create d in
+    Array.iteri (fun i gi -> Vec.set out gi (Vec.get out_logical i)) indices;
+    (* ⟨out|ρ|out⟩ *)
+    let acc = ref Cplx.zero in
+    for i = 0 to d - 1 do
+      for j = 0 to d - 1 do
+        acc :=
+          Cplx.( +: ) !acc
+            (Cplx.( *: ) (Cplx.conj (Vec.get out i))
+               (Cplx.( *: ) (Mat.get rho i j) (Vec.get out j)))
+      done
+    done;
+    total := !total +. !acc.Complex.re
+  done;
+  !total /. float_of_int samples

@@ -1,0 +1,48 @@
+type t = {
+  n_ctrl : int;
+  n_seg : int;
+  dt_ns : float;
+  theta : float array;
+  max_amp_ghz : float;
+}
+
+let create ~n_ctrl ~n_seg ~duration_ns ~max_amp_ghz =
+  if n_ctrl < 1 || n_seg < 1 then invalid_arg "Pulse.create";
+  if duration_ns <= 0. || max_amp_ghz <= 0. then invalid_arg "Pulse.create";
+  { n_ctrl;
+    n_seg;
+    dt_ns = duration_ns /. float_of_int n_seg;
+    theta = Array.make (n_ctrl * n_seg) 0.;
+    max_amp_ghz }
+
+let randomize rng ~scale p =
+  for k = 0 to Array.length p.theta - 1 do
+    p.theta.(k) <- scale *. Waltz_linalg.Rng.gaussian rng
+  done
+
+let idx p ~ctrl ~seg =
+  if ctrl < 0 || ctrl >= p.n_ctrl || seg < 0 || seg >= p.n_seg then invalid_arg "Pulse: index";
+  (ctrl * p.n_seg) + seg
+
+let amp p ~ctrl ~seg = p.max_amp_ghz *. tanh p.theta.(idx p ~ctrl ~seg)
+
+let amp_gradient_factor p ~ctrl ~seg =
+  let th = tanh p.theta.(idx p ~ctrl ~seg) in
+  p.max_amp_ghz *. (1. -. (th *. th))
+
+let duration_ns p = p.dt_ns *. float_of_int p.n_seg
+
+let resample p ~n_seg ~duration_ns =
+  let fresh = create ~n_ctrl:p.n_ctrl ~n_seg ~duration_ns ~max_amp_ghz:p.max_amp_ghz in
+  for ctrl = 0 to p.n_ctrl - 1 do
+    for seg = 0 to n_seg - 1 do
+      (* Sample the old shape at the same fractional position, compressing it
+         onto the new duration — the re-seeding step of [51]. *)
+      let t_frac = (float_of_int seg +. 0.5) /. float_of_int n_seg in
+      let old_seg = min (p.n_seg - 1) (int_of_float (t_frac *. float_of_int p.n_seg)) in
+      fresh.theta.((ctrl * n_seg) + seg) <- p.theta.((ctrl * p.n_seg) + old_seg)
+    done
+  done;
+  fresh
+
+let param_count p = Array.length p.theta

@@ -1,0 +1,32 @@
+(** Piecewise-constant control pulses with a hard amplitude bound.
+
+    Amplitudes are parameterized as f = f_max · tanh(θ) so the optimizer is
+    unconstrained while the physical drive never exceeds the bound. *)
+
+type t = {
+  n_ctrl : int;
+  n_seg : int;
+  dt_ns : float;
+  theta : float array;  (** row-major [n_ctrl × n_seg] unconstrained params *)
+  max_amp_ghz : float;
+}
+
+val create : n_ctrl:int -> n_seg:int -> duration_ns:float -> max_amp_ghz:float -> t
+(** Zero-initialized pulse. *)
+
+val randomize : Waltz_linalg.Rng.t -> scale:float -> t -> unit
+(** Gaussian initialization of θ in place. *)
+
+val amp : t -> ctrl:int -> seg:int -> float
+(** The physical amplitude f_max·tanh(θ) in GHz. *)
+
+val amp_gradient_factor : t -> ctrl:int -> seg:int -> float
+(** df/dθ = f_max·(1 − tanh²θ), for chaining gradients. *)
+
+val duration_ns : t -> float
+
+val resample : t -> n_seg:int -> duration_ns:float -> t
+(** A new pulse with the same physical shape sampled onto a different grid —
+    the re-seeding step of iterative duration shrinking. *)
+
+val param_count : t -> int

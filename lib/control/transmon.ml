@@ -1,0 +1,87 @@
+open Waltz_linalg
+
+type spec = {
+  levels : int array;
+  freqs_ghz : float array;
+  anharm_ghz : float array;
+  couplings : (int * int * float) list;
+  frame_ghz : float;
+  max_drive_ghz : float;
+}
+
+let paper_spec ~n ~levels =
+  if n < 1 || n > 3 then invalid_arg "Transmon.paper_spec: 1 to 3 transmons";
+  if Array.length levels <> n then invalid_arg "Transmon.paper_spec: levels length";
+  let all_freqs = [| 4.914; 5.114; 5.214 |] in
+  { levels = Array.copy levels;
+    freqs_ghz = Array.sub all_freqs 0 n;
+    anharm_ghz = Array.make n (-0.330);
+    couplings = List.init (n - 1) (fun k -> (k, k + 1, 0.0038));
+    frame_ghz = all_freqs.(0);
+    max_drive_ghz = 0.045 }
+
+let dim spec = Array.fold_left ( * ) 1 spec.levels
+
+let annihilation d =
+  Mat.init d d (fun i j -> if j = i + 1 then Cplx.re (sqrt (float_of_int j)) else Cplx.zero)
+
+let lift spec k m =
+  let n = Array.length spec.levels in
+  let factors =
+    List.init n (fun i -> if i = k then m else Mat.identity spec.levels.(i))
+  in
+  Mat.kron_many factors
+
+let number_op d = Mat.diag (Array.init d (fun k -> Cplx.re (float_of_int k)))
+
+let anharm_op d =
+  Mat.diag (Array.init d (fun k -> Cplx.re (float_of_int (k * (k - 1)) /. 2.)))
+
+let drift spec =
+  let n = Array.length spec.levels in
+  let d = dim spec in
+  let h = ref (Mat.zeros d d) in
+  for k = 0 to n - 1 do
+    let detuning = spec.freqs_ghz.(k) -. spec.frame_ghz in
+    h :=
+      Mat.add !h
+        (Mat.add
+           (Mat.scale (Cplx.re detuning) (lift spec k (number_op spec.levels.(k))))
+           (Mat.scale (Cplx.re spec.anharm_ghz.(k)) (lift spec k (anharm_op spec.levels.(k)))))
+  done;
+  List.iter
+    (fun (k, l, j) ->
+      let ak = lift spec k (annihilation spec.levels.(k)) in
+      let al = lift spec l (annihilation spec.levels.(l)) in
+      let hop = Mat.mul (Mat.adjoint ak) al in
+      h := Mat.add !h (Mat.scale (Cplx.re j) (Mat.add hop (Mat.adjoint hop))))
+    spec.couplings;
+  !h
+
+let drive_ops spec =
+  Array.init (Array.length spec.levels) (fun k ->
+      let a = lift spec k (annihilation spec.levels.(k)) in
+      let adag = Mat.adjoint a in
+      (Mat.add a adag, Mat.scale Cplx.i (Mat.sub a adag)))
+
+let logical_indices spec ~logical_levels =
+  let n = Array.length spec.levels in
+  if Array.length logical_levels <> n then invalid_arg "Transmon.logical_indices";
+  Array.iteri
+    (fun k l ->
+      if l < 1 || l > spec.levels.(k) then invalid_arg "Transmon.logical_indices: range")
+    logical_levels;
+  let h = Array.fold_left ( * ) 1 logical_levels in
+  Array.init h (fun idx ->
+      (* Decompose the logical index, recompose in the full radix. *)
+      let digits = Array.make n 0 in
+      let rem = ref idx in
+      for k = n - 1 downto 0 do
+        digits.(k) <- !rem mod logical_levels.(k);
+        rem := !rem / logical_levels.(k)
+      done;
+      let full = ref 0 in
+      for k = 0 to n - 1 do
+        full := (!full * spec.levels.(k)) + digits.(k)
+      done;
+      !full)

@@ -1,0 +1,38 @@
+(** Rotating-frame model of weakly coupled anharmonic transmons (Eq. 2 of
+    the paper, after the rotating-wave approximation).
+
+    Frequencies are in GHz (ω/2π); time in ns; propagators use
+    e^{−i·2π·H·t} so the units compose without explicit ħ. *)
+
+open Waltz_linalg
+
+type spec = {
+  levels : int array;  (** simulated levels per transmon, including guards *)
+  freqs_ghz : float array;  (** |0⟩→|1⟩ transition frequencies ω/2π *)
+  anharm_ghz : float array;  (** anharmonicities ξ/2π (negative) *)
+  couplings : (int * int * float) list;  (** (k, l, J_kl/2π) static couplings *)
+  frame_ghz : float;  (** rotating-frame reference frequency *)
+  max_drive_ghz : float;  (** |f_k| drive bound (45 MHz in the paper) *)
+}
+
+val paper_spec : n:int -> levels:int array -> spec
+(** The paper's device: ω/2π = 4.914, 5.114, 5.214 GHz, ξ/2π = −330 MHz,
+    J/2π = 3.8 MHz nearest-neighbour, drives ≤ 45 MHz, frame at the first
+    transmon's frequency. [n ≤ 3]. *)
+
+val dim : spec -> int
+
+val annihilation : int -> Mat.t
+(** Truncated annihilation operator a on d levels. *)
+
+val drift : spec -> Mat.t
+(** The static rotating-frame Hamiltonian (GHz): detunings, anharmonicity
+    ξ/2·n(n−1), and RWA couplings J(a†b + ab†). Hermitian. *)
+
+val drive_ops : spec -> (Mat.t * Mat.t) array
+(** Per transmon: the in-phase (a + a†) and quadrature i(a − a†) drive
+    operators lifted to the full space. Two controls per transmon. *)
+
+val logical_indices : spec -> logical_levels:int array -> int array
+(** Full-space indices of the logical subspace spanned by the first
+    [logical_levels.(k)] levels of each transmon, in logical basis order. *)

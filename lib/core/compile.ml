@@ -1,0 +1,409 @@
+open Waltz_qudit
+open Waltz_circuit
+open Waltz_arch
+
+let device_count strategy n =
+  match strategy.Strategy.encoding with
+  | Strategy.Bare | Strategy.Intermediate -> n
+  | Strategy.Packed -> (n + 1) / 2
+
+let dist layout a b =
+  Topology.distance (Layout.topology layout)
+    (Layout.device_of layout a) (Layout.device_of layout b)
+
+(* Pair selection for three-qubit gates: candidate (pair, lone) splits of the
+   operand triple, preferring [preferred] pairs when they are
+   distance-optimal. *)
+let choose_pair layout ~preferred ?(hint = 0) operands =
+  let splits =
+    match operands with
+    | [ a; b; c ] -> [ ((a, b), c); ((a, c), b); ((b, c), a) ]
+    | _ -> invalid_arg "choose_pair"
+  in
+  let d ((x, y), _) = dist layout x y in
+  let same (x, y) (x', y') = (x = x' && y = y') || (x = y' && y = x') in
+  let is_preferred (p, _) = List.exists (same p) preferred in
+  (* Rank: distance first, preferred pairs winning ties; [hint] rotates to
+     the next-best split when the best one dead-ends. *)
+  let ranked =
+    List.stable_sort
+      (fun s1 s2 ->
+        match compare (d s1) (d s2) with
+        | 0 -> compare (is_preferred s2) (is_preferred s1)
+        | c -> c)
+      splits
+  in
+  List.nth ranked (hint mod List.length ranked)
+
+(* ---- Intermediate (mixed-radix) three-qubit execution ---- *)
+
+let mr_slot_of layout q = snd (Layout.pos layout q)
+
+let encode_pair layout (x, y) ~toward ~want_at_slot =
+  (* Route the pair adjacent, pick the member closer to [toward] as host. *)
+  Router.route_pair layout ~frozen:[ toward ] x y;
+  let dx = Layout.device_of layout x and dy = Layout.device_of layout y in
+  let dt = Layout.device_of layout toward in
+  let topo = Layout.topology layout in
+  let host, incoming =
+    if Topology.distance topo dx dt <= Topology.distance topo dy dt then (x, y) else (y, x)
+  in
+  let src = Layout.device_of layout incoming and dst = Layout.device_of layout host in
+  (* Slot choreography: [want_at_slot] optionally pins one logical qubit to a
+     slot; the occupant ends at slot 1 with incoming_slot 0, slot 0 with
+     incoming_slot 1. *)
+  let incoming_slot =
+    match want_at_slot with
+    | None -> 0
+    | Some (q, s) ->
+      if q = incoming then s
+      else if q = host then (if s = 1 then 0 else 1)
+      else 0
+  in
+  Emit.enc_op layout ~src ~dst ~incoming_slot;
+  (incoming, src, dst)
+
+let intermediate_3q layout ~hint (gate : Gate.t) =
+  let strategy = Layout.strategy layout in
+  let choreograph = strategy.Strategy.choreograph_slots in
+  match (gate.Gate.kind, gate.Gate.qubits) with
+  | Gate.Ccz, [ a; b; c ] ->
+    let (x, y), z = choose_pair layout ~preferred:[] ~hint [ a; b; c ] in
+    let q_in, src, dst = encode_pair layout (x, y) ~toward:z ~want_at_slot:None in
+    Router.route_to_adjacency layout ~blocked:[ src ] ~frozen:[ x; y ] ~anchor:x z;
+    Emit.three_qubit_pulse layout ~label:Calibration.mr_ccz.Calibration.label
+      ~entry:Calibration.mr_ccz ~kind:gate.Gate.kind ~operands:[ a; b; c ];
+    Emit.dec_op layout ~ququart:dst ~outgoing_slot:(mr_slot_of layout q_in) ~dst:src
+  | Gate.Ccx, [ c0; c1; t ] ->
+    let preferred =
+      if not choreograph then []
+      else
+        match strategy.Strategy.three_q with
+        | Strategy.Retarget_ccx | Strategy.Direct_ccx -> [ (c0, c1) ]
+        | _ -> []
+    in
+    let (x, y), z = choose_pair layout ~preferred ~hint [ c0; c1; t ] in
+    let retarget = strategy.Strategy.three_q = Strategy.Retarget_ccx && z <> t in
+    (* Direct: make sure an encoded target sits at slot 1 (619 ns vs 697). *)
+    let want_at_slot =
+      if choreograph && (not retarget) && z <> t then Some (t, 1) else None
+    in
+    let q_in, src, dst = encode_pair layout (x, y) ~toward:z ~want_at_slot in
+    Router.route_to_adjacency layout ~blocked:[ src ] ~frozen:[ x; y ] ~anchor:x z;
+    if retarget then begin
+      (* CCX(c0,c1,t) = H_t H_z CCX(cE, t, z) H_t H_z where cE is the encoded
+         control and z the bare one (Fig. 6b): best configuration, 412 ns. *)
+      let ce = if x = t then y else x in
+      Emit.one_qubit_op layout Gate.H t;
+      Emit.one_qubit_op layout Gate.H z;
+      let entry = Calibration.mr_ccx ~target:Ququart_gates.Qubit in
+      Emit.three_qubit_pulse layout ~label:entry.Calibration.label ~entry
+        ~kind:Gate.Ccx ~operands:[ ce; t; z ];
+      Emit.one_qubit_op layout Gate.H t;
+      Emit.one_qubit_op layout Gate.H z
+    end
+    else begin
+      let entry =
+        if z = t then Calibration.mr_ccx ~target:Ququart_gates.Qubit
+        else Calibration.mr_ccx ~target:(Ququart_gates.Slot (mr_slot_of layout t))
+      in
+      Emit.three_qubit_pulse layout ~label:entry.Calibration.label ~entry ~kind:Gate.Ccx
+        ~operands:[ c0; c1; t ]
+    end;
+    Emit.dec_op layout ~ququart:dst ~outgoing_slot:(mr_slot_of layout q_in) ~dst:src
+  | Gate.Cswap, [ c; t0; t1 ] ->
+    let preferred =
+      if not choreograph then []
+      else
+        match strategy.Strategy.cswap with
+        | Strategy.Cswap_oriented -> [ (t0, t1) ]
+        | _ -> []
+    in
+    let (x, y), z = choose_pair layout ~preferred ~hint [ c; t0; t1 ] in
+    (* A control encoded in the ququart is cheapest at slot 0 (684 ns). *)
+    let want_at_slot = if choreograph && z <> c then Some (c, 0) else None in
+    let q_in, src, dst = encode_pair layout (x, y) ~toward:z ~want_at_slot in
+    Router.route_to_adjacency layout ~blocked:[ src ] ~frozen:[ x; y ] ~anchor:x z;
+    let entry =
+      if z = c then Calibration.mr_cswap ~control:Ququart_gates.Qubit
+      else Calibration.mr_cswap ~control:(Ququart_gates.Slot (mr_slot_of layout c))
+    in
+    Emit.three_qubit_pulse layout ~label:entry.Calibration.label ~entry ~kind:Gate.Cswap
+      ~operands:[ c; t0; t1 ];
+    Emit.dec_op layout ~ququart:dst ~outgoing_slot:(mr_slot_of layout q_in) ~dst:src
+  | _ -> invalid_arg "intermediate_3q: unsupported gate"
+
+(* ---- Full-ququart three-qubit execution ---- *)
+
+let packed_3q layout ~hint (gate : Gate.t) =
+  let strategy = Layout.strategy layout in
+  let operands = gate.Gate.qubits in
+  let preferred =
+    if not strategy.Strategy.choreograph_slots then []
+    else
+      match (gate.Gate.kind, operands) with
+      | Gate.Ccx, [ c0; c1; _ ] -> [ (c0, c1) ]
+      | Gate.Cswap, [ _; t0; t1 ] when strategy.Strategy.cswap = Strategy.Cswap_oriented
+        -> [ (t0, t1) ]
+      | _ -> []
+  in
+  (* Ensure two operands share a device. *)
+  let cohosted () =
+    let devs = List.map (Layout.device_of layout) operands in
+    match (operands, devs) with
+    | [ a; b; c ], [ da; db; dc ] ->
+      if da = db then Some ((a, b), c)
+      else if da = dc then Some ((a, c), b)
+      else if db = dc then Some ((b, c), a)
+      else None
+    | _ -> None
+  in
+  let (x, y), z =
+    match cohosted () with
+    | Some split -> split
+    | None ->
+      let (x, y), z = choose_pair layout ~preferred ~hint operands in
+      Router.route_pair layout ~frozen:[ z ] x y;
+      if Layout.device_of layout x <> Layout.device_of layout y then begin
+        let dy, sy = Layout.pos layout y in
+        Emit.swap_op layout (Layout.pos layout x) (dy, 1 - sy)
+      end;
+      ((x, y), z)
+  in
+  let host = Layout.device_of layout x in
+  Router.route_to_adjacency layout ~frozen:[ x; y ] ~anchor:x z;
+  let slot q = snd (Layout.pos layout q) in
+  let z_bare = Layout.occupancy layout (Layout.device_of layout z) = 1 in
+  let entry =
+    match (gate.Gate.kind, operands) with
+    | Gate.Ccz, _ ->
+      if z_bare then Calibration.mr_ccz else Calibration.fq_ccz ~lone_slot:(slot z)
+    | Gate.Ccx, [ c0; c1; t ] ->
+      let controls_together = (x = c0 && y = c1) || (x = c1 && y = c0) in
+      if controls_together then
+        if z_bare then Calibration.mr_ccx ~target:Ququart_gates.Qubit
+        else Calibration.fq_ccx_controls_together ~target_slot:(slot t)
+      else if z_bare then Calibration.mr_ccx ~target:(Ququart_gates.Slot (slot t))
+      else begin
+        (* Split controls: z is a control alone in its device; the host pair
+           is (control, target). *)
+        let host_control = if x = t then y else x in
+        Calibration.fq_ccx_split ~a_slot:(slot z) ~b_control_slot:(slot host_control)
+      end
+    | Gate.Cswap, [ c; t0; t1 ] ->
+      let targets_together = (x = t0 && y = t1) || (x = t1 && y = t0) in
+      if targets_together then
+        if z_bare then Calibration.mr_cswap ~control:Ququart_gates.Qubit
+        else Calibration.fq_cswap_targets_together ~control_slot:(slot c)
+      else begin
+        let lone_target = if z = c then assert false else z in
+        if z_bare then Calibration.mr_cswap ~control:(Ququart_gates.Slot (slot c))
+        else
+          Calibration.fq_cswap_targets_split ~control_slot:(slot c)
+            ~b_target_slot:(slot lone_target)
+      end
+    | _ -> invalid_arg "packed_3q: unsupported gate"
+  in
+  ignore host;
+  Emit.three_qubit_pulse layout ~label:entry.Calibration.label ~entry ~kind:gate.Gate.kind
+    ~operands
+
+(* ---- Full-ququart four-qubit execution (extension beyond the paper) ---- *)
+
+(* Move [q] into [device], displacing a non-frozen occupant if needed. *)
+let move_into layout ~frozen q device =
+  if Layout.device_of layout q <> device then begin
+    Router.route_adjacent_to_device layout ~frozen ~device q;
+    if Layout.device_of layout q <> device then begin
+      let slot =
+        match
+          List.find_opt
+            (fun s ->
+              match Layout.occupant layout device s with
+              | None -> true
+              | Some occ -> not (List.mem occ frozen))
+            [ 0; 1 ]
+        with
+        | Some s -> s
+        | None -> failwith "move_into: device fully frozen"
+      in
+      Emit.swap_op layout (Layout.pos layout q) (device, slot)
+    end
+  end
+
+let packed_4q layout (gate : Gate.t) =
+  match (gate.Gate.kind, gate.Gate.qubits) with
+  | Gate.Cccz, ([ a; b; c; d ] as operands) ->
+    (* Co-host a pair, then fill an adjacent device with the other two. *)
+    let pairs = [ (a, b); (a, c); (a, d); (b, c); (b, d); (c, d) ] in
+    let cohosted =
+      List.find_opt
+        (fun (x, y) -> Layout.device_of layout x = Layout.device_of layout y)
+        pairs
+    in
+    let x, y =
+      match cohosted with
+      | Some p -> p
+      | None ->
+        let best =
+          List.fold_left
+            (fun acc (x, y) ->
+              let dxy = dist layout x y in
+              match acc with
+              | Some (_, _, best_d) when best_d <= dxy -> acc
+              | _ -> Some (x, y, dxy))
+            None pairs
+        in
+        let x, y, _ = Option.get best in
+        Router.route_pair layout ~frozen:(List.filter (fun q -> q <> x && q <> y) operands) x y;
+        if Layout.device_of layout x <> Layout.device_of layout y then begin
+          let dy, sy = Layout.pos layout y in
+          Emit.swap_op layout (Layout.pos layout x) (dy, 1 - sy)
+        end;
+        (x, y)
+    in
+    let host_a = Layout.device_of layout x in
+    let z, w =
+      match List.filter (fun q -> q <> x && q <> y) operands with
+      | [ z; w ] -> (z, w)
+      | _ -> assert false
+    in
+    (* Pick the neighbouring device closest to the remaining operands. *)
+    let topo = Layout.topology layout in
+    let host_b =
+      List.fold_left
+        (fun acc nd ->
+          let cost q = Topology.distance topo (Layout.device_of layout q) nd in
+          let c = cost z + cost w in
+          match acc with Some (_, bc) when bc <= c -> acc | _ -> Some (nd, c))
+        None
+        (Topology.neighbors topo host_a)
+      |> Option.get |> fst
+    in
+    move_into layout ~frozen:[ x; y; w ] z host_b;
+    move_into layout ~frozen:[ x; y; z ] w host_b;
+    let entry = Calibration.fq_cccz in
+    Emit.three_qubit_pulse layout ~label:entry.Calibration.label ~entry ~kind:gate.Gate.kind
+      ~operands
+  | _ -> invalid_arg "packed_4q: only CCCZ reaches the four-qubit backend"
+
+(* ---- iToffoli execution on bare qubits ---- *)
+
+let itoffoli_3q layout ~hint (gate : Gate.t) =
+  match (gate.Gate.kind, gate.Gate.qubits) with
+  | Gate.Ccx, [ c0; c1; t ] ->
+    (* Pick the centre operand minimizing routing and route the other two
+       adjacent to it, backtracking over centre choices and routing orders
+       when the placement dead-ends; Hadamards retarget when the centre is
+       not the logical target (Fig. 6b/6d). *)
+    let cost m =
+      List.fold_left (fun acc q -> acc + if q = m then 0 else dist layout m q) 0
+        [ c0; c1; t ]
+    in
+    let centers =
+      List.stable_sort (fun a b -> compare (cost a) (cost b)) [ t; c0; c1 ]
+    in
+    let attempts =
+      List.concat_map
+        (fun m ->
+          let others = List.filter (( <> ) m) [ c0; c1; t ] in
+          match others with
+          | [ u; v ] -> [ (m, u, v); (m, v, u) ]
+          | _ -> assert false)
+        centers
+    in
+    let attempts =
+      (* Rotate so retries explore a different placement first. *)
+      let k = hint mod List.length attempts in
+      let rec rot i = function
+        | l when i = 0 -> l
+        | x :: rest -> rot (i - 1) (rest @ [ x ])
+        | [] -> []
+      in
+      rot k attempts
+    in
+    let rec assemble = function
+      | [] -> failwith "itoffoli_3q: could not assemble the triple"
+      | (m, u, v) :: rest -> begin
+        let cp = Layout.checkpoint layout in
+        try
+          Router.route_to_adjacency layout ~frozen:[ v ] ~anchor:m u;
+          Router.route_to_adjacency layout ~frozen:[ u ] ~anchor:m v;
+          m
+        with Failure _ ->
+          Layout.restore layout cp;
+          assemble rest
+      end
+    in
+    let center = assemble attempts in
+    let retarget = center <> t in
+    let controls =
+      if retarget then List.filter (( <> ) center) [ c0; c1; t ] else [ c0; c1 ]
+    in
+    let u, v = match controls with [ u; v ] -> (u, v) | _ -> assert false in
+    if retarget then begin
+      Emit.one_qubit_op layout Gate.H t;
+      Emit.one_qubit_op layout Gate.H center
+    end;
+    Emit.itoffoli_op layout u v center;
+    (* Corrective CS† between the two controls: they flank the centre, so
+       swap the centre qubit with one control first (Sec. 7). *)
+    Emit.swap_op layout (Layout.pos layout center) (Layout.pos layout u);
+    Emit.two_qubit_op layout Gate.Csdg u v;
+    if retarget then begin
+      Emit.one_qubit_op layout Gate.H t;
+      Emit.one_qubit_op layout Gate.H center
+    end
+  | _ -> invalid_arg "itoffoli_3q: only CCX reaches the iToffoli backend"
+
+let compile ?topology strategy circuit =
+  let n = circuit.Circuit.n in
+  let topo =
+    match topology with Some t -> t | None -> Topology.mesh (device_count strategy n)
+  in
+  if Topology.device_count topo < device_count strategy n then
+    invalid_arg "Compile.compile: topology too small for the circuit";
+  let prepared = Decompose.pre strategy circuit in
+  let weights = Circuit.interaction_weights prepared in
+  let layout = Layout.create topo strategy ~n_logical:n ~weights in
+  Mapping.initial layout;
+  let initial_map = Layout.snapshot_map layout in
+  List.iter
+    (fun (gate : Gate.t) ->
+      match Gate.arity gate.Gate.kind with
+      | 1 -> Emit.one_qubit_op layout gate.Gate.kind (List.hd gate.Gate.qubits)
+      | 2 -> begin
+        match gate.Gate.qubits with
+        | [ a; b ] ->
+          if not (Router.adjacent_or_same layout a b) then Router.route_pair layout a b;
+          Emit.two_qubit_op layout gate.Gate.kind a b
+        | _ -> assert false
+      end
+      | 3 | 4 -> begin
+        let handler ~hint =
+          match (Gate.arity gate.Gate.kind, strategy.Strategy.encoding) with
+          | 4, Strategy.Packed -> packed_4q layout gate
+          | 4, _ -> invalid_arg "Compile: four-qubit gates should have been decomposed"
+          | _, Strategy.Bare -> itoffoli_3q layout ~hint gate
+          | _, Strategy.Intermediate -> intermediate_3q layout ~hint gate
+          | _, Strategy.Packed -> packed_3q layout ~hint gate
+        in
+        (* Backtrack over operand splits when a routing order dead-ends. *)
+        let rec attempt hint =
+          let cp = Layout.checkpoint layout in
+          try handler ~hint
+          with Failure _ when hint < 5 ->
+            Layout.restore layout cp;
+            attempt (hint + 1)
+        in
+        attempt 0
+      end
+      | _ -> invalid_arg "Compile.compile: unsupported gate arity")
+    prepared.Circuit.gates;
+  { Physical.strategy;
+    n_logical = n;
+    device_count = Topology.device_count topo;
+    device_dim = Layout.device_dim layout;
+    ops = Layout.ops layout;
+    initial_map;
+    final_map = Layout.snapshot_map layout }

@@ -1,0 +1,14 @@
+(** The Quantum Waltz compilation pipeline (Sec. 5): decompose → map →
+    route → choreograph three-qubit gates → schedule. *)
+
+open Waltz_circuit
+open Waltz_arch
+
+val device_count : Strategy.t -> int -> int
+(** Physical devices needed for [n] logical qubits: [n] for bare and
+    intermediate encodings, ⌈n/2⌉ for full-ququart packing. *)
+
+val compile : ?topology:Topology.t -> Strategy.t -> Circuit.t -> Physical.t
+(** Compiles a logical circuit for the given strategy. The default topology
+    is the paper's 2D mesh sized by [device_count]. Raises [Failure] when
+    routing cannot make progress (pathological topologies only). *)

@@ -1,0 +1,85 @@
+open Waltz_circuit
+
+let g kind qubits = Gate.make kind qubits
+
+let ccz_to_cx a b c =
+  [ g Cx [ b; c ];
+    g Tdg [ c ];
+    g Cx [ a; c ];
+    g T [ c ];
+    g Cx [ b; c ];
+    g Tdg [ c ];
+    g Cx [ a; c ];
+    g T [ b ];
+    g T [ c ];
+    g Cx [ a; b ];
+    g T [ a ];
+    g Tdg [ b ];
+    g Cx [ a; b ] ]
+
+let ccx_to_cx a b t = (g H [ t ] :: ccz_to_cx a b t) @ [ g H [ t ] ]
+let cswap_shell _c a b = ([ g Cx [ b; a ] ], [ g Cx [ b; a ] ])
+
+let ccx_via_ccz a b t = [ g H [ t ]; g Ccz [ a; b; t ]; g H [ t ] ]
+
+let cccx_with_dirty_ancilla a b c t ~ancilla =
+  [ g Ccx [ a; b; ancilla ];
+    g Ccx [ ancilla; c; t ];
+    g Ccx [ a; b; ancilla ];
+    g Ccx [ ancilla; c; t ] ]
+
+let pre (strategy : Strategy.t) circuit =
+  let spare_for operands =
+    let rec first k =
+      if k >= circuit.Circuit.n then
+        invalid_arg "Decompose.pre: four-qubit gates need a spare qubit on this strategy"
+      else if List.mem k operands then first (k + 1)
+      else k
+    in
+    first 0
+  in
+  let rec rewrite (gate : Gate.t) =
+    match (gate.Gate.kind, gate.Gate.qubits) with
+    | Gate.Cccx, [ a; b; c; t ] -> begin
+      match strategy.Strategy.encoding with
+      | Strategy.Packed -> [ g H [ t ]; g Cccz [ a; b; c; t ]; g H [ t ] ]
+      | Strategy.Bare | Strategy.Intermediate ->
+        List.concat_map rewrite
+          (cccx_with_dirty_ancilla a b c t ~ancilla:(spare_for gate.Gate.qubits))
+    end
+    | Gate.Cccz, [ a; b; c; d ] -> begin
+      match strategy.Strategy.encoding with
+      | Strategy.Packed -> [ gate ]
+      | Strategy.Bare | Strategy.Intermediate ->
+        List.concat_map rewrite
+          ((g H [ d ] :: cccx_with_dirty_ancilla a b c d ~ancilla:(spare_for gate.Gate.qubits))
+          @ [ g H [ d ] ])
+    end
+    | Gate.Ccx, [ a; b; t ] -> begin
+      match strategy.Strategy.three_q with
+      | Decompose_to_cx -> ccx_to_cx a b t
+      | IToffoli | Direct_ccx | Retarget_ccx -> [ gate ]
+      | Via_ccz -> ccx_via_ccz a b t
+    end
+    | Gate.Ccz, [ a; b; c ] -> begin
+      match strategy.Strategy.three_q with
+      | Decompose_to_cx -> ccz_to_cx a b c
+      | IToffoli -> (g H [ c ] :: [ g Ccx [ a; b; c ] ]) @ [ g H [ c ] ]
+      | Direct_ccx | Retarget_ccx | Via_ccz -> [ gate ]
+    end
+    | Gate.Cswap, [ c; a; b ] -> begin
+      match strategy.Strategy.cswap with
+      | Cswap_direct | Cswap_oriented -> [ gate ]
+      | Cswap_decompose ->
+        let prefix, suffix = cswap_shell c a b in
+        let inner =
+          match strategy.Strategy.three_q with
+          | Decompose_to_cx -> ccx_to_cx c a b
+          | IToffoli | Direct_ccx | Retarget_ccx -> [ g Ccx [ c; a; b ] ]
+          | Via_ccz -> ccx_via_ccz c a b
+        in
+        prefix @ inner @ suffix
+    end
+    | _ -> [ gate ]
+  in
+  Circuit.of_gates ~n:circuit.Circuit.n (List.concat_map rewrite circuit.Circuit.gates)

@@ -1,0 +1,24 @@
+(** Logical decomposition pre-pass (Fig. 6): rewrites three-qubit gates into
+    the form each strategy executes natively. *)
+
+open Waltz_circuit
+
+val ccz_to_cx : int -> int -> int -> Gate.t list
+(** Target-independent 6-CX + T-layer decomposition of CCZ(a, b, c). *)
+
+val ccx_to_cx : int -> int -> int -> Gate.t list
+(** CCX(a, b, t) = H(t) · CCZ · H(t) with [ccz_to_cx] inside: the paper's
+    qubit-only baseline (≈8 two-qubit gates once routing SWAPs land). *)
+
+val cswap_shell : int -> int -> int -> Gate.t list * Gate.t list
+(** The CX conjugation of CSWAP(c, a, b) = CX(b,a) · CCX(c,a,b) · CX(b,a):
+    returns (prefix, suffix) around the inner CCX. *)
+
+val cccx_with_dirty_ancilla : int -> int -> int -> int -> ancilla:int -> Gate.t list
+(** CCCX(a,b,c,t) as four Toffolis through any spare qubit (the standard
+    dirty-ancilla ladder): CCX(a,b,x)·CCX(x,c,t)·CCX(a,b,x)·CCX(x,c,t). *)
+
+val pre : Strategy.t -> Circuit.t -> Circuit.t
+(** Rewrites the circuit so that every remaining gate is executable by the
+    strategy: three-qubit gates are decomposed, transformed to CCZ, or kept
+    native according to [Strategy.three_q] and [Strategy.cswap]. *)

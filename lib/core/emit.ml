@@ -1,0 +1,234 @@
+open Waltz_linalg
+open Waltz_qudit
+open Waltz_circuit
+open Waltz_arch
+
+let check_adjacent layout d1 d2 =
+  if d1 <> d2 && not (Topology.are_adjacent (Layout.topology layout) d1 d2) then
+    invalid_arg (Printf.sprintf "Emit: devices %d and %d are not adjacent" d1 d2)
+
+let is_encoded layout d = Layout.occupancy layout d = 2
+
+let swap_op layout ((d1, s1) as p1) ((d2, s2) as p2) =
+  check_adjacent layout d1 d2;
+  let bare = Layout.device_dim layout = 2 in
+  let entry, label, ww =
+    if d1 = d2 then (Calibration.internal_swap, "SWAP^in", true)
+    else if bare then (Calibration.qubit_swap, "SWAP_2", false)
+    else
+      match (is_encoded layout d1, is_encoded layout d2) with
+      | true, true ->
+        let e = Calibration.fq_swap ~slot_a:s1 ~slot_b:s2 in
+        (e, e.Calibration.label, true)
+      | true, false ->
+        let e = Calibration.mr_swap ~slot:s1 in
+        (e, e.Calibration.label, true)
+      | false, true ->
+        let e = Calibration.mr_swap ~slot:s2 in
+        (e, e.Calibration.label, true)
+      | false, false -> (Calibration.qubit_swap, "SWAP_2", false)
+  in
+  let occ d gaining losing =
+    let occ = Layout.occupancy layout d in
+    if gaining && not losing then occ + 1 else if losing && not gaining then occ - 1 else occ
+  in
+  let occupied (d, s) = Layout.occupant layout d s <> None in
+  let parts =
+    if d1 = d2 then [ Layout.part layout d1 ]
+    else begin
+      let o1 = occupied p1 and o2 = occupied p2 in
+      [ Layout.part layout ~occ_after:(occ d1 o2 o1) d1;
+        Layout.part layout ~occ_after:(occ d2 o1 o2) d2 ]
+    end
+  in
+  let op =
+    Physical.make_op ~label ~parts ~targets:[ p1; p2 ] ~gate:Gates.swap ~entry ~touches_ww:ww
+  in
+  Layout.swap_occupants layout p1 p2;
+  Layout.emit layout op
+
+(* ENC as a permutation of the three touched virtual wires
+   (src slot 1, dst slot 0, dst slot 1) — see Waltz_qudit.Encoding. *)
+let enc_gate ~incoming_slot =
+  match incoming_slot with
+  | 0 -> Embed.on_qubits ~n:3 ~targets:[ 0; 1 ] Gates.swap
+  | 1 ->
+    Mat.permutation 8 (fun idx ->
+        let a = (idx lsr 2) land 1 and b = (idx lsr 1) land 1 and c = idx land 1 in
+        (b lsl 2) lor (c lsl 1) lor a)
+  | _ -> invalid_arg "Emit.enc_gate"
+
+let enc_op layout ~src ~dst ~incoming_slot =
+  check_adjacent layout src dst;
+  if Layout.occupancy layout src <> 1 || Layout.occupancy layout dst <> 1 then
+    invalid_arg "Emit.enc_op: both devices must hold exactly one qubit";
+  let q_in =
+    match Layout.occupant layout src 1 with
+    | Some q -> q
+    | None -> invalid_arg "Emit.enc_op: source qubit must sit at slot 1"
+  in
+  let occupant =
+    match Layout.occupant layout dst 1 with
+    | Some q -> q
+    | None -> invalid_arg "Emit.enc_op: destination occupant must sit at slot 1"
+  in
+  let parts =
+    [ Layout.part layout ~occ_after:0 src; Layout.part layout ~occ_after:2 dst ]
+  in
+  let op =
+    Physical.make_op ~label:"ENC"
+      ~parts
+      ~targets:[ (src, 1); (dst, 0); (dst, 1) ]
+      ~gate:(enc_gate ~incoming_slot) ~entry:Calibration.enc ~touches_ww:true
+  in
+  (* Update the layout to match the permutation. *)
+  (match incoming_slot with
+  | 0 -> Layout.move layout q_in (dst, 0)
+  | 1 ->
+    Layout.move layout occupant (dst, 0);
+    Layout.move layout q_in (dst, 1)
+  | _ -> invalid_arg "Emit.enc_op");
+  Layout.emit layout op
+
+let dec_op layout ~ququart ~outgoing_slot ~dst =
+  check_adjacent layout ququart dst;
+  if Layout.occupancy layout ququart <> 2 then
+    invalid_arg "Emit.dec_op: ququart must hold two qubits";
+  if Layout.occupancy layout dst <> 0 then invalid_arg "Emit.dec_op: destination must be empty";
+  let q_out =
+    match Layout.occupant layout ququart outgoing_slot with
+    | Some q -> q
+    | None -> assert false
+  in
+  let parts =
+    [ Layout.part layout ~occ_after:1 dst; Layout.part layout ~occ_after:1 ququart ]
+  in
+  let op =
+    Physical.make_op ~label:"ENCdg"
+      ~parts
+      ~targets:[ (dst, 1); (ququart, 0); (ququart, 1) ]
+      ~gate:(Mat.adjoint (enc_gate ~incoming_slot:outgoing_slot))
+      ~entry:Calibration.enc ~touches_ww:true
+  in
+  (match outgoing_slot with
+  | 0 -> Layout.move layout q_out (dst, 1)
+  | 1 ->
+    Layout.move layout q_out (dst, 1);
+    let stayer =
+      match Layout.occupant layout ququart 0 with Some q -> q | None -> assert false
+    in
+    Layout.move layout stayer (ququart, 1)
+  | _ -> invalid_arg "Emit.dec_op");
+  Layout.emit layout op
+
+let one_qubit_op layout kind q =
+  let ((d, s) as p) = Layout.pos layout q in
+  let entry, ww =
+    if Layout.device_dim layout = 2 then (Calibration.bare_1q, false)
+    else if Layout.occupancy layout d = 1 && s = 1 then (Calibration.bare_1q, false)
+    else (Calibration.embedded_1q ~slot:s, true)
+  in
+  let op =
+    Physical.make_op
+      ~label:(Gate.name kind ^ if ww then Printf.sprintf "^%d" s else "")
+      ~parts:[ Layout.part layout d ]
+      ~targets:[ p ] ~gate:(Gate.unitary kind) ~entry ~touches_ww:ww
+  in
+  Layout.emit layout op
+
+let operand_of layout q =
+  let d, s = Layout.pos layout q in
+  if Layout.occupancy layout d = 2 then Ququart_gates.Slot s else Ququart_gates.Qubit
+
+let two_qubit_op layout kind a b =
+  let ((da, sa) as pa) = Layout.pos layout a and ((db, sb) as pb) = Layout.pos layout b in
+  check_adjacent layout da db;
+  let bare = Layout.device_dim layout = 2 in
+  let entry, label, ww =
+    if da = db then begin
+      (* Internal single-ququart operation. *)
+      let entry =
+        match kind with
+        | Gate.Swap -> Calibration.internal_swap
+        | Gate.Cx | Gate.Cz | Gate.Csdg | _ -> Calibration.internal_cx ~target_slot:sb
+      in
+      (entry, Printf.sprintf "%s^in" (Gate.name kind), true)
+    end
+    else if bare then begin
+      let entry =
+        match kind with
+        | Gate.Cx -> Calibration.qubit_cx
+        | Gate.Cz -> Calibration.qubit_cz
+        | Gate.Swap -> Calibration.qubit_swap
+        | Gate.Csdg | _ -> Calibration.qubit_csdg
+      in
+      (entry, entry.Calibration.label, false)
+    end
+    else begin
+      match (is_encoded layout da, is_encoded layout db) with
+      | false, false ->
+        let entry =
+          match kind with
+          | Gate.Cx -> Calibration.qubit_cx
+          | Gate.Cz -> Calibration.qubit_cz
+          | Gate.Swap -> Calibration.qubit_swap
+          | Gate.Csdg | _ -> Calibration.qubit_csdg
+        in
+        (entry, entry.Calibration.label, false)
+      | true, true ->
+        let entry =
+          match kind with
+          | Gate.Cx -> Calibration.fq_cx ~control_slot:sa ~target_slot:sb
+          | Gate.Cz -> Calibration.fq_cz ~slot_a:sa ~slot_b:sb
+          | Gate.Swap -> Calibration.fq_swap ~slot_a:sa ~slot_b:sb
+          | Gate.Csdg | _ -> Calibration.fq_cz ~slot_a:sa ~slot_b:sb
+        in
+        (entry, entry.Calibration.label, true)
+      | _ ->
+        let oa = operand_of layout a and ob = operand_of layout b in
+        let encoded_slot = if is_encoded layout da then sa else sb in
+        let entry =
+          match kind with
+          | Gate.Cx -> Calibration.mr_cx ~control:oa ~target:ob
+          | Gate.Cz -> Calibration.mr_cz ~slot:encoded_slot
+          | Gate.Swap -> Calibration.mr_swap ~slot:encoded_slot
+          | Gate.Csdg | _ -> Calibration.mr_cz ~slot:encoded_slot
+        in
+        (entry, entry.Calibration.label, true)
+    end
+  in
+  let parts =
+    if da = db then [ Layout.part layout da ]
+    else [ Layout.part layout da; Layout.part layout db ]
+  in
+  let op =
+    Physical.make_op ~label ~parts ~targets:[ pa; pb ] ~gate:(Gate.unitary kind) ~entry
+      ~touches_ww:ww
+  in
+  Layout.emit layout op
+
+let three_qubit_pulse layout ~label ~entry ~kind ~operands =
+  let targets = List.map (Layout.pos layout) operands in
+  let devices = List.sort_uniq compare (List.map fst targets) in
+  (match devices with
+  | [ _ ] | [ _; _ ] -> ()
+  | _ -> invalid_arg "Emit.three_qubit_pulse: operands must span at most two devices");
+  (match devices with
+  | [ d1; d2 ] -> check_adjacent layout d1 d2
+  | _ -> ());
+  let parts = List.map (Layout.part layout) devices in
+  let op =
+    Physical.make_op ~label ~parts ~targets ~gate:(Gate.unitary kind) ~entry ~touches_ww:true
+  in
+  Layout.emit layout op
+
+let itoffoli_op layout c0 c1 t =
+  let pc0 = Layout.pos layout c0 and pc1 = Layout.pos layout c1 and pt = Layout.pos layout t in
+  check_adjacent layout (fst pc0) (fst pt);
+  check_adjacent layout (fst pc1) (fst pt);
+  let parts = List.map (fun (d, _) -> Layout.part layout d) [ pc0; pc1; pt ] in
+  let op =
+    Physical.make_op ~label:"iToffoli_3" ~parts ~targets:[ pc0; pc1; pt ]
+      ~gate:Gates.itoffoli ~entry:Calibration.itoffoli ~touches_ww:false
+  in
+  Layout.emit layout op

@@ -1,0 +1,47 @@
+(** Constructors for physical ops: each function selects the calibration
+    entry for the current occupancy pattern, builds the logical unitary over
+    the touched virtual wires, updates the layout, and appends the op. *)
+
+open Waltz_circuit
+
+val enc_gate : incoming_slot:int -> Waltz_linalg.Mat.t
+(** The ENC permutation over the three touched virtual wires (source slot 1,
+    destination slots 0 and 1); exposed for consistency tests against
+    [Waltz_qudit.Encoding.enc]. *)
+
+val swap_op : Layout.t -> int * int -> int * int -> unit
+(** Exchange two virtual slots: internal SWAP (same device), bare-qubit
+    SWAP₂, mixed-radix SWAP^{qs} or full-ququart SWAP^{ss'} depending on
+    occupancies. Devices must be identical or adjacent. *)
+
+val enc_op : Layout.t -> src:int -> dst:int -> incoming_slot:int -> unit
+(** ENC: the lone qubit of [src] moves into [incoming_slot] of [dst] (whose
+    lone occupant fills the other slot). Devices must be adjacent and each
+    hold exactly one qubit. *)
+
+val dec_op : Layout.t -> ququart:int -> outgoing_slot:int -> dst:int -> unit
+(** ENC†: the qubit in [outgoing_slot] of [ququart] moves to the empty
+    [dst]; the remaining encoded qubit drops back to slot 1. *)
+
+val one_qubit_op : Layout.t -> Gate.kind -> int -> unit
+(** Single-qubit gate on a logical qubit at its current location: 35 ns
+    bare pulse for lone qubits, U⁰/U¹ for encoded ones. *)
+
+val two_qubit_op : Layout.t -> Gate.kind -> int -> int -> unit
+(** Two-qubit gate (CX/CZ/SWAP/CSdg) between co-located or
+    adjacent-device logical qubits. *)
+
+val three_qubit_pulse :
+  Layout.t ->
+  label:string ->
+  entry:Waltz_qudit.Calibration.entry ->
+  kind:Gate.kind ->
+  operands:int list ->
+  unit
+(** A native multi-qubit pulse on (at most) two devices — three-qubit
+    mixed-radix / full-ququart configurations, and the four-qubit CCCZ
+    extension; the configuration is chosen by the caller via [entry]. *)
+
+val itoffoli_op : Layout.t -> int -> int -> int -> unit
+(** The three-device iToffoli pulse on (control, control, target) — devices
+    must form a connected triple with the target in the middle. *)

@@ -1,0 +1,116 @@
+open Waltz_noise
+
+type breakdown = {
+  gate_eps : float;
+  coherence_eps : float;
+  total_eps : float;
+  duration_ns : float;
+}
+
+let level_of_occupancy = function 0 -> 0 | 1 -> 1 | _ -> 3
+
+let op_success model (op : Physical.op) =
+  let err = 1. -. op.Physical.fidelity in
+  let err = if op.Physical.touches_ww then err *. model.Noise.ww_error_scale else err in
+  Float.max 0. (1. -. err)
+
+let estimate ?(model = Noise.default) (compiled : Physical.t) =
+  let schedule = Physical.schedule compiled in
+  let duration_ns =
+    List.fold_left (fun acc (op, s) -> Float.max acc (s +. op.Physical.duration_ns)) 0. schedule
+  in
+  let gate_eps =
+    List.fold_left (fun acc (op, _) -> acc *. op_success model op) 1. schedule
+  in
+  (* Per-device timeline: survival over idle and busy segments at the
+     occupancy-dependent maximum level. *)
+  let last_time = Hashtbl.create 16 and occ = Hashtbl.create 16 in
+  let initial_occ = Array.make compiled.Physical.device_count 0 in
+  Array.iter (fun (d, _) -> initial_occ.(d) <- initial_occ.(d) + 1) compiled.Physical.initial_map;
+  let get_occ d = Option.value ~default:initial_occ.(d) (Hashtbl.find_opt occ d) in
+  let get_time d = Option.value ~default:0. (Hashtbl.find_opt last_time d) in
+  let coherence = ref 1. in
+  let account d until =
+    let dt = until -. get_time d in
+    if dt > 0. then begin
+      let level = level_of_occupancy (get_occ d) in
+      coherence := !coherence *. Noise.decoherence_survival model ~max_level:level ~dt_ns:dt
+    end
+  in
+  List.iter
+    (fun ((op : Physical.op), start) ->
+      List.iter
+        (fun (p : Physical.device_part) ->
+          account p.Physical.device start;
+          (* Busy window at the worst occupancy seen across the op. *)
+          let level =
+            level_of_occupancy (max p.Physical.occ_before p.Physical.occ_after)
+          in
+          coherence :=
+            !coherence
+            *. Noise.decoherence_survival model ~max_level:level ~dt_ns:op.Physical.duration_ns;
+          Hashtbl.replace last_time p.Physical.device (start +. op.Physical.duration_ns);
+          Hashtbl.replace occ p.Physical.device p.Physical.occ_after)
+        op.Physical.parts)
+    schedule;
+  for d = 0 to compiled.Physical.device_count - 1 do
+    account d duration_ns
+  done;
+  let coherence_eps = !coherence in
+  { gate_eps; coherence_eps; total_eps = gate_eps *. coherence_eps; duration_ns }
+
+type device_report = {
+  device : int;
+  busy_ns : float;
+  idle_ns : float;
+  encoded_ns : float;
+  survival : float;
+}
+
+let device_breakdown ?(model = Noise.default) (compiled : Physical.t) =
+  let schedule = Physical.schedule compiled in
+  let duration_ns =
+    List.fold_left (fun acc (op, s) -> Float.max acc (s +. op.Physical.duration_ns)) 0. schedule
+  in
+  let nd = compiled.Physical.device_count in
+  let busy = Array.make nd 0. and idle = Array.make nd 0. and encoded = Array.make nd 0. in
+  let survival = Array.make nd 1. in
+  let last_time = Array.make nd 0. in
+  let occ = Array.make nd 0 in
+  Array.iter (fun (d, _) -> occ.(d) <- occ.(d) + 1) compiled.Physical.initial_map;
+  let account d until =
+    let dt = until -. last_time.(d) in
+    if dt > 0. then begin
+      idle.(d) <- idle.(d) +. dt;
+      if occ.(d) >= 2 then encoded.(d) <- encoded.(d) +. dt;
+      survival.(d) <-
+        survival.(d)
+        *. Noise.decoherence_survival model ~max_level:(level_of_occupancy occ.(d)) ~dt_ns:dt
+    end
+  in
+  List.iter
+    (fun ((op : Physical.op), start) ->
+      List.iter
+        (fun (p : Physical.device_part) ->
+          let d = p.Physical.device in
+          account d start;
+          let worst = max p.Physical.occ_before p.Physical.occ_after in
+          busy.(d) <- busy.(d) +. op.Physical.duration_ns;
+          if worst >= 2 then encoded.(d) <- encoded.(d) +. op.Physical.duration_ns;
+          survival.(d) <-
+            survival.(d)
+            *. Noise.decoherence_survival model ~max_level:(level_of_occupancy worst)
+                 ~dt_ns:op.Physical.duration_ns;
+          last_time.(d) <- start +. op.Physical.duration_ns;
+          occ.(d) <- p.Physical.occ_after)
+        op.Physical.parts)
+    schedule;
+  for d = 0 to nd - 1 do
+    account d duration_ns
+  done;
+  List.init nd (fun device ->
+      { device;
+        busy_ns = busy.(device);
+        idle_ns = idle.(device);
+        encoded_ns = encoded.(device);
+        survival = survival.(device) })

@@ -1,0 +1,236 @@
+open Waltz_linalg
+open Waltz_qudit
+open Waltz_noise
+open Waltz_sim
+
+type config = { model : Noise.model; trajectories : int; base_seed : int }
+
+let default_config = { model = Noise.default; trajectories = 50; base_seed = 2023 }
+
+type result = { mean_fidelity : float; sem : float; trajectories : int }
+
+let max_devices ~device_dim = if device_dim = 4 then 11 else 22
+
+(* A compiled op, prepared for fast repeated execution. *)
+type plan_op = {
+  devices : int list;  (** state wires the lifted gate acts on, in order *)
+  lifted : Mat.t;  (** unitary over those device wires *)
+  error_p : float;
+  error_parts : (int * Physical.noise_role) list;  (** device, role *)
+  part_devices : int list;  (** all touched devices (idle accounting) *)
+  start : float;
+  duration : float;
+}
+
+let lift_gate ~device_dim (op : Physical.op) =
+  (* Devices in order of first appearance among the targets. *)
+  let devices =
+    List.fold_left
+      (fun acc (d, _) -> if List.mem d acc then acc else acc @ [ d ])
+      [] op.Physical.targets
+  in
+  let wires_per_device = if device_dim = 4 then 2 else 1 in
+  let total_wires = wires_per_device * List.length devices in
+  let wire_of (d, s) =
+    let rec index i = function
+      | [] -> assert false
+      | d' :: rest -> if d' = d then i else index (i + 1) rest
+    in
+    let base = wires_per_device * index 0 devices in
+    if device_dim = 4 then base + s else base
+  in
+  let lifted =
+    Embed.on_qubits ~n:total_wires
+      ~targets:(List.map wire_of op.Physical.targets)
+      op.Physical.gate
+  in
+  (devices, lifted)
+
+let plan ~model (compiled : Physical.t) =
+  let device_dim = compiled.Physical.device_dim in
+  List.map
+    (fun ((op : Physical.op), start) ->
+      let devices, lifted = lift_gate ~device_dim op in
+      let err = 1. -. op.Physical.fidelity in
+      let err = if op.Physical.touches_ww then err *. model.Noise.ww_error_scale else err in
+      let error_parts =
+        List.filter_map
+          (fun (p : Physical.device_part) ->
+            match p.Physical.noise with
+            | Physical.Quiet -> None
+            | role -> Some (p.Physical.device, role))
+          op.Physical.parts
+      in
+      { devices;
+        lifted;
+        error_p = Float.max 0. err;
+        error_parts;
+        part_devices = List.map (fun (p : Physical.device_part) -> p.Physical.device) op.Physical.parts;
+        start;
+        duration = op.Physical.duration_ns })
+    (Physical.schedule compiled)
+
+let initial_allowed (compiled : Physical.t) =
+  let device_dim = compiled.Physical.device_dim in
+  let allowed = Array.make compiled.Physical.device_count [ 0 ] in
+  if device_dim = 2 then
+    Array.iter (fun (d, _) -> allowed.(d) <- [ 0; 1 ]) compiled.Physical.initial_map
+  else begin
+    let slots = Array.make compiled.Physical.device_count [] in
+    Array.iter (fun (d, s) -> slots.(d) <- s :: slots.(d)) compiled.Physical.initial_map;
+    Array.iteri
+      (fun d occupied ->
+        allowed.(d) <-
+          (match List.sort_uniq compare occupied with
+          | [] -> [ 0 ]
+          | [ 1 ] -> [ 0; 1 ]
+          | [ 0 ] -> [ 0; 2 ]
+          | _ -> [ 0; 1; 2; 3 ]))
+      slots
+  end;
+  allowed
+
+let apply_plan_op state p = State.apply state ~targets:p.devices p.lifted
+
+let embed_error ~device_dim role pauli =
+  match (role, device_dim) with
+  | Physical.P4, 4 -> pauli
+  | Physical.P2 _, 2 -> pauli
+  | Physical.P2 0, 4 -> Mat.kron pauli Gates.id2
+  | Physical.P2 _, 4 -> Mat.kron Gates.id2 pauli
+  | Physical.P4, _ -> invalid_arg "Executor: P4 errors need 4-level devices"
+  | _ -> invalid_arg "Executor: inconsistent error role"
+
+let inject_errors rng ~device_dim state p =
+  if p.error_parts = [] then 0
+  else begin
+    let dims =
+      List.map (fun (_, role) -> match role with Physical.P4 -> 4 | _ -> 2) p.error_parts
+    in
+    match Noise.draw_error rng ~dims ~p:p.error_p with
+    | None -> 0
+    | Some factors ->
+      List.iter2
+        (fun (device, role) pauli ->
+          State.apply state ~targets:[ device ] (embed_error ~device_dim role pauli))
+        p.error_parts factors;
+      1
+  end
+
+let run_noisy rng ~model ~device_dim ~device_count ~total_duration plan_ops state =
+  let last_busy = Array.make device_count 0. in
+  let draws = ref 0 in
+  let idle_damp device until =
+    let dt = until -. last_busy.(device) in
+    if dt > 1e-9 then begin
+      let lambdas = Noise.damping_lambdas model ~d:device_dim ~dt_ns:dt in
+      State.damp state rng ~wire:device ~lambdas
+    end
+  in
+  List.iter
+    (fun p ->
+      List.iter (fun d -> idle_damp d p.start) p.part_devices;
+      apply_plan_op state p;
+      draws := !draws + inject_errors rng ~device_dim state p;
+      List.iter (fun d -> last_busy.(d) <- p.start +. p.duration) p.part_devices)
+    plan_ops;
+  for d = 0 to device_count - 1 do
+    idle_damp d total_duration
+  done;
+  !draws
+
+let run_ideal (compiled : Physical.t) state =
+  let plan_ops = plan ~model:Noise.default compiled in
+  let out = State.copy state in
+  List.iter (fun p -> apply_plan_op out p) plan_ops;
+  out
+
+(* Population outside the computational subspace defined by a placement
+   map: a device's allowed levels depend on how many qubits it holds. *)
+let leakage_against ~map (compiled : Physical.t) state =
+  let device_dim = compiled.Physical.device_dim in
+  let allowed = Array.make compiled.Physical.device_count [ 0 ] in
+  if device_dim = 2 then Array.iter (fun (d, _) -> allowed.(d) <- [ 0; 1 ]) map
+  else begin
+    let slots = Array.make compiled.Physical.device_count [] in
+    Array.iter (fun (d, s) -> slots.(d) <- s :: slots.(d)) map;
+    Array.iteri
+      (fun d occupied ->
+        allowed.(d) <-
+          (match List.sort_uniq compare occupied with
+          | [] -> [ 0 ]
+          | [ 1 ] -> [ 0; 1 ]
+          | [ 0 ] -> [ 0; 2 ]
+          | _ -> [ 0; 1; 2; 3 ]))
+      slots
+  end;
+  let amps = State.amplitudes state in
+  let dims = Array.make compiled.Physical.device_count device_dim in
+  let strides = Array.make compiled.Physical.device_count 1 in
+  for d = compiled.Physical.device_count - 2 downto 0 do
+    strides.(d) <- strides.(d + 1) * dims.(d + 1)
+  done;
+  let inside = ref 0. in
+  for idx = 0 to Waltz_linalg.Vec.dim amps - 1 do
+    let ok = ref true in
+    for d = 0 to compiled.Physical.device_count - 1 do
+      if not (List.mem (idx / strides.(d) mod device_dim) allowed.(d)) then ok := false
+    done;
+    if !ok then
+      inside :=
+        !inside
+        +. (amps.Waltz_linalg.Vec.re.(idx) *. amps.Waltz_linalg.Vec.re.(idx))
+        +. (amps.Waltz_linalg.Vec.im.(idx) *. amps.Waltz_linalg.Vec.im.(idx))
+  done;
+  1. -. !inside
+
+type detailed = { summary : result; mean_leakage : float; mean_error_draws : float }
+
+let simulate_detailed ?(config = default_config) (compiled : Physical.t) =
+  let device_dim = compiled.Physical.device_dim in
+  if compiled.Physical.device_count > max_devices ~device_dim then
+    invalid_arg
+      (Printf.sprintf "Executor.simulate: %d devices exceeds the %d-device memory guard"
+         compiled.Physical.device_count (max_devices ~device_dim));
+  let model = config.model in
+  let plan_ops = plan ~model compiled in
+  let total_duration =
+    List.fold_left (fun acc p -> Float.max acc (p.start +. p.duration)) 0. plan_ops
+  in
+  let dims = Array.make compiled.Physical.device_count device_dim in
+  let allowed = initial_allowed compiled in
+  let samples =
+    List.init config.trajectories (fun k ->
+        let rng = Rng.make ~seed:(config.base_seed + (7919 * k)) in
+        let input = State.random_supported rng ~dims ~allowed in
+        let ideal = State.copy input in
+        List.iter (fun p -> apply_plan_op ideal p) plan_ops;
+        let noisy = State.copy input in
+        let draws =
+          run_noisy rng ~model ~device_dim ~device_count:compiled.Physical.device_count
+            ~total_duration plan_ops noisy
+        in
+        let leak = leakage_against ~map:compiled.Physical.final_map compiled noisy in
+        (State.overlap2 ideal noisy, leak, draws))
+  in
+  let n = float_of_int config.trajectories in
+  let fidelities = List.map (fun (f, _, _) -> f) samples in
+  let mean = List.fold_left ( +. ) 0. fidelities /. n in
+  let var =
+    List.fold_left (fun a f -> a +. ((f -. mean) *. (f -. mean))) 0. fidelities
+    /. Float.max 1. (n -. 1.)
+  in
+  let summary =
+    { mean_fidelity = mean; sem = sqrt (var /. n); trajectories = config.trajectories }
+  in
+  let mean_leakage = List.fold_left (fun a (_, l, _) -> a +. l) 0. samples /. n in
+  let mean_error_draws =
+    List.fold_left (fun a (_, _, d) -> a +. float_of_int d) 0. samples /. n
+  in
+  { summary; mean_leakage; mean_error_draws }
+
+let simulate ?config compiled =
+  (match config with
+  | Some c -> simulate_detailed ~config:c compiled
+  | None -> simulate_detailed compiled)
+    .summary

@@ -1,0 +1,56 @@
+(** Trajectory-method execution of compiled circuits (Sec. 6.4).
+
+    Each trajectory draws a Haar-random logical input state (random *quantum*
+    states, as the paper stresses), runs the compiled schedule twice — once
+    ideally and once with stochastic noise — and reports the squared overlap.
+    Noise per op: amplitude damping on each participating device over its
+    exact accumulated idle time, the op's unitary, then a depolarizing draw
+    with probability 1 − F restricted to the operands' radices. *)
+
+type config = {
+  model : Waltz_noise.Noise.model;
+  trajectories : int;
+  base_seed : int;
+}
+
+val default_config : config
+(** 50 trajectories, default noise model, seed 2023. *)
+
+type result = { mean_fidelity : float; sem : float; trajectories : int }
+
+val max_devices : device_dim:int -> int
+(** Memory guard: the largest register the executor will simulate
+    (11 four-level or 22 two-level devices). *)
+
+val simulate : ?config:config -> Physical.t -> result
+(** Raises [Invalid_argument] if the compiled circuit exceeds
+    [max_devices]. *)
+
+type detailed = {
+  summary : result;
+  mean_leakage : float;
+      (** average final population outside the occupied computational
+          subspace (errors that promoted bare qubits into |2⟩/|3⟩) *)
+  mean_error_draws : float;  (** average depolarizing events per trajectory *)
+}
+
+val simulate_detailed : ?config:config -> Physical.t -> detailed
+
+val run_ideal : Physical.t -> Waltz_sim.State.t -> Waltz_sim.State.t
+(** Applies the compiled ops without noise to a copy of the given physical
+    state (exposed for tests: compiled circuits must reproduce the logical
+    unitary). *)
+
+(** {1 Internals shared with the exact (density-matrix) executor} *)
+
+val lift_gate : device_dim:int -> Physical.op -> int list * Waltz_linalg.Mat.t
+(** The devices an op touches (in target order) and its unitary lifted to
+    their joint space. *)
+
+val embed_error : device_dim:int -> Physical.noise_role -> Waltz_linalg.Mat.t -> Waltz_linalg.Mat.t
+(** Lifts a per-operand Pauli factor onto a device's full space (a P2 factor
+    on a 4-level device lands on the occupied slot). *)
+
+val initial_allowed : Physical.t -> int list array
+(** Allowed levels per device for preparing random logical inputs under the
+    initial placement. *)

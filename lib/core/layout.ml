@@ -1,0 +1,121 @@
+open Waltz_arch
+
+type t = {
+  topo : Topology.t;
+  strategy : Strategy.t;
+  n_logical : int;
+  device_dim : int;
+  weights : float array array;
+  slots : int option array array;  (* device -> slot -> logical *)
+  positions : (int * int) option array;  (* logical -> (device, slot) *)
+  mutable emitted : Physical.op list;  (* reversed *)
+}
+
+let create topo strategy ~n_logical ~weights =
+  let nd = Topology.device_count topo in
+  if Array.length weights <> n_logical then invalid_arg "Layout.create: weights size";
+  { topo;
+    strategy;
+    n_logical;
+    device_dim = (if strategy.Strategy.encoding = Strategy.Bare then 2 else 4);
+    weights;
+    slots = Array.init nd (fun _ -> Array.make 2 None);
+    positions = Array.make n_logical None;
+    emitted = [] }
+
+let topology t = t.topo
+let strategy t = t.strategy
+let n_logical t = t.n_logical
+let device_dim t = t.device_dim
+let weights t = t.weights
+
+let pos t q =
+  match t.positions.(q) with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Layout.pos: qubit %d unplaced" q)
+
+let occupant t d s = t.slots.(d).(s)
+
+let occupancy t d =
+  (match t.slots.(d).(0) with Some _ -> 1 | None -> 0)
+  + match t.slots.(d).(1) with Some _ -> 1 | None -> 0
+
+let lone_slot t d =
+  match (t.slots.(d).(0), t.slots.(d).(1)) with
+  | Some _, None -> Some 0
+  | None, Some _ -> Some 1
+  | _ -> None
+
+let device_of t q = fst (pos t q)
+let is_placed t q = t.positions.(q) <> None
+
+let check_slot t (d, s) =
+  if d < 0 || d >= Topology.device_count t.topo then invalid_arg "Layout: device out of range";
+  let max_slot = if t.device_dim = 2 then 0 else 1 in
+  if s < 0 || s > max_slot then invalid_arg "Layout: slot out of range"
+
+let place t q (d, s) =
+  check_slot t (d, s);
+  if t.positions.(q) <> None then invalid_arg "Layout.place: qubit already placed";
+  if t.slots.(d).(s) <> None then invalid_arg "Layout.place: slot occupied";
+  t.slots.(d).(s) <- Some q;
+  t.positions.(q) <- Some (d, s)
+
+let swap_occupants t (d1, s1) (d2, s2) =
+  check_slot t (d1, s1);
+  check_slot t (d2, s2);
+  let a = t.slots.(d1).(s1) and b = t.slots.(d2).(s2) in
+  t.slots.(d1).(s1) <- b;
+  t.slots.(d2).(s2) <- a;
+  Option.iter (fun q -> t.positions.(q) <- Some (d2, s2)) a;
+  Option.iter (fun q -> t.positions.(q) <- Some (d1, s1)) b
+
+let move t q (d, s) =
+  check_slot t (d, s);
+  if t.slots.(d).(s) <> None then invalid_arg "Layout.move: destination occupied";
+  let d0, s0 = pos t q in
+  t.slots.(d0).(s0) <- None;
+  t.slots.(d).(s) <- Some q;
+  t.positions.(q) <- Some (d, s)
+
+let emit t op = t.emitted <- op :: t.emitted
+let ops t = List.rev t.emitted
+
+let snapshot_map t =
+  Array.map
+    (function
+      | Some p -> p
+      | None -> invalid_arg "Layout.snapshot_map: unplaced qubit")
+    t.positions
+
+let part t ?occ_after device =
+  let occ_before = occupancy t device in
+  let occ_after = Option.value ~default:occ_before occ_after in
+  let noise : Physical.noise_role =
+    if max occ_before occ_after >= 2 then P4
+    else if max occ_before occ_after = 1 then begin
+      if t.device_dim = 2 then P2 0
+      else
+        match lone_slot t device with
+        | Some s -> P2 s
+        | None -> P2 1 (* becomes occupied after the op; incoming lands at slot 1 *)
+    end
+    else Quiet
+  in
+  { Physical.device = device; noise; occ_before; occ_after }
+
+type checkpoint = {
+  cp_slots : int option array array;
+  cp_positions : (int * int) option array;
+  cp_emitted : Physical.op list;
+}
+
+let checkpoint t =
+  { cp_slots = Array.map Array.copy t.slots;
+    cp_positions = Array.copy t.positions;
+    cp_emitted = t.emitted }
+
+let restore t cp =
+  Array.iteri (fun d row -> Array.blit row 0 t.slots.(d) 0 (Array.length row)) cp.cp_slots;
+  Array.blit cp.cp_positions 0 t.positions 0 (Array.length cp.cp_positions);
+  t.emitted <- cp.cp_emitted

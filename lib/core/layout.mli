@@ -1,0 +1,74 @@
+(** Mutable compilation state: which logical qubit occupies which (device,
+    slot), plus the op emission buffer.
+
+    Slot discipline (see [Waltz_qudit.Encoding]): on 4-level devices a lone
+    qubit occupies slot 1 and an encoded pair occupies slots 0 and 1; on
+    2-level devices the single slot is 0. *)
+
+open Waltz_arch
+
+type t
+
+val create :
+  Topology.t ->
+  Strategy.t ->
+  n_logical:int ->
+  weights:float array array ->
+  t
+
+val topology : t -> Topology.t
+
+val strategy : t -> Strategy.t
+
+val n_logical : t -> int
+
+val device_dim : t -> int
+
+val weights : t -> float array array
+(** The lookahead interaction weights of the decomposed circuit. *)
+
+val pos : t -> int -> int * int
+(** Current (device, slot) of a logical qubit. Raises if unplaced. *)
+
+val occupant : t -> int -> int -> int option
+
+val occupancy : t -> int -> int
+(** Number of qubits on a device (0, 1 or 2). *)
+
+val lone_slot : t -> int -> int option
+(** The slot of a device's single qubit, when occupancy is exactly 1. *)
+
+val device_of : t -> int -> int
+
+val is_placed : t -> int -> bool
+
+val place : t -> int -> int * int -> unit
+(** Initial placement into a free slot. *)
+
+val swap_occupants : t -> int * int -> int * int -> unit
+(** Exchange the contents of two virtual slots (either may be empty). *)
+
+val move : t -> int -> int * int -> unit
+(** Relocate a qubit to a free slot. *)
+
+val emit : t -> Physical.op -> unit
+
+val ops : t -> Physical.op list
+(** Emitted ops in program order. *)
+
+val snapshot_map : t -> (int * int) array
+(** Current logical → (device, slot) assignment. *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Snapshot of placement and emitted ops, for backtracking when a routing
+    order dead-ends. *)
+
+val restore : t -> checkpoint -> unit
+
+val part : t -> ?occ_after:int -> int -> Physical.device_part
+(** Builds the noise/occupancy annotation for a device using the *current*
+    table as the before-state. The noise role is P4 when the device holds
+    (or will hold) two qubits, P2 on the lone slot when it holds one, and
+    Quiet when empty throughout. Call before mutating the layout. *)

@@ -1,0 +1,72 @@
+open Waltz_arch
+
+let valid_slots layout device =
+  match (Layout.strategy layout).Strategy.encoding with
+  | Strategy.Bare -> [ (device, 0) ]
+  | Strategy.Intermediate -> [ (device, 1) ]
+  | Strategy.Packed -> [ (device, 0); (device, 1) ]
+
+let free_slots layout =
+  let topo = Layout.topology layout in
+  List.concat_map
+    (fun d ->
+      List.filter (fun (d, s) -> Layout.occupant layout d s = None) (valid_slots layout d))
+    (List.init (Topology.device_count topo) Fun.id)
+
+let dist layout (d1 : int) (d2 : int) =
+  float_of_int (Topology.distance (Layout.topology layout) d1 d2)
+
+let initial layout =
+  let n = Layout.n_logical layout in
+  let w = Layout.weights layout in
+  let topo = Layout.topology layout in
+  let placed = ref [] in
+  let unplaced = ref (List.init n Fun.id) in
+  (* First qubit: greatest total weight, at the centre-most device. *)
+  let total i = Array.fold_left ( +. ) 0. w.(i) in
+  let first =
+    List.fold_left (fun best i -> if total i > total best then i else best)
+      (List.hd !unplaced) !unplaced
+  in
+  let center = Topology.center topo in
+  let first_slot =
+    match valid_slots layout center with slot :: _ -> slot | [] -> assert false
+  in
+  Layout.place layout first first_slot;
+  placed := [ first ];
+  unplaced := List.filter (( <> ) first) !unplaced;
+  while !unplaced <> [] do
+    (* Next qubit: greatest weight to the placed set. *)
+    let weight_to_placed i = List.fold_left (fun acc j -> acc +. w.(i).(j)) 0. !placed in
+    let next =
+      List.fold_left
+        (fun best i -> if weight_to_placed i > weight_to_placed best then i else best)
+        (List.hd !unplaced) !unplaced
+    in
+    (* Candidates: free slots on devices hosting or adjacent to placed
+       qubits; fall back to all free slots. *)
+    let placed_devices = List.sort_uniq compare (List.map (Layout.device_of layout) !placed) in
+    let near d =
+      List.exists (fun pd -> pd = d || Topology.are_adjacent topo pd d) placed_devices
+    in
+    let all_free = free_slots layout in
+    let candidates =
+      match List.filter (fun (d, _) -> near d) all_free with [] -> all_free | l -> l
+    in
+    if candidates = [] then failwith "Mapping.initial: no free slots (topology too small)";
+    let cost (d, _s) =
+      List.fold_left
+        (fun acc j ->
+          let dj = Layout.device_of layout j in
+          acc +. (w.(next).(j) *. dist layout d dj))
+        0. !placed
+    in
+    let best =
+      List.fold_left
+        (fun best c -> if cost c < cost best then c else best)
+        (List.hd candidates) (List.tl candidates)
+    in
+    Layout.place layout next best;
+    placed := next :: !placed;
+    unplaced := List.filter (( <> ) next) !unplaced
+  done

@@ -1,0 +1,10 @@
+(** Initial placement (Sec. 5.2): greedy, locality-maximizing mapping of
+    logical qubits onto the interaction graph using the lookahead weights
+    w(i,j) = Σ_t o(i,j,t)/t. *)
+
+val initial : Layout.t -> unit
+(** Places every logical qubit. The highest-total-weight qubit goes to the
+    centre-most device; each subsequent qubit (chosen by weight to the
+    already-placed set) goes to the free slot minimizing
+    Σ_j w(i,j)·d(slot, φ(j)) over candidate slots adjacent to the placed
+    region. *)

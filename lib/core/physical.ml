@@ -1,0 +1,78 @@
+open Waltz_linalg
+
+type noise_role = P2 of int | P4 | Quiet
+
+type device_part = { device : int; noise : noise_role; occ_before : int; occ_after : int }
+
+type op = {
+  label : string;
+  parts : device_part list;
+  targets : (int * int) list;
+  gate : Mat.t;
+  duration_ns : float;
+  fidelity : float;
+  touches_ww : bool;
+}
+
+type t = {
+  strategy : Strategy.t;
+  n_logical : int;
+  device_count : int;
+  device_dim : int;
+  ops : op list;
+  initial_map : (int * int) array;
+  final_map : (int * int) array;
+}
+
+let make_op ~label ~parts ~targets ~gate ~entry ~touches_ww =
+  let expected = 1 lsl List.length targets in
+  if gate.Mat.rows <> expected || gate.Mat.cols <> expected then
+    invalid_arg
+      (Printf.sprintf "Physical.make_op %s: gate is %dx%d but %d targets given" label
+         gate.Mat.rows gate.Mat.cols (List.length targets));
+  let devs = List.map (fun p -> p.device) parts in
+  if List.length (List.sort_uniq compare devs) <> List.length devs then
+    invalid_arg "Physical.make_op: duplicate device parts";
+  List.iter
+    (fun (d, _) ->
+      if not (List.mem d devs) then
+        invalid_arg "Physical.make_op: target device missing from parts")
+    targets;
+  { label;
+    parts;
+    targets;
+    gate;
+    duration_ns = entry.Waltz_qudit.Calibration.duration_ns;
+    fidelity = entry.Waltz_qudit.Calibration.fidelity;
+    touches_ww }
+
+let schedule t =
+  let ready = Hashtbl.create 16 in
+  let time_of d = Option.value ~default:0. (Hashtbl.find_opt ready d) in
+  List.map
+    (fun (op : op) ->
+      let start = List.fold_left (fun acc p -> Float.max acc (time_of p.device)) 0. op.parts in
+      List.iter (fun p -> Hashtbl.replace ready p.device (start +. op.duration_ns)) op.parts;
+      (op, start))
+    t.ops
+
+let total_duration t =
+  List.fold_left (fun acc (op, start) -> Float.max acc (start +. op.duration_ns)) 0. (schedule t)
+
+let op_count t = List.length t.ops
+let two_device_op_count t = List.length (List.filter (fun op -> List.length op.parts >= 2) t.ops)
+
+let summary t =
+  Printf.sprintf "%s: %d ops (%d multi-device), duration %.0f ns" t.strategy.Strategy.name
+    (op_count t) (two_device_op_count t) (total_duration t)
+
+let pp_ops ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (op, start) ->
+      Format.fprintf ppf "%8.0f ns  %-14s on %s@,"
+        start op.label
+        (String.concat ","
+           (List.map (fun (d, s) -> Printf.sprintf "%d.%d" d s) op.targets)))
+    (schedule t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,67 @@
+(** Compiled physical operations and schedules.
+
+    A physical op is a calibrated pulse acting on one, two or three devices.
+    Its logical effect is recorded as a unitary over *virtual wires* — the
+    (device, slot) pairs it touches — which the executor lifts to the
+    simulation Hilbert space. Occupancy annotations drive the noise model
+    and the coherence EPS estimator. *)
+
+open Waltz_linalg
+
+type noise_role =
+  | P2 of int  (** errors drawn from the qubit Paulis on this slot *)
+  | P4  (** errors drawn from the ququart Paulis on the whole device *)
+  | Quiet  (** device participates but holds no information (e.g. empty) *)
+
+type device_part = {
+  device : int;
+  noise : noise_role;
+  occ_before : int;  (** qubits held before the op (0, 1 or 2) *)
+  occ_after : int;
+}
+
+type op = {
+  label : string;
+  parts : device_part list;  (** devices touched, unique *)
+  targets : (int * int) list;  (** (device, slot) virtual wires, gate order *)
+  gate : Mat.t;  (** unitary over [targets] (dimension 2^|targets|) *)
+  duration_ns : float;
+  fidelity : float;
+  touches_ww : bool;  (** pulse uses levels |2⟩/|3⟩ (Fig. 9b scaling) *)
+}
+
+type t = {
+  strategy : Strategy.t;
+  n_logical : int;
+  device_count : int;
+  device_dim : int;  (** 2 for qubit-only runs, 4 otherwise *)
+  ops : op list;
+  initial_map : (int * int) array;  (** logical qubit → (device, slot) at t=0 *)
+  final_map : (int * int) array;
+}
+
+val make_op :
+  label:string ->
+  parts:device_part list ->
+  targets:(int * int) list ->
+  gate:Mat.t ->
+  entry:Waltz_qudit.Calibration.entry ->
+  touches_ww:bool ->
+  op
+(** Builds an op from a calibration entry, checking that the gate dimension
+    matches the target count. *)
+
+val schedule : t -> (op * float) list
+(** ASAP start times: each op starts when all its devices are free. *)
+
+val total_duration : t -> float
+
+val op_count : t -> int
+
+val two_device_op_count : t -> int
+(** Ops touching ≥ 2 devices (the paper's "two-qudit gate" count). *)
+
+val summary : t -> string
+(** One-line human summary: ops, 2-device ops, duration. *)
+
+val pp_ops : Format.formatter -> t -> unit

@@ -1,0 +1,213 @@
+open Waltz_arch
+
+let dist layout d1 d2 = Topology.distance (Layout.topology layout) d1 d2
+
+let adjacent_or_same layout a b =
+  let da = Layout.device_of layout a and db = Layout.device_of layout b in
+  da = db || Topology.are_adjacent (Layout.topology layout) da db
+
+let candidate_slots layout device =
+  match (Layout.strategy layout).Strategy.encoding with
+  | Strategy.Bare -> [ (device, 0) ]
+  | Strategy.Intermediate -> [ (device, 1) ]
+  | Strategy.Packed -> [ (device, 0); (device, 1) ]
+
+(* The paper's disruption cost for exchanging the occupants of u and v,
+   where [i] is the moving qubit and [j] the displaced occupant (if any). *)
+let disruption layout i j (du : int) (dv : int) =
+  if not (Layout.strategy layout).Strategy.disruption_aware_routing then 0.
+  else
+  let w = Layout.weights layout in
+  let n = Layout.n_logical layout in
+  let acc = ref 0. in
+  for k = 0 to n - 1 do
+    if k <> i && Some k <> j && Layout.is_placed layout k then begin
+      let dk = Layout.device_of layout k in
+      let dvk = float_of_int (dist layout dv dk) and duk = float_of_int (dist layout du dk) in
+      acc := !acc +. (w.(i).(k) *. (dvk -. duk));
+      match j with
+      | Some j -> acc := !acc +. (w.(j).(k) *. (duk -. dvk))
+      | None -> ()
+    end
+  done;
+  !acc
+
+let one_step layout ~blocked ~frozen ~mover ~goal_device ~max_delta =
+  let du, su = Layout.pos layout mover in
+  let d0 = dist layout du goal_device in
+  let topo = Layout.topology layout in
+  let candidates =
+    List.concat_map
+      (fun nd ->
+        if List.mem nd blocked then []
+        else if
+          (* In the intermediate regime an encoded pair only exists inside
+             the ENC/gate/DEC bracket; routing must not break it apart. *)
+          (Layout.strategy layout).Strategy.encoding = Strategy.Intermediate
+          && Layout.occupancy layout nd = 2
+        then []
+        else
+          let delta = dist layout nd goal_device - d0 in
+          if delta <= max_delta then
+            List.filter_map
+              (fun (d, s) ->
+                match Layout.occupant layout d s with
+                | Some q when List.mem q frozen -> None
+                | occupant -> Some ((d, s), occupant, delta))
+              (candidate_slots layout nd)
+          else [])
+      (Topology.neighbors topo du)
+  in
+  match candidates with
+  | [] -> None
+  | _ ->
+    let score ((dv, _), occupant, delta) =
+      (* Strictly-closer steps beat sideways ones; then disruption. *)
+      (float_of_int delta *. 1000.) +. disruption layout mover occupant du dv
+    in
+    let best =
+      List.fold_left
+        (fun acc c -> match acc with Some b when score b <= score c -> acc | _ -> Some c)
+        None candidates
+    in
+    (match best with
+    | Some (target, _, _) -> Emit.swap_op layout (du, su) target
+    | None -> ());
+    Option.map (fun _ -> ()) best
+
+(* Devices the mover may not enter: blocked ones, encoded pairs in the
+   intermediate regime, and devices whose every usable slot is frozen. *)
+let enterable layout ~blocked ~frozen d =
+  (not (List.mem d blocked))
+  && (not
+        ((Layout.strategy layout).Strategy.encoding = Strategy.Intermediate
+        && Layout.occupancy layout d = 2))
+  && List.exists
+       (fun (d', s) ->
+         match Layout.occupant layout d' s with
+         | Some q -> not (List.mem q frozen)
+         | None -> true)
+       (candidate_slots layout d)
+
+(* Shortest path from [src] to any device adjacent to [goal], through
+   enterable devices only. Returns the full path excluding [src]. *)
+let bfs_path layout ~blocked ~frozen ~src ~goal =
+  let topo = Layout.topology layout in
+  let n = Topology.device_count topo in
+  let prev = Array.make n (-2) in
+  prev.(src) <- -1;
+  let q = Queue.create () in
+  Queue.add src q;
+  let found = ref None in
+  while !found = None && not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    if u <> src && Topology.are_adjacent topo u goal then found := Some u
+    else
+      List.iter
+        (fun v ->
+          if prev.(v) = -2 && enterable layout ~blocked ~frozen v then begin
+            prev.(v) <- u;
+            Queue.add v q
+          end)
+        (Topology.neighbors topo u)
+  done;
+  match !found with
+  | None -> None
+  | Some dst ->
+    let rec walk acc d = if d = src then acc else walk (d :: acc) prev.(d) in
+    Some (walk [] dst)
+
+let route_to_adjacency layout ?(blocked = []) ?(frozen = []) ~anchor mover =
+  let frozen = anchor :: frozen in
+  while not (adjacent_or_same layout mover anchor) do
+    let du, su = Layout.pos layout mover in
+    let goal = Layout.device_of layout anchor in
+    match bfs_path layout ~blocked ~frozen ~src:du ~goal with
+    | None -> failwith "Router.route_to_adjacency: no path (blocked neighbourhood)"
+    | Some [] -> assert false
+    | Some (next :: _) ->
+      (* Pick the slot on [next] that disrupts the layout least. *)
+      let slots =
+        List.filter
+          (fun (d, s) ->
+            match Layout.occupant layout d s with
+            | Some q -> not (List.mem q frozen)
+            | None -> true)
+          (candidate_slots layout next)
+      in
+      let best =
+        List.fold_left
+          (fun acc (d, s) ->
+            let occupant = Layout.occupant layout d s in
+            let cost = disruption layout mover occupant du d in
+            match acc with
+            | Some (_, best_cost) when best_cost <= cost -> acc
+            | _ -> Some ((d, s), cost))
+          None slots
+      in
+      (match best with
+      | Some (target, _) -> Emit.swap_op layout (du, su) target
+      | None -> failwith "Router.route_to_adjacency: no usable slot")
+  done
+
+let route_adjacent_to_device layout ?(blocked = []) ?(frozen = []) ~device mover =
+  let topo = Layout.topology layout in
+  let at_goal () =
+    let d = Layout.device_of layout mover in
+    d = device || Topology.are_adjacent topo d device
+  in
+  while not (at_goal ()) do
+    let du, su = Layout.pos layout mover in
+    match bfs_path layout ~blocked ~frozen ~src:du ~goal:device with
+    | None -> failwith "Router.route_adjacent_to_device: no path"
+    | Some [] -> assert false
+    | Some (next :: _) ->
+      let slots =
+        List.filter
+          (fun (d, s) ->
+            match Layout.occupant layout d s with
+            | Some q -> not (List.mem q frozen)
+            | None -> true)
+          (candidate_slots layout next)
+      in
+      let best =
+        List.fold_left
+          (fun acc (d, s) ->
+            let occupant = Layout.occupant layout d s in
+            let cost = disruption layout mover occupant du d in
+            match acc with
+            | Some (_, best_cost) when best_cost <= cost -> acc
+            | _ -> Some ((d, s), cost))
+          None slots
+      in
+      (match best with
+      | Some (target, _) -> Emit.swap_op layout (du, su) target
+      | None -> failwith "Router.route_adjacent_to_device: no usable slot")
+  done
+
+let route_pair layout ?(blocked = []) ?(frozen = []) a b =
+  (* Move the endpoint whose single best step disrupts least; recompute each
+     iteration. *)
+  let budget =
+    ref (6 * (dist layout (Layout.device_of layout a) (Layout.device_of layout b) + 2))
+  in
+  while not (adjacent_or_same layout a b) do
+    if !budget <= 0 then failwith "Router.route_pair: step budget exhausted";
+    decr budget;
+    let try_move ~max_delta mover anchor =
+      one_step layout ~blocked ~frozen:(anchor :: frozen) ~mover
+        ~goal_device:(Layout.device_of layout anchor) ~max_delta
+    in
+    let attempts =
+      [ (fun () -> try_move ~max_delta:(-1) a b);
+        (fun () -> try_move ~max_delta:(-1) b a);
+        (fun () -> try_move ~max_delta:0 a b);
+        (fun () -> try_move ~max_delta:0 b a);
+        (fun () -> try_move ~max_delta:1 a b) ]
+    in
+    let rec first = function
+      | [] -> route_to_adjacency layout ~blocked ~frozen ~anchor:b a
+      | f :: rest -> ( match f () with Some () -> () | None -> first rest)
+    in
+    first attempts
+  done

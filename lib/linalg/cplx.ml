@@ -1,0 +1,28 @@
+type t = Complex.t
+
+let c re im : t = { Complex.re; im }
+let re x = c x 0.
+let i = c 0. 1.
+let zero = Complex.zero
+let one = Complex.one
+let minus_one = c (-1.) 0.
+let ( +: ) = Complex.add
+let ( -: ) = Complex.sub
+let ( *: ) = Complex.mul
+let ( /: ) = Complex.div
+let conj = Complex.conj
+let neg = Complex.neg
+let norm = Complex.norm
+let norm2 = Complex.norm2
+let exp_i theta = c (cos theta) (sin theta)
+
+let root_of_unity d j =
+  let theta = 2. *. Float.pi *. float_of_int j /. float_of_int d in
+  exp_i theta
+
+let close ?(tol = 1e-9) (a : t) (b : t) =
+  Float.abs (a.re -. b.re) <= tol && Float.abs (a.im -. b.im) <= tol
+
+let pp ppf (z : t) =
+  if Float.abs z.im < 1e-12 then Format.fprintf ppf "%.4g" z.re
+  else Format.fprintf ppf "%.4g%+.4gi" z.re z.im

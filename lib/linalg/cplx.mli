@@ -1,0 +1,51 @@
+(** Small conveniences over the standard [Complex] module.
+
+    All of [waltz_linalg] stores complex data as parallel [float array]s; this
+    module only provides scalar helpers used at API boundaries. *)
+
+type t = Complex.t
+
+val c : float -> float -> t
+(** [c re im] builds a complex number. *)
+
+val re : float -> t
+(** [re x] is the real number [x] as a complex scalar. *)
+
+val i : t
+(** The imaginary unit. *)
+
+val zero : t
+
+val one : t
+
+val minus_one : t
+
+val ( +: ) : t -> t -> t
+
+val ( -: ) : t -> t -> t
+
+val ( *: ) : t -> t -> t
+
+val ( /: ) : t -> t -> t
+
+val conj : t -> t
+
+val neg : t -> t
+
+val norm : t -> float
+(** Modulus |z|. *)
+
+val norm2 : t -> float
+(** Squared modulus. *)
+
+val exp_i : float -> t
+(** [exp_i theta] is e^{i·theta}. *)
+
+val root_of_unity : int -> int -> t
+(** [root_of_unity d j] is e^{2πi·j/d}, the j-th power of the primitive d-th
+    root of unity (used for generalized qudit Z errors). *)
+
+val close : ?tol:float -> t -> t -> bool
+(** Componentwise comparison with absolute tolerance (default [1e-9]). *)
+
+val pp : Format.formatter -> t -> unit

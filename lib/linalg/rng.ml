@@ -1,0 +1,47 @@
+type t = { state : Random.State.t; mutable cached_gauss : float option }
+
+let make ~seed = { state = Random.State.make [| seed; 0x9e3779b9 |]; cached_gauss = None }
+
+let split t =
+  { state = Random.State.make [| Random.State.bits t.state; Random.State.bits t.state |];
+    cached_gauss = None }
+
+let int t bound = Random.State.int t.state bound
+let float t bound = Random.State.float t.state bound
+let bool t = Random.State.bool t.state
+
+let gaussian t =
+  match t.cached_gauss with
+  | Some g ->
+    t.cached_gauss <- None;
+    g
+  | None ->
+    let rec draw () =
+      let u = Random.State.float t.state 2. -. 1. and v = Random.State.float t.state 2. -. 1. in
+      let s = (u *. u) +. (v *. v) in
+      if s >= 1. || s = 0. then draw () else (u, v, s)
+    in
+    let u, v, s = draw () in
+    let f = sqrt (-2. *. log s /. s) in
+    t.cached_gauss <- Some (v *. f);
+    u *. f
+
+let weighted_choice t w =
+  let total = Array.fold_left ( +. ) 0. w in
+  if total <= 0. then invalid_arg "Rng.weighted_choice: non-positive total weight";
+  let x = Random.State.float t.state total in
+  let rec go i acc =
+    if i = Array.length w - 1 then i
+    else
+      let acc = acc +. w.(i) in
+      if x < acc then i else go (i + 1) acc
+  in
+  go 0 0.
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int t.state (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

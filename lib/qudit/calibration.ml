@@ -1,0 +1,184 @@
+type entry = { label : string; duration_ns : float; fidelity : float }
+
+let f_single = 0.999
+let f_two = 0.99
+let one_device label duration_ns = { label; duration_ns; fidelity = f_single }
+let two_device label duration_ns = { label; duration_ns; fidelity = f_two }
+
+let t1_base_ns = 163_450.
+
+let t1_of_level ?(scale_high = 1.) k =
+  if k < 1 then invalid_arg "Calibration.t1_of_level";
+  let base = t1_base_ns /. float_of_int k in
+  if k >= 2 then base /. scale_high else base
+
+let bare_1q = one_device "U" 35.
+
+let embedded_1q ~slot =
+  match slot with
+  | 0 -> one_device "U^0" 87.
+  | 1 -> one_device "U^1" 66.
+  | _ -> invalid_arg "Calibration.embedded_1q"
+
+let embedded_1q_both = one_device "U^{0,1}" 86.
+
+let internal_cx ~target_slot =
+  match target_slot with
+  | 0 -> one_device "CX^0" 83.
+  | 1 -> one_device "CX^1" 84.
+  | _ -> invalid_arg "Calibration.internal_cx"
+
+let internal_swap = one_device "SWAP^in" 78.
+let qubit_cx = two_device "CX_2" 251.
+let qubit_cz = two_device "CZ_2" 236.
+let qubit_csdg = two_device "CSdg_2" 126.
+let qubit_swap = two_device "SWAP_2" 504.
+let itoffoli = { label = "iToffoli_3"; duration_ns = 912.; fidelity = f_two }
+let enc = two_device "ENC" 608.
+
+let mr_cx ~control ~target =
+  match (control, target) with
+  | Ququart_gates.Slot 0, Ququart_gates.Qubit -> two_device "CX^{0q}" 560.
+  | Slot 1, Qubit -> two_device "CX^{1q}" 632.
+  | Qubit, Slot 0 -> two_device "CX^{q0}" 880.
+  | Qubit, Slot 1 -> two_device "CX^{q1}" 812.
+  | _ -> invalid_arg "Calibration.mr_cx: exactly one operand must be the bare qubit"
+
+let mr_cz ~slot =
+  match slot with
+  | 0 -> two_device "CZ^{q0}" 384.
+  | 1 -> two_device "CZ^{q1}" 404.
+  | _ -> invalid_arg "Calibration.mr_cz"
+
+let mr_swap ~slot =
+  match slot with
+  | 0 -> two_device "SWAP^{q0}" 680.
+  | 1 -> two_device "SWAP^{q1}" 792.
+  | _ -> invalid_arg "Calibration.mr_swap"
+
+let fq_cx ~control_slot ~target_slot =
+  match (control_slot, target_slot) with
+  | 0, 0 -> two_device "CX^{00}" 544.
+  | 0, 1 -> two_device "CX^{01}" 544.
+  | 1, 0 -> two_device "CX^{10}" 700.
+  | 1, 1 -> two_device "CX^{11}" 700.
+  | _ -> invalid_arg "Calibration.fq_cx"
+
+let fq_cz ~slot_a ~slot_b =
+  match (min slot_a slot_b, max slot_a slot_b) with
+  | 0, 0 -> two_device "CZ^{00}" 392.
+  | 0, 1 -> two_device "CZ^{01}" 488.
+  | 1, 1 -> two_device "CZ^{11}" 776.
+  | _ -> invalid_arg "Calibration.fq_cz"
+
+let fq_swap ~slot_a ~slot_b =
+  match (min slot_a slot_b, max slot_a slot_b) with
+  | 0, 0 -> two_device "SWAP^{00}" 916.
+  | 0, 1 -> two_device "SWAP^{01}" 892.
+  | 1, 1 -> two_device "SWAP^{11}" 964.
+  | _ -> invalid_arg "Calibration.fq_swap"
+
+let mr_ccx ~target =
+  match target with
+  | Ququart_gates.Qubit -> two_device "CCX^{01q}" 412.
+  | Slot 1 -> two_device "CCX^{q01}" 619.
+  | Slot 0 -> two_device "CCX^{1q0}" 697.
+  | Slot _ -> invalid_arg "Calibration.mr_ccx"
+
+let mr_ccz = two_device "CCZ^{01q}" 264.
+
+let mr_cswap ~control =
+  match control with
+  | Ququart_gates.Qubit -> two_device "CSWAP^{q01}" 444.
+  | Slot 0 -> two_device "CSWAP^{01q}" 684.
+  | Slot 1 -> two_device "CSWAP^{10q}" 762.
+  | Slot _ -> invalid_arg "Calibration.mr_cswap"
+
+let fq_ccx_controls_together ~target_slot =
+  match target_slot with
+  | 0 -> two_device "CCX^{01,0}" 536.
+  | 1 -> two_device "CCX^{01,1}" 552.
+  | _ -> invalid_arg "Calibration.fq_ccx_controls_together"
+
+let fq_ccx_split ~a_slot ~b_control_slot =
+  match (a_slot, b_control_slot) with
+  | 0, 0 -> two_device "CCX^{0,01}" 785.
+  | 0, 1 -> two_device "CCX^{0,10}" 785.
+  | 1, 1 -> two_device "CCX^{1,10}" 785.
+  | 1, 0 -> two_device "CCX^{1,01}" 680.
+  | _ -> invalid_arg "Calibration.fq_ccx_split"
+
+let fq_ccz ~lone_slot =
+  match lone_slot with
+  | 0 -> two_device "CCZ^{01,0}" 232.
+  | 1 -> two_device "CCZ^{01,1}" 310.
+  | _ -> invalid_arg "Calibration.fq_ccz"
+
+let fq_cswap_targets_split ~control_slot ~b_target_slot =
+  match (control_slot, b_target_slot) with
+  | 0, 0 -> two_device "CSWAP^{01,0}" 680.
+  | 0, 1 -> two_device "CSWAP^{01,1}" 744.
+  | 1, 0 -> two_device "CSWAP^{10,0}" 758.
+  | 1, 1 -> two_device "CSWAP^{10,1}" 822.
+  | _ -> invalid_arg "Calibration.fq_cswap_targets_split"
+
+let fq_cswap_targets_together ~control_slot =
+  match control_slot with
+  | 0 -> two_device "CSWAP^{0,01}" 510.
+  | 1 -> two_device "CSWAP^{1,01}" 432.
+  | _ -> invalid_arg "Calibration.fq_cswap_targets_together"
+
+(* Extrapolated: Table 2 has no four-qubit pulses; 1.3x the worst CCZ. *)
+let fq_cccz = two_device "CCCZ^{01,01}" 1009.
+
+let table1 =
+  [ [ bare_1q;
+      embedded_1q ~slot:1;
+      internal_cx ~target_slot:0;
+      internal_swap;
+      embedded_1q ~slot:0;
+      embedded_1q_both;
+      internal_cx ~target_slot:1 ];
+    [ qubit_cx; qubit_cz; qubit_csdg; qubit_swap; itoffoli ];
+    [ mr_cx ~control:(Slot 0) ~target:Qubit;
+      mr_cx ~control:(Slot 1) ~target:Qubit;
+      mr_cz ~slot:0;
+      mr_swap ~slot:0;
+      enc;
+      mr_cx ~control:Qubit ~target:(Slot 0);
+      mr_cx ~control:Qubit ~target:(Slot 1);
+      mr_cz ~slot:1;
+      mr_swap ~slot:1 ];
+    [ fq_cx ~control_slot:0 ~target_slot:0;
+      fq_cx ~control_slot:1 ~target_slot:0;
+      fq_cz ~slot_a:0 ~slot_b:0;
+      fq_cz ~slot_a:1 ~slot_b:1;
+      fq_swap ~slot_a:0 ~slot_b:1;
+      fq_cx ~control_slot:0 ~target_slot:1;
+      fq_cx ~control_slot:1 ~target_slot:1;
+      fq_cz ~slot_a:0 ~slot_b:1;
+      fq_swap ~slot_a:0 ~slot_b:0;
+      fq_swap ~slot_a:1 ~slot_b:1 ] ]
+
+let table2 =
+  [ [ mr_ccx ~target:(Slot 1);
+      mr_ccx ~target:(Slot 0);
+      mr_ccx ~target:Qubit;
+      mr_ccz;
+      mr_cswap ~control:(Slot 0);
+      mr_cswap ~control:(Slot 1);
+      mr_cswap ~control:Qubit ];
+    [ fq_ccx_controls_together ~target_slot:0;
+      fq_ccx_controls_together ~target_slot:1;
+      fq_ccx_split ~a_slot:0 ~b_control_slot:0;
+      fq_ccx_split ~a_slot:0 ~b_control_slot:1;
+      fq_ccx_split ~a_slot:1 ~b_control_slot:1;
+      fq_ccx_split ~a_slot:1 ~b_control_slot:0;
+      fq_ccz ~lone_slot:0;
+      fq_ccz ~lone_slot:1;
+      fq_cswap_targets_split ~control_slot:0 ~b_target_slot:0;
+      fq_cswap_targets_split ~control_slot:0 ~b_target_slot:1;
+      fq_cswap_targets_split ~control_slot:1 ~b_target_slot:0;
+      fq_cswap_targets_split ~control_slot:1 ~b_target_slot:1;
+      fq_cswap_targets_together ~control_slot:0;
+      fq_cswap_targets_together ~control_slot:1 ] ]

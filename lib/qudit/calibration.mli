@@ -1,0 +1,133 @@
+(** Pulse calibration data: durations and fidelities for every gate in the
+    qubit-only, mixed-radix and full-ququart environments.
+
+    Durations are the optimal-control results of the paper's Tables 1 and 2
+    (nanoseconds). Fidelities are the synthesis targets of Sec. 2.3/6.2:
+    0.999 for single-device pulses, 0.99 for two-device pulses and for the
+    three-qubit iToffoli. In the paper these numbers come from Juqbox; here
+    they are the calibration input to the compiler (see DESIGN.md,
+    substitution 1 — [Waltz_control] demonstrates the synthesis pipeline
+    itself on small gates). *)
+
+type entry = { label : string; duration_ns : float; fidelity : float }
+
+(** {1 Coherence} *)
+
+val t1_base_ns : float
+(** 163 450 ns — the IBM device T1 of Sec. 6.2. *)
+
+val t1_of_level : ?scale_high:float -> int -> float
+(** [t1_of_level k] is the T1 of level [k] (1-indexed energy level):
+    T1/k, following the o(1/k) scaling of Sec. 6.2 — 163.45 µs, 81.73 µs,
+    54.15 µs for levels 1–3. [scale_high] further divides the T1 of levels
+    ≥ 2 (the Fig. 9c sensitivity knob; default 1). *)
+
+(** {1 Single-device (single-qudit) pulses} *)
+
+val bare_1q : entry
+(** Any single-qubit gate on a bare qubit (35 ns). *)
+
+val embedded_1q : slot:int -> entry
+(** U⁰ (87 ns) or U¹ (66 ns). *)
+
+val embedded_1q_both : entry
+(** U^{0,1} (86 ns). *)
+
+val internal_cx : target_slot:int -> entry
+(** CX⁰ (83 ns) or CX¹ (84 ns). *)
+
+val internal_swap : entry
+(** SWAPⁱⁿ (78 ns). *)
+
+(** {1 Qubit-only two- and three-device pulses} *)
+
+val qubit_cx : entry
+(** CX₂ (251 ns). *)
+
+val qubit_cz : entry
+(** CZ₂ (236 ns). *)
+
+val qubit_csdg : entry
+(** CS†₂ (126 ns). *)
+
+val qubit_swap : entry
+(** SWAP₂ (504 ns). *)
+
+val itoffoli : entry
+(** iToffoli₃ (912 ns), a three-device pulse. *)
+
+(** {1 Mixed-radix two-qubit pulses} *)
+
+val enc : entry
+(** ENC / ENC† (608 ns). *)
+
+val mr_cx : control:Ququart_gates.operand -> target:Ququart_gates.operand -> entry
+(** CX^{0q} 560, CX^{1q} 632, CX^{q0} 880, CX^{q1} 812 ns. *)
+
+val mr_cz : slot:int -> entry
+(** CZ^{q0} 384, CZ^{q1} 404 ns (target independent). *)
+
+val mr_swap : slot:int -> entry
+(** SWAP^{q0} 680, SWAP^{q1} 792 ns. *)
+
+(** {1 Full-ququart two-qubit pulses} *)
+
+val fq_cx : control_slot:int -> target_slot:int -> entry
+(** CX^{00} 544, CX^{01} 544, CX^{10} 700, CX^{11} 700 ns. *)
+
+val fq_cz : slot_a:int -> slot_b:int -> entry
+(** CZ^{00} 392, CZ^{01} 488, CZ^{11} 776 ns; symmetric, CZ^{10} = CZ^{01}. *)
+
+val fq_swap : slot_a:int -> slot_b:int -> entry
+(** SWAP^{00} 916, SWAP^{01} 892, SWAP^{11} 964 ns; symmetric. *)
+
+(** {1 Mixed-radix three-qubit pulses (Table 2a)} *)
+
+val mr_ccx : target:Ququart_gates.operand -> entry
+(** CCX^{01q} 412 (target = Qubit), CCX^{q01} 619 (target = Slot 1),
+    CCX^{1q0} 697 (target = Slot 0) ns. *)
+
+val mr_ccz : entry
+(** CCZ^{01q} 264 ns. *)
+
+val mr_cswap : control:Ququart_gates.operand -> entry
+(** CSWAP^{q01} 444 (control = Qubit), CSWAP^{01q} 684 (control = Slot 0),
+    CSWAP^{10q} 762 (control = Slot 1) ns. *)
+
+(** {1 Full-ququart three-qubit pulses (Table 2b)} *)
+
+val fq_ccx_controls_together : target_slot:int -> entry
+(** CCX^{01,0} 536, CCX^{01,1} 552 ns. *)
+
+val fq_ccx_split : a_slot:int -> b_control_slot:int -> entry
+(** Split-control configurations: CCX^{0,01} 785, CCX^{0,10} 785,
+    CCX^{1,10} 785, CCX^{1,01} 680 ns. [a_slot] is the control slot in the
+    first ququart; [b_control_slot] the control slot in the second. *)
+
+val fq_ccz : lone_slot:int -> entry
+(** CCZ^{01,0} 232, CCZ^{01,1} 310 ns; [lone_slot] is the slot of the
+    operand that sits alone in the second ququart. *)
+
+val fq_cswap_targets_split : control_slot:int -> b_target_slot:int -> entry
+(** CSWAP^{01,0} 680, CSWAP^{01,1} 744, CSWAP^{10,0} 758, CSWAP^{10,1} 822
+    ns — control and one target in A, other target in B. *)
+
+val fq_cswap_targets_together : control_slot:int -> entry
+(** CSWAP^{0,01} 510, CSWAP^{1,01} 432 ns — control alone in A, both
+    targets in B. *)
+
+(** {1 Four-qubit extension (not from the paper)} *)
+
+val fq_cccz : entry
+(** CCCZ across two ququarts (all four encoded qubits). Table 2 stops at
+    three-qubit gates, so this duration is an extrapolation (1.3× the worst
+    full-ququart CCZ) — the extension point for four-qubit pulses teased in
+    the paper's introduction. *)
+
+(** {1 Table rendering} *)
+
+val table1 : entry list list
+(** The four column groups of Table 1 in paper order. *)
+
+val table2 : entry list list
+(** The two column groups of Table 2 in paper order. *)

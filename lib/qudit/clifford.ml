@@ -1,0 +1,68 @@
+open Waltz_linalg
+
+(* Canonical key for dedup up to global phase: rotate the phase so the first
+   entry of significant magnitude is positive real, then round. *)
+let phase_key (m : Mat.t) =
+  let n = Array.length m.Mat.re in
+  let idx = ref (-1) in
+  (try
+     for k = 0 to n - 1 do
+       if (m.Mat.re.(k) *. m.Mat.re.(k)) +. (m.Mat.im.(k) *. m.Mat.im.(k)) > 1e-6 then begin
+         idx := k;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  let z = Cplx.c m.Mat.re.(!idx) m.Mat.im.(!idx) in
+  let phase = Cplx.( /: ) (Cplx.re (Cplx.norm z)) z in
+  let canon = Mat.scale phase m in
+  let buf = Buffer.create 64 in
+  for k = 0 to n - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "%d,%d;"
+         (int_of_float (Float.round (canon.Mat.re.(k) *. 1e6)))
+         (int_of_float (Float.round (canon.Mat.im.(k) *. 1e6))))
+  done;
+  Buffer.contents buf
+
+let closure generators seed_dim =
+  let table = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let add m =
+    let key = phase_key m in
+    if not (Hashtbl.mem table key) then begin
+      Hashtbl.add table key m;
+      Queue.add m queue
+    end
+  in
+  add (Mat.identity seed_dim);
+  while not (Queue.is_empty queue) do
+    let m = Queue.pop queue in
+    List.iter (fun g -> add (Mat.mul g m)) generators
+  done;
+  Hashtbl.fold (fun _ m acc -> m :: acc) table [] |> Array.of_list
+
+let one_qubit_group =
+  let group = closure [ Gates.h; Gates.s ] 2 in
+  assert (Array.length group = 24);
+  group
+
+let random_one_qubit rng = one_qubit_group.(Rng.int rng (Array.length one_qubit_group))
+
+let two_qubit_generators =
+  [ Mat.kron Gates.h Gates.id2;
+    Mat.kron Gates.id2 Gates.h;
+    Mat.kron Gates.s Gates.id2;
+    Mat.kron Gates.id2 Gates.s;
+    Gates.cx;
+    Embed.on_qubits ~n:2 ~targets:[ 1; 0 ] Gates.cx ]
+
+let random_two_qubit ?(word_length = 24) rng =
+  let gens = Array.of_list two_qubit_generators in
+  let m = ref (Mat.identity 4) in
+  for _ = 1 to word_length do
+    m := Mat.mul gens.(Rng.int rng (Array.length gens)) !m
+  done;
+  !m
+
+let inverse = Mat.adjoint

@@ -1,0 +1,23 @@
+(** Clifford-group utilities for randomized benchmarking (Fig. 2).
+
+    The single-qubit group is generated exactly (24 elements up to global
+    phase, from closure of {H, S}). Two-qubit Cliffords are sampled as random
+    generator words; this is sufficient for the RB experiments here because
+    the injected noise is already a depolarizing channel, so the survival
+    decay is exactly A·α^m + B regardless of Haar-uniformity over the
+    group (the twirling step that requires uniform sampling is a no-op for
+    depolarizing noise). *)
+
+open Waltz_linalg
+
+val one_qubit_group : Mat.t array
+(** The 24 single-qubit Cliffords, canonical phase. *)
+
+val random_one_qubit : Rng.t -> Mat.t
+
+val random_two_qubit : ?word_length:int -> Rng.t -> Mat.t
+(** A 4×4 Clifford unitary drawn as a random word over
+    {H⊗I, I⊗H, S⊗I, I⊗S, CX, CX reversed} (default word length 24). *)
+
+val inverse : Mat.t -> Mat.t
+(** The recovery gate for an RB sequence: the adjoint. *)

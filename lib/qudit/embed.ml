@@ -1,0 +1,50 @@
+open Waltz_linalg
+
+let index_of_digits ~dims digits =
+  if Array.length digits <> Array.length dims then invalid_arg "Embed.index_of_digits";
+  let acc = ref 0 in
+  Array.iteri
+    (fun i d ->
+      if digits.(i) < 0 || digits.(i) >= d then invalid_arg "Embed.index_of_digits: digit range";
+      acc := (!acc * d) + digits.(i))
+    dims;
+  !acc
+
+let digits_of_index ~dims idx =
+  let n = Array.length dims in
+  let digits = Array.make n 0 in
+  let rem = ref idx in
+  for i = n - 1 downto 0 do
+    digits.(i) <- !rem mod dims.(i);
+    rem := !rem / dims.(i)
+  done;
+  if !rem <> 0 then invalid_arg "Embed.digits_of_index: index out of range";
+  digits
+
+let on_wires ~dims ~targets u =
+  let n = Array.length dims in
+  List.iter
+    (fun t -> if t < 0 || t >= n then invalid_arg "Embed.on_wires: target out of range")
+    targets;
+  let distinct = List.sort_uniq compare targets in
+  if List.length distinct <> List.length targets then
+    invalid_arg "Embed.on_wires: duplicate targets";
+  let tgt = Array.of_list targets in
+  let sub_dim = Array.fold_left (fun acc t -> acc * dims.(t)) 1 tgt in
+  if u.Mat.rows <> sub_dim || u.Mat.cols <> sub_dim then
+    invalid_arg "Embed.on_wires: unitary dimension mismatch";
+  let total = Array.fold_left ( * ) 1 dims in
+  let is_target = Array.make n false in
+  Array.iter (fun t -> is_target.(t) <- true) tgt;
+  let sub_index digits =
+    Array.fold_left (fun acc t -> (acc * dims.(t)) + digits.(t)) 0 tgt
+  in
+  Mat.init total total (fun i j ->
+      let di = digits_of_index ~dims i and dj = digits_of_index ~dims j in
+      let spectators_match = ref true in
+      for w = 0 to n - 1 do
+        if (not is_target.(w)) && di.(w) <> dj.(w) then spectators_match := false
+      done;
+      if not !spectators_match then Cplx.zero else Mat.get u (sub_index di) (sub_index dj))
+
+let on_qubits ~n ~targets u = on_wires ~dims:(Array.make n 2) ~targets u

@@ -1,0 +1,21 @@
+(** Embedding small unitaries into larger tensor-product spaces.
+
+    Wires are indexed most-significant first: for dims [|d0; …; d(n-1)|] the
+    basis index of |k0 … k(n-1)⟩ is k0·d1·…·d(n-1) + … + k(n-1). *)
+
+open Waltz_linalg
+
+val on_wires : dims:int array -> targets:int list -> Mat.t -> Mat.t
+(** [on_wires ~dims ~targets u] lifts [u] — whose dimension must equal the
+    product of [dims.(t)] for [t] in [targets], with [List.hd targets] as the
+    most significant sub-index — to the full space, acting as identity on all
+    other wires. Targets must be distinct and in range. *)
+
+val on_qubits : n:int -> targets:int list -> Mat.t -> Mat.t
+(** [on_wires] specialized to [n] qubit wires. *)
+
+val index_of_digits : dims:int array -> int array -> int
+(** Mixed-radix digits (most significant first) to flat index. *)
+
+val digits_of_index : dims:int array -> int -> int array
+(** Inverse of [index_of_digits]. *)

@@ -1,0 +1,35 @@
+open Waltz_linalg
+
+let encode_index q0 q1 =
+  if q0 < 0 || q0 > 1 || q1 < 0 || q1 > 1 then invalid_arg "Encoding.encode_index";
+  (2 * q0) + q1
+
+let decode_index level =
+  if level < 0 || level > 3 then invalid_arg "Encoding.decode_index";
+  (level lsr 1, level land 1)
+
+(* Basis index of the (source, ququart) pair seen as four bits
+   (a0, a1, b0, b1) where a = source level (2·a0 + a1), b = ququart level.
+   ENC with incoming_slot = 0 exchanges the source's slot-1 bit with the
+   ququart's slot-0 bit: (a0, a1, b0, b1) → (a0, b0, a1, b1).
+   ENC with incoming_slot = 1 rotates (a1, b0, b1) → (b0, b1, a1): the
+   occupant (slot 1) is promoted to slot 0 and the incoming qubit lands in
+   slot 1. Both are bit rewirings, hence permutations on all 16 states. *)
+let bits_of idx = (idx lsr 3 land 1, idx lsr 2 land 1, idx lsr 1 land 1, idx land 1)
+let of_bits (a0, a1, b0, b1) = (a0 lsl 3) lor (a1 lsl 2) lor (b0 lsl 1) lor b1
+
+let enc ~incoming_slot =
+  let f idx =
+    let a0, a1, b0, b1 = bits_of idx in
+    match incoming_slot with
+    | 0 -> of_bits (a0, b0, a1, b1)
+    | 1 -> of_bits (a0, b0, b1, a1)
+    | _ -> invalid_arg "Encoding.enc: slot must be 0 or 1"
+  in
+  Mat.permutation 16 f
+
+let dec ~outgoing_slot = Mat.adjoint (enc ~incoming_slot:outgoing_slot)
+
+let logical_to_ququart v =
+  if Vec.dim v <> 4 then invalid_arg "Encoding.logical_to_ququart";
+  Vec.copy v

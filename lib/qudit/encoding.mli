@@ -1,0 +1,39 @@
+(** The two-qubits-in-one-ququart encoding (Sec. 3.1) and the ENC / ENC†
+    operations of the intermediate mixed-radix strategy (Sec. 5.1.2).
+
+    Conventions used throughout the project:
+    - a ququart level decomposes as [level = 2·slot0 + slot1]; slot 0 is the
+      most significant encoded qubit (the paper's q0, acted on by U⁰), slot 1
+      the least significant (q1, acted on by U¹);
+    - a *lone* qubit stored on a 4-level device occupies slot 1, i.e. uses
+      levels |0⟩ and |1⟩ only;
+    - a 2-level device has a single slot, numbered 0. *)
+
+open Waltz_linalg
+
+val encode_index : int -> int -> int
+(** [encode_index q0 q1] is the ququart level 2·q0 + q1. *)
+
+val decode_index : int -> int * int
+(** Inverse of [encode_index]. *)
+
+val enc : incoming_slot:int -> Mat.t
+(** [enc ~incoming_slot] is the 16×16 ENC unitary on a (source, ququart)
+    device pair, source most significant, both modeled at 4 levels. It moves
+    the lone qubit of the source device (slot 1) into [incoming_slot] of the
+    target ququart, whose current lone occupant (slot 1) fills the other
+    slot; the source is left in |0⟩ on the logical subspace. The operation is
+    a relabeling of basis bits, hence an exact permutation unitary. *)
+
+val dec : outgoing_slot:int -> Mat.t
+(** [dec ~outgoing_slot] is the inverse operation: the qubit in
+    [outgoing_slot] of the ququart (the most significant device of the pair
+    here is the *destination*, which must hold no qubit / be in |0⟩) moves
+    out to the destination's slot 1, and the remaining encoded qubit drops
+    back to slot 1 of the ququart. [dec ~outgoing_slot:s = Mat.adjoint (enc
+    ~incoming_slot:s)]. *)
+
+val logical_to_ququart : Vec.t -> Vec.t
+(** [logical_to_ququart v] reinterprets a 2-qubit state (dimension 4, q0
+    most significant) as a ququart state. With this encoding the map is the
+    identity on amplitudes; the function checks the dimension and copies. *)

@@ -1,0 +1,57 @@
+open Waltz_linalg
+
+let id2 = Mat.identity 2
+let x = Mat.of_real_rows [ [ 0.; 1. ]; [ 1.; 0. ] ]
+let y = Mat.of_rows Cplx.[ [ zero; neg i ]; [ i; zero ] ]
+let z = Mat.of_real_rows [ [ 1.; 0. ]; [ 0.; -1. ] ]
+
+let h =
+  let s = 1. /. sqrt 2. in
+  Mat.of_real_rows [ [ s; s ]; [ s; -.s ] ]
+
+let s = Mat.diag [| Cplx.one; Cplx.i |]
+let sdg = Mat.adjoint s
+let t = Mat.diag [| Cplx.one; Cplx.exp_i (Float.pi /. 4.) |]
+let tdg = Mat.adjoint t
+
+let rx theta =
+  let c = Cplx.re (cos (theta /. 2.)) and ms = Cplx.c 0. (-.sin (theta /. 2.)) in
+  Mat.of_rows [ [ c; ms ]; [ ms; c ] ]
+
+let ry theta =
+  let c = cos (theta /. 2.) and s = sin (theta /. 2.) in
+  Mat.of_real_rows [ [ c; -.s ]; [ s; c ] ]
+
+let rz theta = Mat.diag [| Cplx.exp_i (-.theta /. 2.); Cplx.exp_i (theta /. 2.) |]
+let phase theta = Mat.diag [| Cplx.one; Cplx.exp_i theta |]
+
+let controlled u =
+  let n = u.Mat.rows in
+  Mat.init (2 * n) (2 * n) (fun i j ->
+      if i < n && j < n then if i = j then Cplx.one else Cplx.zero
+      else if i >= n && j >= n then Mat.get u (i - n) (j - n)
+      else Cplx.zero)
+
+let cx = controlled x
+let cz = controlled z
+let cs = controlled s
+let csdg = controlled sdg
+
+let swap =
+  Mat.permutation 4 (function 0 -> 0 | 1 -> 2 | 2 -> 1 | 3 -> 3 | _ -> assert false)
+
+let iswap =
+  Mat.of_rows
+    Cplx.
+      [ [ one; zero; zero; zero ];
+        [ zero; zero; i; zero ];
+        [ zero; i; zero; zero ];
+        [ zero; zero; zero; one ] ]
+
+let ccx = controlled cx
+let ccz = controlled cz
+let cswap = controlled swap
+
+let itoffoli =
+  let ix = Mat.scale Cplx.i x in
+  controlled (controlled ix)

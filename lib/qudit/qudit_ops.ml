@@ -1,0 +1,29 @@
+open Waltz_linalg
+
+let x_plus ~d m =
+  let m = ((m mod d) + d) mod d in
+  Mat.permutation d (fun k -> (k + m) mod d)
+
+let z_d ~d = Mat.diag (Array.init d (fun k -> Cplx.root_of_unity d k))
+
+let pauli ~d a b =
+  let rec pow m k = if k = 0 then Mat.identity d else Mat.mul m (pow m (k - 1)) in
+  Mat.mul (x_plus ~d a) (pow (z_d ~d) b)
+
+let swap_levels ~d i j =
+  if i < 0 || j < 0 || i >= d || j >= d then invalid_arg "Qudit_ops.swap_levels";
+  Mat.permutation d (fun k -> if k = i then j else if k = j then i else k)
+
+let level_controlled ~dc ~control_level u =
+  if control_level < 0 || control_level >= dc then invalid_arg "Qudit_ops.level_controlled";
+  let dt = u.Mat.rows in
+  Mat.init (dc * dt) (dc * dt) (fun i j ->
+      let ci = i / dt and ti = i mod dt in
+      let cj = j / dt and tj = j mod dt in
+      if ci <> cj then Cplx.zero
+      else if ci = control_level then Mat.get u ti tj
+      else if ti = tj then Cplx.one
+      else Cplx.zero)
+
+let projector ~d k =
+  Mat.init d d (fun i j -> if i = k && j = k then Cplx.one else Cplx.zero)

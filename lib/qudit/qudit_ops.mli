@@ -1,0 +1,28 @@
+(** Generalized qudit operators (Sec. 2.2 / 6.5 of the paper).
+
+    These are the d-level generalizations of the qubit Paulis and the
+    level-controlled gates used to reason about ququart computation. *)
+
+open Waltz_linalg
+
+val x_plus : d:int -> int -> Mat.t
+(** [x_plus ~d m] is the cyclic shift |k⟩ ↦ |k+m mod d⟩. *)
+
+val z_d : d:int -> Mat.t
+(** [z_d ~d] is diag(1, ω, ω², …, ω^{d-1}) with ω the primitive d-th root of
+    unity. *)
+
+val pauli : d:int -> int -> int -> Mat.t
+(** [pauli ~d a b] is X_{+1}^a · Z_d^b — the (a, b) element of the
+    generalized Pauli basis. [pauli ~d 0 0] is the identity. *)
+
+val swap_levels : d:int -> int -> int -> Mat.t
+(** Permutation exchanging two levels of a d-level system. *)
+
+val level_controlled : dc:int -> control_level:int -> Mat.t -> Mat.t
+(** [level_controlled ~dc ~control_level u] applies [u] on the target system
+    exactly when the control qudit (dimension [dc], most significant) is in
+    |control_level⟩ — e.g. the |3⟩-controlled X of Fig. 4. *)
+
+val projector : d:int -> int -> Mat.t
+(** [projector ~d k] is |k⟩⟨k|. *)

@@ -1,0 +1,84 @@
+open Waltz_linalg
+
+type operand = Qubit | Slot of int
+type fq_operand = A of int | B of int
+
+let check_2q name u =
+  if u.Mat.rows <> 2 || u.Mat.cols <> 2 then invalid_arg (name ^ ": expected a 2x2 unitary")
+
+let embedded_1q u ~slot =
+  check_2q "Ququart_gates.embedded_1q" u;
+  match slot with
+  | 0 -> Mat.kron u Gates.id2
+  | 1 -> Mat.kron Gates.id2 u
+  | _ -> invalid_arg "Ququart_gates.embedded_1q: slot must be 0 or 1"
+
+let embedded_1q_pair u v =
+  check_2q "Ququart_gates.embedded_1q_pair" u;
+  check_2q "Ququart_gates.embedded_1q_pair" v;
+  Mat.kron u v
+
+let internal_2q u =
+  if u.Mat.rows <> 4 || u.Mat.cols <> 4 then
+    invalid_arg "Ququart_gates.internal_2q: expected a 4x4 unitary";
+  Mat.copy u
+
+let internal_cx ~target_slot =
+  match target_slot with
+  | 1 -> internal_2q Gates.cx
+  | 0 -> Embed.on_qubits ~n:2 ~targets:[ 1; 0 ] Gates.cx
+  | _ -> invalid_arg "Ququart_gates.internal_cx: slot must be 0 or 1"
+
+let internal_swap = internal_2q Gates.swap
+
+(* Wire layout for a mixed-radix pair: wire 0 is the bare qubit, wires 1 and 2
+   are slots 0 and 1 of the ququart. *)
+let mr_wire = function
+  | Qubit -> 0
+  | Slot 0 -> 1
+  | Slot 1 -> 2
+  | Slot _ -> invalid_arg "Ququart_gates: slot must be 0 or 1"
+
+let lift_mr u operands =
+  let qubits = List.filter (fun o -> o = Qubit) operands in
+  if List.length qubits <> 1 then
+    invalid_arg "Ququart_gates: mixed-radix gates take exactly one Qubit operand";
+  Embed.on_qubits ~n:3 ~targets:(List.map mr_wire operands) u
+
+let mr_2q u ~first ~second =
+  if u.Mat.rows <> 4 then invalid_arg "Ququart_gates.mr_2q: expected a 4x4 unitary";
+  lift_mr u [ first; second ]
+
+let mr_3q u ~operands =
+  if u.Mat.rows <> 8 then invalid_arg "Ququart_gates.mr_3q: expected an 8x8 unitary";
+  if List.length operands <> 3 then invalid_arg "Ququart_gates.mr_3q: need three operands";
+  lift_mr u operands
+
+(* Wire layout for a ququart pair: wires 0,1 = slots of A; wires 2,3 = slots
+   of B. *)
+let fq_wire = function
+  | A s when s = 0 || s = 1 -> s
+  | B s when s = 0 || s = 1 -> 2 + s
+  | A _ | B _ -> invalid_arg "Ququart_gates: slot must be 0 or 1"
+
+let lift_fq u operands =
+  let sides = List.map (function A _ -> `A | B _ -> `B) operands in
+  if not (List.mem `A sides && List.mem `B sides) then
+    invalid_arg "Ququart_gates: full-ququart gates must span both devices";
+  Embed.on_qubits ~n:4 ~targets:(List.map fq_wire operands) u
+
+let fq_2q u ~first ~second =
+  if u.Mat.rows <> 4 then invalid_arg "Ququart_gates.fq_2q: expected a 4x4 unitary";
+  lift_fq u [ first; second ]
+
+let fq_3q u ~operands =
+  if u.Mat.rows <> 8 then invalid_arg "Ququart_gates.fq_3q: expected an 8x8 unitary";
+  if List.length operands <> 3 then invalid_arg "Ququart_gates.fq_3q: need three operands";
+  lift_fq u operands
+
+let fq_4q u ~operands =
+  if u.Mat.rows <> 16 then invalid_arg "Ququart_gates.fq_4q: expected a 16x16 unitary";
+  if List.length operands <> 4 then invalid_arg "Ququart_gates.fq_4q: need four operands";
+  lift_fq u operands
+
+let three_controlled_x = mr_3q Gates.ccx ~operands:[ Slot 0; Slot 1; Qubit ]

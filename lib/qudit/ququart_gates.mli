@@ -1,0 +1,71 @@
+(** The mixed-radix and full-ququart gate set of Sec. 3.2 and 4.2, as
+    explicit unitaries on one- or two-device Hilbert spaces.
+
+    Device-pair conventions: the matrices returned for mixed-radix gates act
+    on (qubit device ⊗ ququart device) with the qubit most significant
+    (dimension 8); full-ququart gates act on (ququart A ⊗ ququart B)
+    (dimension 16). Slots follow [Encoding]: slot 0 is the most significant
+    encoded qubit of a ququart. *)
+
+open Waltz_linalg
+
+type operand =
+  | Qubit  (** the bare-qubit device of a mixed-radix pair *)
+  | Slot of int  (** encoded slot of the ququart device *)
+
+val embedded_1q : Mat.t -> slot:int -> Mat.t
+(** [embedded_1q u ~slot] is U⁰ (slot 0) or U¹ (slot 1) — a 4×4 unitary. *)
+
+val embedded_1q_pair : Mat.t -> Mat.t -> Mat.t
+(** [embedded_1q_pair u v] is u ⊗ v on one ququart (the paper's U^{0,1} when
+    u = v). *)
+
+val internal_2q : Mat.t -> Mat.t
+(** Lift a two-qubit gate (slot 0 = most significant operand) to a single
+    ququart: with this encoding the 4×4 matrix is the gate itself; the
+    function validates dimensions. *)
+
+val internal_cx : target_slot:int -> Mat.t
+(** CX between the two encoded qubits of one ququart. [target_slot:0] is the
+    paper's CX⁰ (swaps |1⟩ and |3⟩); [target_slot:1] is CX¹ (swaps |2⟩ and
+    |3⟩). *)
+
+val internal_swap : Mat.t
+(** SWAPⁱⁿ — exchanges the encoding order (levels |1⟩ ↔ |2⟩). *)
+
+val mr_2q : Mat.t -> first:operand -> second:operand -> Mat.t
+(** [mr_2q u ~first ~second] lifts the two-qubit gate [u] onto a mixed-radix
+    pair, with [first] bound to [u]'s most significant operand. Exactly one
+    of the operands must be [Qubit]. E.g. the paper's CX^{q0} is
+    [mr_2q Gates.cx ~first:Qubit ~second:(Slot 0)] and CX^{0q} is
+    [mr_2q Gates.cx ~first:(Slot 0) ~second:Qubit]. *)
+
+val mr_3q : Mat.t -> operands:operand list -> Mat.t
+(** Lift a three-qubit gate onto a mixed-radix pair; the three operands bind
+    in order to the gate's wires and exactly one must be [Qubit]. E.g.
+    CCX^{01q} is [mr_3q Gates.ccx ~operands:[Slot 0; Slot 1; Qubit]]. *)
+
+type fq_operand =
+  | A of int  (** slot of the first (most significant) ququart *)
+  | B of int  (** slot of the second ququart *)
+
+val fq_2q : Mat.t -> first:fq_operand -> second:fq_operand -> Mat.t
+(** Lift a two-qubit gate onto two ququarts (16×16). The paper's CX^{ct} is
+    [fq_2q Gates.cx ~first:(A c) ~second:(B t)]. *)
+
+val fq_3q : Mat.t -> operands:fq_operand list -> Mat.t
+(** Lift a three-qubit gate onto two ququarts; operands must name three
+    distinct slots spanning both devices. E.g. CCX^{01,0} is
+    [fq_3q Gates.ccx ~operands:[A 0; A 1; B 0]]. *)
+
+val fq_4q : Mat.t -> operands:fq_operand list -> Mat.t
+(** Four-qubit gate across two ququarts — the paper's "interactions on up to
+    four qubits worth of information by controlling only two physical
+    devices" (Sec. 1). The four operands must name all four slots. E.g.
+    CCCZ is [fq_4q (Gates.controlled Gates.ccz) ~operands:[A 0; A 1; B 0; B 1]].
+    The compiler itself stops at three-qubit gates (Sec. 5.2); this is the
+    gate-set extension point. *)
+
+val three_controlled_x : Mat.t
+(** The |3⟩-controlled X of Fig. 4 (ququart control ⊗ qubit target, 8×8):
+    equal to [mr_3q Gates.ccx ~operands:[Slot 0; Slot 1; Qubit]]. *)

@@ -1,0 +1,91 @@
+open Waltz_linalg
+open Waltz_qudit
+
+type t = { dims : int array; mutable rho : Mat.t }
+
+let of_pure state =
+  let v = State.amplitudes state in
+  let n = Vec.dim v in
+  let rho =
+    Mat.init n n (fun i j -> Cplx.( *: ) (Vec.get v i) (Cplx.conj (Vec.get v j)))
+  in
+  { dims = State.dims state; rho }
+
+let dims t = Array.copy t.dims
+let trace t = (Mat.trace t.rho).Complex.re
+
+let lift t ~targets u = Embed.on_wires ~dims:t.dims ~targets u
+
+let apply_unitary t ~targets u =
+  let full = lift t ~targets u in
+  t.rho <- Mat.mul full (Mat.mul t.rho (Mat.adjoint full))
+
+let apply_kraus t ~targets kraus =
+  let total = Array.fold_left ( * ) 1 t.dims in
+  let acc = ref (Mat.zeros total total) in
+  List.iter
+    (fun k ->
+      let full = lift t ~targets k in
+      acc := Mat.add !acc (Mat.mul full (Mat.mul t.rho (Mat.adjoint full))))
+    kraus;
+  t.rho <- !acc;
+  let tr = trace t in
+  if Float.abs (tr -. 1.) > 1e-6 then
+    invalid_arg (Printf.sprintf "Density.apply_kraus: trace drifted to %f" tr)
+
+let depolarize t ~parts ~p =
+  if p < 0. || p > 1. then invalid_arg "Density.depolarize";
+  if p > 0. then begin
+    (* Enumerate every non-identity combination of per-part Pauli picks. *)
+    let rec combos = function
+      | [] -> [ [] ]
+      | (targets, set) :: rest ->
+        let tails = combos rest in
+        List.concat_map
+          (fun idx -> List.map (fun tail -> (targets, set, idx) :: tail) tails)
+          (List.init (Array.length set) Fun.id)
+    in
+    let all = combos parts in
+    let non_identity =
+      List.filter (fun combo -> List.exists (fun (_, _, idx) -> idx <> 0) combo) all
+    in
+    let count = List.length non_identity in
+    if count > 0 then begin
+      let total = Array.fold_left ( * ) 1 t.dims in
+      let acc = ref (Mat.scale (Cplx.re (1. -. p)) t.rho) in
+      let weight = Cplx.re (p /. float_of_int count) in
+      List.iter
+        (fun combo ->
+          let op =
+            List.fold_left
+              (fun acc_op (targets, set, idx) ->
+                Mat.mul acc_op (lift t ~targets set.(idx)))
+              (Mat.identity total) combo
+          in
+          acc := Mat.add !acc (Mat.scale weight (Mat.mul op (Mat.mul t.rho (Mat.adjoint op)))))
+        non_identity;
+      t.rho <- !acc
+    end
+  end
+
+let fidelity_with_pure t state =
+  let v = State.amplitudes state in
+  let n = Vec.dim v in
+  if n <> t.rho.Mat.rows then invalid_arg "Density.fidelity_with_pure";
+  (* ⟨ψ|ρ|ψ⟩ = Σ_ij conj(ψ_i) ρ_ij ψ_j. *)
+  let acc = ref Cplx.zero in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      acc :=
+        Cplx.( +: ) !acc
+          (Cplx.( *: )
+             (Cplx.conj (Vec.get v i))
+             (Cplx.( *: ) (Mat.get t.rho i j) (Vec.get v j)))
+    done
+  done;
+  !acc.Complex.re
+
+let pp ppf t =
+  Format.fprintf ppf "density over [%s], trace %.6f"
+    (String.concat "; " (Array.to_list (Array.map string_of_int t.dims)))
+    (trace t)

@@ -1,0 +1,35 @@
+(** Exact density-matrix evolution for small registers.
+
+    The trajectory method (Sec. 6.4) samples noise stochastically; this
+    module evolves the full density matrix with exact channels instead, for
+    registers of up to three ququarts (ρ is at most 64×64). Its purpose is
+    validation: the trajectory simulator's mean fidelity must converge to
+    the exact channel value (see the executor cross-check tests). *)
+
+open Waltz_linalg
+
+type t
+
+val of_pure : State.t -> t
+
+val dims : t -> int array
+
+val trace : t -> float
+
+val apply_unitary : t -> targets:int list -> Mat.t -> unit
+(** ρ ← UρU† with [u] lifted onto the listed wires. *)
+
+val apply_kraus : t -> targets:int list -> Mat.t list -> unit
+(** ρ ← Σ_m K_m ρ K_m† (the Kraus operators are lifted like unitaries).
+    Raises if the channel is not trace preserving within 1e-6. *)
+
+val depolarize : t -> parts:(int list * Mat.t array) list -> p:float -> unit
+(** The paper's symmetric depolarizing channel: with total probability [p],
+    a uniformly random non-identity element of the product of the given
+    per-part operator sets (each set's element 0 must be the identity) is
+    applied; each part lists the wires its set acts on. *)
+
+val fidelity_with_pure : t -> State.t -> float
+(** ⟨ψ|ρ|ψ⟩. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,90 @@
+open Waltz_linalg
+open Waltz_qudit
+
+type point = { depth : int; survival_mean : float; survival_sem : float }
+type result = { points : point list; alpha : float; fidelity : float }
+
+let dim = 4
+let fidelity_of_alpha alpha = 1. -. ((1. -. alpha) *. float_of_int (dim - 1) /. float_of_int dim)
+
+let error_prob_of_fidelity f =
+  (* F = 1 − (1−α)·3/4 and α = 1 − p·d²/(d²−1). *)
+  let alpha = 1. -. ((1. -. f) *. float_of_int dim /. float_of_int (dim - 1)) in
+  (1. -. alpha) *. float_of_int ((dim * dim) - 1) /. float_of_int (dim * dim)
+
+let apply_depolarizing rng state p =
+  match Waltz_noise.Noise.draw_error rng ~dims:[ dim ] ~p with
+  | None -> ()
+  | Some [ pauli ] -> State.apply state ~targets:[ 0 ] pauli
+  | Some _ -> assert false
+
+let one_sequence rng ~depth ~error_per_clifford ~interleave =
+  let state = State.create ~dims:[| dim |] in
+  let product = ref (Mat.identity dim) in
+  for _ = 1 to depth do
+    let c = Clifford.random_two_qubit rng in
+    State.apply state ~targets:[ 0 ] c;
+    apply_depolarizing rng state error_per_clifford;
+    product := Mat.mul c !product;
+    match interleave with
+    | None -> ()
+    | Some (g, pg) ->
+      State.apply state ~targets:[ 0 ] g;
+      apply_depolarizing rng state pg;
+      product := Mat.mul g !product
+  done;
+  let recovery = Clifford.inverse !product in
+  State.apply state ~targets:[ 0 ] recovery;
+  apply_depolarizing rng state error_per_clifford;
+  State.basis_probability state 0
+
+let fit_alpha points =
+  (* Weighted least squares of ln(y − 1/4) against depth. By the delta
+     method var(ln(y − B)) ≈ sem²/(y − B)², so each point gets weight
+     (y − B)²/sem². Points at the 1/d floor carry no slope information and
+     are dropped. *)
+  let b = 1. /. float_of_int dim in
+  let usable =
+    List.filter_map
+      (fun p ->
+        let y = p.survival_mean -. b in
+        if y > 0.04 then begin
+          let sem = Float.max p.survival_sem 1e-3 in
+          Some (float_of_int p.depth, log y, y *. y /. (sem *. sem))
+        end
+        else None)
+      points
+  in
+  match usable with
+  | [] | [ _ ] -> nan
+  | _ ->
+    let sw = List.fold_left (fun a (_, _, w) -> a +. w) 0. usable in
+    let sx = List.fold_left (fun a (x, _, w) -> a +. (w *. x)) 0. usable in
+    let sy = List.fold_left (fun a (_, y, w) -> a +. (w *. y)) 0. usable in
+    let sxx = List.fold_left (fun a (x, _, w) -> a +. (w *. x *. x)) 0. usable in
+    let sxy = List.fold_left (fun a (x, y, w) -> a +. (w *. x *. y)) 0. usable in
+    let slope = ((sw *. sxy) -. (sx *. sy)) /. ((sw *. sxx) -. (sx *. sx)) in
+    exp slope
+
+let run rng ~depths ~samples ~error_per_clifford ?interleave () =
+  let points =
+    List.map
+      (fun depth ->
+        let values =
+          List.init samples (fun _ ->
+              one_sequence rng ~depth ~error_per_clifford ~interleave)
+        in
+        let mean = List.fold_left ( +. ) 0. values /. float_of_int samples in
+        let var =
+          List.fold_left (fun a v -> a +. ((v -. mean) *. (v -. mean))) 0. values
+          /. float_of_int (max 1 (samples - 1))
+        in
+        { depth; survival_mean = mean; survival_sem = sqrt (var /. float_of_int samples) })
+      depths
+  in
+  let alpha = fit_alpha points in
+  { points; alpha; fidelity = fidelity_of_alpha alpha }
+
+let interleaved_gate_fidelity ~reference ~interleaved =
+  let ratio = interleaved.alpha /. reference.alpha in
+  1. -. ((1. -. ratio) *. float_of_int (dim - 1) /. float_of_int dim)

@@ -1,0 +1,37 @@
+(** Randomized benchmarking and interleaved RB on a single ququart holding
+    two encoded qubits — the simulation counterpart of the paper's Fig. 2
+    hardware experiment.
+
+    Protocol: depth-m sequences of two-qubit Cliffords (realized as 4×4
+    single-ququart unitaries under the encoding), followed by the exact
+    inverse; each Clifford is followed by a depolarizing draw; the survival
+    probability of |0⟩ is averaged over samples and fit to A·α^m + B with
+    B = 1/4. *)
+
+type point = { depth : int; survival_mean : float; survival_sem : float }
+
+type result = {
+  points : point list;
+  alpha : float;  (** fitted decay parameter *)
+  fidelity : float;  (** average Clifford fidelity 1 − (1−α)(d−1)/d, d = 4 *)
+}
+
+val error_prob_of_fidelity : float -> float
+(** Converts a target average gate fidelity into the total Pauli-error
+    probability of the uniform depolarizing draw (inverse of the fidelity
+    formula above, d = 4). *)
+
+val run :
+  Waltz_linalg.Rng.t ->
+  depths:int list ->
+  samples:int ->
+  error_per_clifford:float ->
+  ?interleave:Waltz_linalg.Mat.t * float ->
+  unit ->
+  result
+(** Standard RB, or interleaved RB when [interleave] supplies the gate and
+    its own depolarizing error probability. *)
+
+val interleaved_gate_fidelity : reference:result -> interleaved:result -> float
+(** The IRB estimate of the interleaved gate's fidelity:
+    F = 1 − (1 − α_int/α_ref)(d−1)/d. *)

@@ -1,0 +1,229 @@
+open Waltz_linalg
+
+type t = { dims : int array; strides : int array; vec : Vec.t }
+
+let strides_of dims =
+  let n = Array.length dims in
+  let strides = Array.make n 1 in
+  for w = n - 2 downto 0 do
+    strides.(w) <- strides.(w + 1) * dims.(w + 1)
+  done;
+  strides
+
+let total dims = Array.fold_left ( * ) 1 dims
+
+let create ~dims =
+  if Array.length dims = 0 then invalid_arg "State.create";
+  Array.iter (fun d -> if d < 2 then invalid_arg "State.create: wire dimension < 2") dims;
+  { dims = Array.copy dims; strides = strides_of dims; vec = Vec.basis (total dims) 0 }
+
+let of_vec ~dims v =
+  if Vec.dim v <> total dims then invalid_arg "State.of_vec: dimension mismatch";
+  { dims = Array.copy dims; strides = strides_of dims; vec = Vec.copy v }
+
+let random rng ~dims =
+  of_vec ~dims (Vec.gaussian (fun () -> Rng.gaussian rng) (total dims))
+
+let random_in_levels rng ~dims ~levels =
+  if Array.length levels <> Array.length dims then invalid_arg "State.random_in_levels";
+  let strides = strides_of dims in
+  let n = total dims in
+  let v = Vec.create n in
+  let in_support idx =
+    let ok = ref true in
+    for w = 0 to Array.length dims - 1 do
+      if idx / strides.(w) mod dims.(w) >= levels.(w) then ok := false
+    done;
+    !ok
+  in
+  for idx = 0 to n - 1 do
+    if in_support idx then begin
+      v.Vec.re.(idx) <- Rng.gaussian rng;
+      v.Vec.im.(idx) <- Rng.gaussian rng
+    end
+  done;
+  Vec.normalize_in_place v;
+  { dims = Array.copy dims; strides; vec = v }
+
+let random_supported rng ~dims ~allowed =
+  if Array.length allowed <> Array.length dims then invalid_arg "State.random_supported";
+  let strides = strides_of dims in
+  let n = total dims in
+  let v = Vec.create n in
+  let in_support idx =
+    let ok = ref true in
+    for w = 0 to Array.length dims - 1 do
+      if not (List.mem (idx / strides.(w) mod dims.(w)) allowed.(w)) then ok := false
+    done;
+    !ok
+  in
+  for idx = 0 to n - 1 do
+    if in_support idx then begin
+      v.Vec.re.(idx) <- Rng.gaussian rng;
+      v.Vec.im.(idx) <- Rng.gaussian rng
+    end
+  done;
+  Vec.normalize_in_place v;
+  { dims = Array.copy dims; strides; vec = v }
+
+let copy s = { s with vec = Vec.copy s.vec }
+let dims s = Array.copy s.dims
+let dim_total s = Vec.dim s.vec
+let amplitudes s = s.vec
+
+let apply s ~targets m =
+  let nw = Array.length s.dims in
+  List.iter (fun w -> if w < 0 || w >= nw then invalid_arg "State.apply: wire out of range") targets;
+  let tgt = Array.of_list targets in
+  let nt = Array.length tgt in
+  if List.length (List.sort_uniq compare targets) <> nt then
+    invalid_arg "State.apply: duplicate targets";
+  let g = Array.fold_left (fun acc w -> acc * s.dims.(w)) 1 tgt in
+  if m.Mat.rows <> g || m.Mat.cols <> g then invalid_arg "State.apply: matrix dimension mismatch";
+  (* Offsets of the g target-digit combinations. *)
+  let offsets = Array.make g 0 in
+  for j = 0 to g - 1 do
+    let rem = ref j and off = ref 0 in
+    for k = nt - 1 downto 0 do
+      let w = tgt.(k) in
+      off := !off + (!rem mod s.dims.(w) * s.strides.(w));
+      rem := !rem / s.dims.(w)
+    done;
+    offsets.(j) <- !off
+  done;
+  (* Odometer over the non-target wires. *)
+  let others = ref [] in
+  for w = nw - 1 downto 0 do
+    if not (Array.mem w tgt) then others := w :: !others
+  done;
+  let others = Array.of_list !others in
+  let no = Array.length others in
+  let counters = Array.make (max no 1) 0 in
+  let vre = s.vec.Vec.re and vim = s.vec.Vec.im in
+  let gre = Array.make g 0. and gim = Array.make g 0. in
+  let mre = m.Mat.re and mim = m.Mat.im in
+  let n_bases = Array.fold_left (fun acc w -> acc * s.dims.(w)) 1 others in
+  let base = ref 0 in
+  for _ = 1 to n_bases do
+    (* Gather, multiply, scatter. *)
+    for j = 0 to g - 1 do
+      let idx = !base + offsets.(j) in
+      gre.(j) <- vre.(idx);
+      gim.(j) <- vim.(idx)
+    done;
+    for i = 0 to g - 1 do
+      let acc_re = ref 0. and acc_im = ref 0. in
+      let row = i * g in
+      for j = 0 to g - 1 do
+        let a = mre.(row + j) and b = mim.(row + j) in
+        acc_re := !acc_re +. (a *. gre.(j)) -. (b *. gim.(j));
+        acc_im := !acc_im +. (a *. gim.(j)) +. (b *. gre.(j))
+      done;
+      let idx = !base + offsets.(i) in
+      vre.(idx) <- !acc_re;
+      vim.(idx) <- !acc_im
+    done;
+    (* Advance the odometer. *)
+    let k = ref (no - 1) in
+    let carried = ref true in
+    while !carried && !k >= 0 do
+      let w = others.(!k) in
+      counters.(!k) <- counters.(!k) + 1;
+      base := !base + s.strides.(w);
+      if counters.(!k) = s.dims.(w) then begin
+        counters.(!k) <- 0;
+        base := !base - (s.dims.(w) * s.strides.(w));
+        decr k
+      end
+      else carried := false
+    done
+  done
+
+let populations s ~wire =
+  let d = s.dims.(wire) and stride = s.strides.(wire) in
+  let pops = Array.make d 0. in
+  let vre = s.vec.Vec.re and vim = s.vec.Vec.im in
+  for idx = 0 to Vec.dim s.vec - 1 do
+    let level = idx / stride mod d in
+    pops.(level) <- pops.(level) +. (vre.(idx) *. vre.(idx)) +. (vim.(idx) *. vim.(idx))
+  done;
+  pops
+
+let damp s rng ~wire ~lambdas =
+  let d = s.dims.(wire) in
+  if Array.length lambdas <> d then invalid_arg "State.damp: lambda count mismatch";
+  let pops = populations s ~wire in
+  let weights = Array.make (d + 1) 0. in
+  (* weights.(0) = no-jump; weights.(m) = jump from level m - wait, level m
+     jumps are indexed 1..d-1 since λ_0 = 0. *)
+  let p_nojump = ref 0. in
+  for l = 0 to d - 1 do
+    p_nojump := !p_nojump +. ((1. -. lambdas.(l)) *. pops.(l))
+  done;
+  weights.(0) <- !p_nojump;
+  for m = 1 to d - 1 do
+    weights.(m) <- lambdas.(m) *. pops.(m)
+  done;
+  let choice = Rng.weighted_choice rng (Array.sub weights 0 d) in
+  let stride = s.strides.(wire) in
+  let vre = s.vec.Vec.re and vim = s.vec.Vec.im in
+  if choice = 0 then begin
+    let scales = Array.map (fun l -> sqrt (1. -. l)) lambdas in
+    for idx = 0 to Vec.dim s.vec - 1 do
+      let level = idx / stride mod d in
+      vre.(idx) <- vre.(idx) *. scales.(level);
+      vim.(idx) <- vim.(idx) *. scales.(level)
+    done
+  end
+  else begin
+    let m = choice in
+    for idx = 0 to Vec.dim s.vec - 1 do
+      let level = idx / stride mod d in
+      if level = 0 then begin
+        let src = idx + (m * stride) in
+        vre.(idx) <- vre.(src);
+        vim.(idx) <- vim.(src)
+      end
+      else begin
+        vre.(idx) <- 0.;
+        vim.(idx) <- 0.
+      end
+    done
+  end;
+  Vec.normalize_in_place s.vec
+
+let overlap2 a b = Vec.overlap2 a.vec b.vec
+let norm s = Vec.norm s.vec
+let normalize s = Vec.normalize_in_place s.vec
+
+let basis_probability s idx =
+  (s.vec.Vec.re.(idx) *. s.vec.Vec.re.(idx)) +. (s.vec.Vec.im.(idx) *. s.vec.Vec.im.(idx))
+
+let sample rng s =
+  let n = Vec.dim s.vec in
+  let x = ref (Rng.float rng 1.) in
+  let idx = ref (n - 1) in
+  (try
+     for k = 0 to n - 1 do
+       let p = (s.vec.Vec.re.(k) *. s.vec.Vec.re.(k)) +. (s.vec.Vec.im.(k) *. s.vec.Vec.im.(k)) in
+       x := !x -. p;
+       if !x <= 0. then begin
+         idx := k;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !idx
+
+let sample_counts rng s ~shots =
+  let table = Hashtbl.create 16 in
+  for _ = 1 to shots do
+    let k = sample rng s in
+    Hashtbl.replace table k (1 + Option.value ~default:0 (Hashtbl.find_opt table k))
+  done;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [])
+
+let pp ppf s =
+  Format.fprintf ppf "state over [%s]: %a"
+    (String.concat "; " (Array.to_list (Array.map string_of_int s.dims)))
+    Vec.pp s.vec

@@ -1,0 +1,71 @@
+(** Mixed-dimension state vectors and in-place gate application.
+
+    A register is a list of wires with individual dimensions (2 for qubit
+    devices, 4 for ququarts) — this is what lets one simulator serve the
+    qubit-only, mixed-radix (everything modeled at 4 levels, as in the
+    paper) and full-ququart environments. Wire 0 is most significant. *)
+
+open Waltz_linalg
+
+type t
+
+val create : dims:int array -> t
+(** The all-zeros basis state |0…0⟩. *)
+
+val of_vec : dims:int array -> Vec.t -> t
+(** Wraps a state vector (copied); its dimension must match the product of
+    [dims]. *)
+
+val random : Rng.t -> dims:int array -> t
+(** Haar-random pure state. *)
+
+val random_in_levels : Rng.t -> dims:int array -> levels:int array -> t
+(** Haar-random state supported on the first [levels.(w)] levels of each
+    wire — e.g. a random *qubit* state on 4-level devices
+    ([levels] all 2). Used to prepare the random logical inputs of Sec. 6.4
+    on ququart hardware. *)
+
+val random_supported : Rng.t -> dims:int array -> allowed:int list array -> t
+(** Haar-random state supported on an explicit list of allowed levels per
+    wire (e.g. [{0; 2}] for a lone qubit stored in slot 0 of a ququart). *)
+
+val copy : t -> t
+
+val dims : t -> int array
+
+val dim_total : t -> int
+
+val amplitudes : t -> Vec.t
+(** The underlying vector (not copied — do not mutate). *)
+
+val apply : t -> targets:int list -> Mat.t -> unit
+(** In-place application of a unitary (or Kraus operator) on the listed
+    wires; the matrix dimension must equal the product of the target wire
+    dimensions, first target most significant. Does not renormalize. *)
+
+val populations : t -> wire:int -> float array
+(** Marginal probability of each level of one wire. *)
+
+val damp : t -> Rng.t -> wire:int -> lambdas:float array -> unit
+(** One stochastic amplitude-damping trajectory step on a wire: samples a
+    Kraus operator from {K₀, K₁ … K_{d-1}} with K_m = √λ_m·|0⟩⟨m| and K₀
+    the no-jump operator, applies it and renormalizes. *)
+
+val overlap2 : t -> t -> float
+(** |⟨a|b⟩|² — fidelity between pure states. *)
+
+val norm : t -> float
+
+val normalize : t -> unit
+
+val basis_probability : t -> int -> float
+
+val sample : Waltz_linalg.Rng.t -> t -> int
+(** One computational-basis measurement outcome (flat index), drawn from the
+    Born distribution. The state is not collapsed. *)
+
+val sample_counts : Waltz_linalg.Rng.t -> t -> shots:int -> (int * int) list
+(** [shots] measurement outcomes, as (basis index, count) pairs sorted by
+    index. *)
+
+val pp : Format.formatter -> t -> unit

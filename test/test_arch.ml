@@ -1,0 +1,67 @@
+open Waltz_arch
+open Test_util
+
+let test_mesh () =
+  let m = Topology.mesh 9 in
+  check_int "devices" 9 (Topology.device_count m);
+  (* 3x3 grid: corner to corner is 4 hops. *)
+  check_int "diameter" 4 (Topology.distance m 0 8);
+  check_int "center of 3x3" 4 (Topology.center m);
+  check_bool "adjacency" true (Topology.are_adjacent m 0 1);
+  check_bool "no diagonal" false (Topology.are_adjacent m 0 4);
+  (* Non-square count still connected. *)
+  let m7 = Topology.mesh 7 in
+  check_int "7 devices" 7 (Topology.device_count m7);
+  check_bool "connected" true (Topology.distance m7 0 6 < 10)
+
+let test_line_ring () =
+  let l = Topology.line 5 in
+  check_int "line distance" 4 (Topology.distance l 0 4);
+  check_int "line center" 2 (Topology.center l);
+  let r = Topology.ring 6 in
+  check_int "ring wraps" 1 (Topology.distance r 0 5);
+  check_int "ring diameter" 3 (Topology.distance r 0 3)
+
+let test_heavy_hex () =
+  let h = Topology.heavy_hex 20 in
+  check_int "devices" 20 (Topology.device_count h);
+  (* Connected and sparser than a mesh of the same size. *)
+  check_bool "connected" true (Topology.distance h 0 19 < 100);
+  check_bool "sparser than mesh" true
+    (List.length (Topology.edges h) <= List.length (Topology.edges (Topology.mesh 20)))
+
+let test_interaction_graph () =
+  let g = Interaction_graph.make (Topology.mesh 4) ~slots_per_device:2 in
+  check_int "virtual nodes" 8 (Interaction_graph.node_count g);
+  let n00 = { Interaction_graph.device = 0; slot = 0 } in
+  let n01 = { Interaction_graph.device = 0; slot = 1 } in
+  let n10 = { Interaction_graph.device = 1; slot = 0 } in
+  let n30 = { Interaction_graph.device = 3; slot = 0 } in
+  check_bool "intra-device adjacency" true (Interaction_graph.adjacent g n00 n01);
+  check_bool "inter-device adjacency" true (Interaction_graph.adjacent g n00 n10);
+  check_bool "diagonal not adjacent" false (Interaction_graph.adjacent g n00 n30);
+  close "intra distance" 0. (Interaction_graph.distance g n00 n01);
+  close "inter distance" 1. (Interaction_graph.distance g n00 n10);
+  (* Triangle connectivity of Fig. 3: both slots of device 0 connect to
+     slot 0 of device 1, and to each other. *)
+  check_bool "triangle" true
+    (Interaction_graph.adjacent g n00 n10
+    && Interaction_graph.adjacent g n01 n10
+    && Interaction_graph.adjacent g n00 n01);
+  (* Each slot of a mesh-interior ququart has 2 + 4·2 = 10 neighbours on a
+     3x3 mesh center... just check neighbour counts are consistent. *)
+  let nbrs = Interaction_graph.neighbors g n00 in
+  check_int "corner slot neighbours" 5 (List.length nbrs)
+
+let test_qubit_only_graph () =
+  let g = Interaction_graph.make (Topology.mesh 4) ~slots_per_device:1 in
+  check_int "virtual nodes" 4 (Interaction_graph.node_count g);
+  check_int "all nodes slot 0" 4
+    (List.length (List.filter (fun n -> n.Interaction_graph.slot = 0) (Interaction_graph.nodes g)))
+
+let suite =
+  [ case "mesh" test_mesh;
+    case "line and ring" test_line_ring;
+    case "heavy hex" test_heavy_hex;
+    case "interaction graph" test_interaction_graph;
+    case "qubit-only graph" test_qubit_only_graph ]

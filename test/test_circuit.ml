@@ -1,0 +1,106 @@
+open Waltz_linalg
+open Waltz_circuit
+open Test_util
+
+let bell =
+  Circuit.add (Circuit.add (Circuit.empty 2) Gate.H [ 0 ]) Gate.Cx [ 0; 1 ]
+
+let test_gate_validation () =
+  (try
+     ignore (Gate.make Gate.Cx [ 0 ]);
+     Alcotest.fail "wrong arity accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Gate.make Gate.Ccx [ 0; 1; 1 ]);
+     Alcotest.fail "duplicate operands accepted"
+   with Invalid_argument _ -> ());
+  check_int "ccx arity" 3 (Gate.arity Gate.Ccx);
+  check_int "custom arity" 2 (Gate.arity (Gate.Custom ("u", Mat.identity 4)));
+  let ccx = Gate.make Gate.Ccx [ 2; 5; 7 ] in
+  check_bool "controls" true (Gate.controls ccx = [ 2; 5 ]);
+  check_bool "targets" true (Gate.targets ccx = [ 7 ]);
+  let ccz = Gate.make Gate.Ccz [ 1; 2; 3 ] in
+  check_bool "ccz target independent" true (Gate.controls ccz = [ 1; 2; 3 ])
+
+let test_moments () =
+  let c =
+    Circuit.of_gates ~n:3
+      [ Gate.make Gate.H [ 0 ];
+        Gate.make Gate.H [ 1 ];
+        Gate.make Gate.Cx [ 0; 1 ];
+        Gate.make Gate.X [ 2 ] ]
+  in
+  let ms = Circuit.moments c in
+  check_int "depth 2" 2 (List.length ms);
+  check_int "first moment has 3 gates" 3 (List.length (List.hd ms));
+  check_int "gate count" 4 (Circuit.gate_count c);
+  let one, two, three = Circuit.count_by_arity c in
+  check_int "1q count" 3 one;
+  check_int "2q count" 1 two;
+  check_int "3q count" 0 three
+
+let test_weights () =
+  let c =
+    Circuit.of_gates ~n:3
+      [ Gate.make Gate.Cx [ 0; 1 ]; Gate.make Gate.Cx [ 0; 1 ]; Gate.make Gate.Ccx [ 0; 1; 2 ] ]
+  in
+  let w = Circuit.interaction_weights c in
+  (* 0-1 interact in moments 1, 2, 3: weight 1 + 1/2 + 1/3. *)
+  close ~tol:1e-12 "w(0,1)" (1. +. 0.5 +. (1. /. 3.)) w.(0).(1);
+  close ~tol:1e-12 "w(0,2)" (1. /. 3.) w.(0).(2);
+  close ~tol:1e-12 "symmetric" w.(1).(0) w.(0).(1)
+
+let test_to_unitary () =
+  let u = Circuit.to_unitary bell in
+  assert_unitary "bell unitary" u;
+  let v = Mat.apply u (Vec.basis 4 0) in
+  let s = 1. /. sqrt 2. in
+  check_bool "bell state" true
+    (Cplx.close (Vec.get v 0) (Cplx.re s) && Cplx.close (Vec.get v 3) (Cplx.re s))
+
+let test_reverse () =
+  let c =
+    Circuit.of_gates ~n:2
+      [ Gate.make Gate.H [ 0 ];
+        Gate.make Gate.S [ 1 ];
+        Gate.make Gate.T [ 0 ];
+        Gate.make Gate.Cx [ 0; 1 ] ]
+  in
+  let u = Circuit.to_unitary c and udag = Circuit.to_unitary (Circuit.reverse c) in
+  mat_equal "reverse is the adjoint" (Mat.identity 4) (Mat.mul udag u)
+
+let test_map_qubits () =
+  let c = Circuit.map_qubits (fun q -> q + 2) bell in
+  check_int "expanded" 4 c.Circuit.n;
+  check_bool "gates remapped" true
+    (List.for_all (fun g -> List.for_all (fun q -> q >= 2) g.Gate.qubits) c.Circuit.gates)
+
+let test_render () =
+  let c =
+    Circuit.of_gates ~n:3
+      [ Gate.make Gate.H [ 0 ]; Gate.make Gate.Cx [ 0; 2 ]; Gate.make Gate.Ccx [ 0; 1; 2 ] ]
+  in
+  let text = Render.render c in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' text) in
+  check_int "one line per qubit" 3 (List.length lines);
+  let lengths = List.map String.length lines in
+  check_bool "aligned columns" true
+    (List.for_all (fun l -> l = List.hd lengths) lengths);
+  check_bool "has control glyph" true
+    (List.exists (fun l -> String.contains l 'o') lines);
+  check_bool "has connector" true (String.contains text '|')
+
+let prop_moments_preserve_gates =
+  qcheck ~count:40 "moments partition the gate list" QCheck.(int_range 0 5000) (fun seed ->
+      let c = Waltz_benchmarks.Bench_circuits.synthetic ~n:6 ~gates:20 ~cx_fraction:0.5 ~seed in
+      List.length (List.concat (Circuit.moments c)) = Circuit.gate_count c)
+
+let suite =
+  [ case "gate validation" test_gate_validation;
+    case "moments" test_moments;
+    case "weights" test_weights;
+    case "to_unitary" test_to_unitary;
+    case "reverse" test_reverse;
+    case "map qubits" test_map_qubits;
+    case "render" test_render;
+    prop_moments_preserve_gates ]

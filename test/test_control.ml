@@ -1,0 +1,199 @@
+open Waltz_linalg
+open Waltz_control
+open Test_util
+
+let single_transmon = Transmon.paper_spec ~n:1 ~levels:[| 3 |]
+
+let test_annihilation () =
+  let a = Transmon.annihilation 3 in
+  (* a|1> = |0>, a|2> = √2 |1>. *)
+  check_bool "a[0,1] = 1" true (Cplx.close (Mat.get a 0 1) Cplx.one);
+  check_bool "a[1,2] = sqrt2" true (Cplx.close (Mat.get a 1 2) (Cplx.re (sqrt 2.)))
+
+let test_drift_hermitian () =
+  List.iter
+    (fun spec ->
+      let h = Transmon.drift spec in
+      mat_equal "drift hermitian" h (Mat.adjoint h))
+    [ single_transmon;
+      Transmon.paper_spec ~n:2 ~levels:[| 3; 3 |];
+      Transmon.paper_spec ~n:3 ~levels:[| 2; 2; 2 |] ]
+
+let test_drift_values () =
+  (* Rotating at the first transmon's frequency: its |1⟩ detuning is 0 and
+     its |2⟩ picks up the anharmonicity. *)
+  let h = Transmon.drift single_transmon in
+  check_bool "level 1 detuning 0" true (Cplx.close (Mat.get h 1 1) Cplx.zero);
+  check_bool "level 2 anharmonicity" true
+    (Cplx.close (Mat.get h 2 2) (Cplx.re (-0.330)));
+  (* Two transmons: coupling term J between |01⟩ and |10⟩. *)
+  let spec2 = Transmon.paper_spec ~n:2 ~levels:[| 2; 2 |] in
+  let h2 = Transmon.drift spec2 in
+  check_bool "coupling element" true (Cplx.close (Mat.get h2 1 2) (Cplx.re 0.0038))
+
+let test_logical_indices () =
+  let spec = Transmon.paper_spec ~n:2 ~levels:[| 3; 3 |] in
+  let idx = Transmon.logical_indices spec ~logical_levels:[| 2; 2 |] in
+  check_bool "logical embedding" true (idx = [| 0; 1; 3; 4 |])
+
+let test_zero_pulse_identity () =
+  let spec = single_transmon in
+  let obj =
+    { Grape.spec; target = Mat.identity 2; logical_levels = [| 2 |]; leak_weight = 0. }
+  in
+  let pulse = Pulse.create ~n_ctrl:2 ~n_seg:10 ~duration_ns:20. ~max_amp_ghz:0.045 in
+  let eval = Grape.evaluate obj pulse in
+  (* With no drive the propagator is diagonal; restricted to the (0,1)
+     subspace it is the identity up to the (zero-detuning) frame: F ≈ 1. *)
+  close ~tol:1e-6 "identity fidelity with zero pulse" 1. eval.Grape.fidelity;
+  close ~tol:1e-9 "no leakage" 0. eval.Grape.leakage
+
+let test_gradient_direction () =
+  (* A gradient step must decrease the objective for a smooth start. *)
+  let spec = single_transmon in
+  let obj =
+    { Grape.spec; target = Synthesis.x_target; logical_levels = [| 2 |]; leak_weight = 0.05 }
+  in
+  let pulse = Pulse.create ~n_ctrl:2 ~n_seg:12 ~duration_ns:24. ~max_amp_ghz:0.045 in
+  Pulse.randomize (rng 3) ~scale:0.2 pulse;
+  let grad, eval0 = Grape.gradient obj pulse in
+  let obj0 = 1. -. eval0.Grape.fidelity +. (0.05 *. eval0.Grape.leakage) in
+  let step = 0.01 in
+  Array.iteri (fun k g -> pulse.Pulse.theta.(k) <- pulse.Pulse.theta.(k) -. (step *. g)) grad;
+  let eval1 = Grape.evaluate obj pulse in
+  let obj1 = 1. -. eval1.Grape.fidelity +. (0.05 *. eval1.Grape.leakage) in
+  check_bool
+    (Printf.sprintf "gradient descends (%.6f -> %.6f)" obj0 obj1)
+    true (obj1 < obj0)
+
+let test_optimize_x_gate () =
+  let spec = single_transmon in
+  let report, _pulse =
+    Synthesis.synthesize ~seed:7 ~restarts:1 ~iters:150 ~spec ~target:Synthesis.x_target
+      ~logical_levels:[| 2 |] ~duration_ns:30. ~segments:30 ()
+  in
+  check_bool
+    (Printf.sprintf "X pulse reaches F > 0.95 (got %.4f)" report.Synthesis.fidelity)
+    true
+    (report.Synthesis.fidelity > 0.95)
+
+let test_carrier_bounds () =
+  let c =
+    Carrier.create ~n_lines:1 ~carriers:[| 0.; -0.33 |] ~n_env:6 ~fine_per_env:8
+      ~duration_ns:48. ~max_amp_ghz:0.045
+  in
+  Carrier.randomize (rng 9) ~scale:20. c;
+  let amps = Carrier.amplitudes c in
+  Array.iter
+    (Array.iter (fun a -> check_bool "carrier amp bounded" true (Float.abs a <= 0.045 +. 1e-12)))
+    amps;
+  check_int "param count" (1 * 2 * 6 * 2) (Carrier.param_count c);
+  close ~tol:1e-12 "fine dt" 1. (Carrier.fine_dt_ns c)
+
+let test_carrier_gradient_direction () =
+  let spec = single_transmon in
+  let obj =
+    { Grape.spec; target = Synthesis.x_target; logical_levels = [| 2 |]; leak_weight = 0.05 }
+  in
+  let c =
+    Carrier.create ~n_lines:1 ~carriers:[| 0. |] ~n_env:6 ~fine_per_env:8 ~duration_ns:24.
+      ~max_amp_ghz:0.045
+  in
+  Carrier.randomize (rng 3) ~scale:0.2 c;
+  let dt = Carrier.fine_dt_ns c in
+  let damps, eval0 = Grape.amplitude_gradient obj ~dt_ns:dt (Carrier.amplitudes c) in
+  let grad = Carrier.param_gradient c damps in
+  let obj0 = 1. -. eval0.Grape.fidelity +. (0.05 *. eval0.Grape.leakage) in
+  Array.iteri (fun k g -> c.Carrier.theta.(k) <- c.Carrier.theta.(k) -. (0.01 *. g)) grad;
+  let eval1 = Grape.evaluate_amplitudes obj ~dt_ns:dt (Carrier.amplitudes c) in
+  let obj1 = 1. -. eval1.Grape.fidelity +. (0.05 *. eval1.Grape.leakage) in
+  check_bool
+    (Printf.sprintf "carrier gradient descends (%.6f -> %.6f)" obj0 obj1)
+    true (obj1 < obj0)
+
+let test_carrier_optimizes_hh () =
+  (* The carrier ansatz reaches high H⊗H fidelity with far fewer parameters
+     than the raw piecewise-constant pulse. *)
+  let spec = Transmon.paper_spec ~n:1 ~levels:[| 5 |] in
+  let obj =
+    { Grape.spec; target = Synthesis.hh_target; logical_levels = [| 4 |]; leak_weight = 0.1 }
+  in
+  let c =
+    Carrier.create ~n_lines:1 ~carriers:[| 0.; -0.330; -0.660 |] ~n_env:45
+      ~fine_per_env:8 ~duration_ns:90. ~max_amp_ghz:0.045
+  in
+  Carrier.randomize (rng 5) ~scale:0.5 c;
+  let r = Carrier.optimize ~iters:400 obj c in
+  check_bool
+    (Printf.sprintf "carrier H(x)H F > 0.9 (got %.4f, %d params)"
+       r.Grape.final.Grape.fidelity (Carrier.param_count c))
+    true
+    (r.Grape.final.Grape.fidelity > 0.9)
+
+let test_lindblad_trace_and_decay () =
+  let spec = single_transmon in
+  (* Zero pulse, start in |1⟩: after T the excited population is e^{-T/T1}. *)
+  let pulse = Pulse.create ~n_ctrl:2 ~n_seg:10 ~duration_ns:200. ~max_amp_ghz:0.045 in
+  let d = Transmon.dim spec in
+  let rho0 = Mat.init d d (fun i j -> if i = 1 && j = 1 then Cplx.one else Cplx.zero) in
+  let t1 = 1000. in
+  let rho = Lindblad.evolve spec pulse ~t1_ns:t1 ~rho0 ~substeps:40 () in
+  close ~tol:1e-6 "trace preserved" 1. (Mat.trace rho).Complex.re;
+  close ~tol:1e-4 "exponential decay of |1>" (exp (-200. /. t1)) (Mat.get rho 1 1).Complex.re;
+  (* Level 2 decays twice as fast (√2 matrix element squared). *)
+  let rho0_2 = Mat.init d d (fun i j -> if i = 2 && j = 2 then Cplx.one else Cplx.zero) in
+  let rho2 = Lindblad.evolve spec pulse ~t1_ns:t1 ~rho0:rho0_2 ~substeps:40 () in
+  close ~tol:1e-3 "level 2 decays at 2/T1" (exp (-2. *. 200. /. t1))
+    (Mat.get rho2 2 2).Complex.re
+
+let test_lindblad_open_vs_closed () =
+  (* A good closed-system X pulse keeps most of its fidelity under realistic
+     T1, and loses more when T1 shrinks. *)
+  let spec = single_transmon in
+  let report, pulse =
+    Synthesis.synthesize ~seed:7 ~restarts:1 ~iters:150 ~spec ~target:Synthesis.x_target
+      ~logical_levels:[| 2 |] ~duration_ns:30. ~segments:30 ()
+  in
+  check_bool "closed-system pulse is good" true (report.Synthesis.fidelity > 0.95);
+  let f_realistic =
+    Lindblad.average_fidelity spec pulse ~target:Synthesis.x_target ~logical_levels:[| 2 |]
+      ~t1_ns:163_450. ~samples:5 ~seed:3
+  in
+  let f_bad_t1 =
+    Lindblad.average_fidelity spec pulse ~target:Synthesis.x_target ~logical_levels:[| 2 |]
+      ~t1_ns:500. ~samples:5 ~seed:3
+  in
+  check_bool
+    (Printf.sprintf "realistic T1 barely hurts (%.4f)" f_realistic)
+    true
+    (f_realistic > report.Synthesis.fidelity -. 0.01);
+  check_bool
+    (Printf.sprintf "short T1 hurts (%.4f < %.4f)" f_bad_t1 f_realistic)
+    true (f_bad_t1 < f_realistic -. 0.01)
+
+let test_pulse_bounds () =
+  let pulse = Pulse.create ~n_ctrl:2 ~n_seg:8 ~duration_ns:16. ~max_amp_ghz:0.045 in
+  Pulse.randomize (rng 5) ~scale:10. pulse;
+  for ctrl = 0 to 1 do
+    for seg = 0 to 7 do
+      check_bool "amplitude bounded" true (Float.abs (Pulse.amp pulse ~ctrl ~seg) <= 0.045)
+    done
+  done;
+  let resampled = Pulse.resample pulse ~n_seg:16 ~duration_ns:12. in
+  check_int "resampled segments" 16 resampled.Pulse.n_seg;
+  close ~tol:1e-12 "resampled duration" 12. (Pulse.duration_ns resampled)
+
+let suite =
+  [ case "annihilation" test_annihilation;
+    case "drift hermitian" test_drift_hermitian;
+    case "drift values" test_drift_values;
+    case "logical indices" test_logical_indices;
+    case "zero pulse identity" test_zero_pulse_identity;
+    case "gradient direction" test_gradient_direction;
+    case "optimize X gate" test_optimize_x_gate;
+    case "carrier bounds" test_carrier_bounds;
+    case "carrier gradient direction" test_carrier_gradient_direction;
+    case "carrier optimizes HH" test_carrier_optimizes_hh;
+    case "lindblad trace and decay" test_lindblad_trace_and_decay;
+    case "lindblad open vs closed" test_lindblad_open_vs_closed;
+    case "pulse bounds" test_pulse_bounds ]

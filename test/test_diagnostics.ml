@@ -1,0 +1,75 @@
+(* Tests for the diagnostic layers: per-device EPS breakdown and the
+   executor's leakage / error-draw reporting. *)
+
+open Waltz_circuit
+open Waltz_core
+open Waltz_noise
+open Test_util
+
+let toffoli = Circuit.of_gates ~n:3 [ Gate.make Gate.Ccx [ 0; 1; 2 ] ]
+
+let test_device_breakdown_consistency () =
+  let compiled = Compile.compile Strategy.mixed_radix_ccz toffoli in
+  let total = Eps.estimate compiled in
+  let reports = Eps.device_breakdown compiled in
+  check_int "one report per device" compiled.Physical.device_count (List.length reports);
+  (* Per-device survival factors multiply to the coherence EPS. *)
+  let product = List.fold_left (fun acc r -> acc *. r.Eps.survival) 1. reports in
+  close ~tol:1e-9 "survivals multiply to coherence EPS" total.Eps.coherence_eps product;
+  (* busy + idle accounts for the whole schedule on busy devices. *)
+  List.iter
+    (fun r ->
+      close ~tol:1e-6
+        (Printf.sprintf "device %d timeline adds up" r.Eps.device)
+        total.Eps.duration_ns
+        (r.Eps.busy_ns +. r.Eps.idle_ns))
+    reports;
+  (* The ENC host spends time encoded; some device must. *)
+  check_bool "someone held a pair" true (List.exists (fun r -> r.Eps.encoded_ns > 0.) reports)
+
+let test_breakdown_packed_vs_bare () =
+  let c = Waltz_benchmarks.Bench_circuits.cuccaro ~bits:2 in
+  let packed = Eps.device_breakdown (Compile.compile Strategy.full_ququart c) in
+  let bare = Eps.device_breakdown (Compile.compile Strategy.qubit_only c) in
+  check_bool "packed devices are mostly encoded" true
+    (List.for_all (fun r -> r.Eps.encoded_ns > 0.) packed);
+  check_bool "bare devices never encode" true
+    (List.for_all (fun r -> r.Eps.encoded_ns = 0.) bare)
+
+let test_detailed_metrics () =
+  let compiled = Compile.compile Strategy.mixed_radix_ccz toffoli in
+  let d =
+    Executor.simulate_detailed
+      ~config:{ Executor.model = Noise.default; trajectories = 40; base_seed = 7 }
+      compiled
+  in
+  check_bool "leakage in [0,1]" true (d.Executor.mean_leakage >= 0. && d.Executor.mean_leakage <= 1.);
+  check_bool "some error draws on average" true (d.Executor.mean_error_draws >= 0.);
+  (* With huge errors there must be draws and some leakage into ww levels. *)
+  let noisy =
+    Executor.simulate_detailed
+      ~config:
+        { Executor.model = { Noise.default with Noise.ww_error_scale = 30. };
+          trajectories = 40;
+          base_seed = 7 }
+      compiled
+  in
+  check_bool "scaled noise increases draws" true
+    (noisy.Executor.mean_error_draws > d.Executor.mean_error_draws);
+  check_bool "ww errors leak" true (noisy.Executor.mean_leakage > 0.)
+
+let test_leakage_zero_for_bare () =
+  (* 2-level devices have no ww levels to leak into. *)
+  let compiled = Compile.compile Strategy.qubit_only toffoli in
+  let d =
+    Executor.simulate_detailed
+      ~config:{ Executor.model = Noise.default; trajectories = 20; base_seed = 7 }
+      compiled
+  in
+  close ~tol:1e-9 "no leakage on qubit hardware" 0. d.Executor.mean_leakage
+
+let suite =
+  [ case "device breakdown consistency" test_device_breakdown_consistency;
+    case "packed vs bare encoding time" test_breakdown_packed_vs_bare;
+    case "detailed metrics" test_detailed_metrics;
+    case "bare leakage zero" test_leakage_zero_for_bare ]

@@ -1,0 +1,81 @@
+(* The density-matrix executor and its cross-validation of the trajectory
+   method: on small circuits the trajectory mean fidelity must converge to
+   the exact channel value. *)
+
+open Waltz_linalg
+open Waltz_circuit
+open Waltz_sim
+open Waltz_core
+open Waltz_noise
+open Test_util
+
+let toffoli = Circuit.of_gates ~n:3 [ Gate.make Gate.Ccx [ 0; 1; 2 ] ]
+
+let test_density_basics () =
+  let r = rng 3 in
+  let psi = State.random r ~dims:[| 2; 4 |] in
+  let rho = Density.of_pure psi in
+  close ~tol:1e-12 "unit trace" 1. (Density.trace rho);
+  close ~tol:1e-12 "pure self-fidelity" 1. (Density.fidelity_with_pure rho psi);
+  (* Unitary invariance of trace and fidelity transformation. *)
+  Density.apply_unitary rho ~targets:[ 1 ] (Waltz_qudit.Qudit_ops.x_plus ~d:4 1);
+  close ~tol:1e-12 "trace preserved" 1. (Density.trace rho);
+  State.apply psi ~targets:[ 1 ] (Waltz_qudit.Qudit_ops.x_plus ~d:4 1);
+  close ~tol:1e-12 "evolves like the pure state" 1. (Density.fidelity_with_pure rho psi)
+
+let test_density_kraus () =
+  (* Full damping from |1⟩ must land in |0⟩. *)
+  let psi = State.of_vec ~dims:[| 2 |] (Vec.basis 2 1) in
+  let rho = Density.of_pure psi in
+  let k0 = Mat.of_real_rows [ [ 1.; 0. ]; [ 0.; 0. ] ] in
+  let k1 = Mat.of_real_rows [ [ 0.; 1. ]; [ 0.; 0. ] ] in
+  Density.apply_kraus rho ~targets:[ 0 ] [ k0; k1 ];
+  let ground = State.of_vec ~dims:[| 2 |] (Vec.basis 2 0) in
+  close ~tol:1e-12 "decayed to ground" 1. (Density.fidelity_with_pure rho ground)
+
+let test_density_depolarize () =
+  (* Full single-qubit depolarizing sends |0⟩⟨0| toward the maximally mixed
+     state: with p the state is (1−p)ρ + p/3 Σ PρP†. *)
+  let psi = State.of_vec ~dims:[| 2 |] (Vec.basis 2 0) in
+  let rho = Density.of_pure psi in
+  let p = 0.3 in
+  Density.depolarize rho ~parts:[ ([ 0 ], Noise.pauli_set ~d:2) ] ~p;
+  close ~tol:1e-12 "trace preserved" 1. (Density.trace rho);
+  (* ⟨0|ρ|0⟩ = (1−p) + p/3 (the Z branch keeps |0⟩). *)
+  close ~tol:1e-9 "survival matches closed form"
+    (1. -. p +. (p /. 3.))
+    (Density.fidelity_with_pure rho psi)
+
+let test_exact_matches_trajectory () =
+  (* The headline validation: exact channel fidelity vs trajectory mean. *)
+  List.iter
+    (fun strategy ->
+      let compiled = Compile.compile strategy toffoli in
+      let exact = Exact.simulate_exact ~inputs:6 ~base_seed:77 compiled in
+      let traj =
+        Executor.simulate
+          ~config:{ Executor.model = Noise.default; trajectories = 600; base_seed = 77 }
+          compiled
+      in
+      let diff = Float.abs (exact.Exact.mean_fidelity -. traj.Executor.mean_fidelity) in
+      check_bool
+        (Printf.sprintf "%s: exact %.4f vs trajectory %.4f (+-%.4f)" strategy.Strategy.name
+           exact.Exact.mean_fidelity traj.Executor.mean_fidelity traj.Executor.sem)
+        true
+        (diff < Float.max 0.03 (4. *. traj.Executor.sem)))
+    [ Strategy.full_ququart; Strategy.mixed_radix_ccz ]
+
+let test_exact_guard () =
+  let big = Waltz_benchmarks.Bench_circuits.cuccaro ~bits:2 in
+  let compiled = Compile.compile Strategy.mixed_radix_ccz big in
+  try
+    ignore (Exact.simulate_exact compiled);
+    Alcotest.fail "oversized register accepted"
+  with Invalid_argument _ -> ()
+
+let suite =
+  [ case "density basics" test_density_basics;
+    case "density kraus" test_density_kraus;
+    case "density depolarize" test_density_depolarize;
+    case "exact vs trajectory" test_exact_matches_trajectory;
+    case "exact size guard" test_exact_guard ]

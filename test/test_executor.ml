@@ -1,0 +1,73 @@
+open Waltz_circuit
+open Waltz_core
+open Waltz_noise
+open Test_util
+
+let toffoli = Circuit.of_gates ~n:3 [ Gate.make Gate.Ccx [ 0; 1; 2 ] ]
+
+let sim ?(trajectories = 25) ?(model = Noise.default) strategy circuit =
+  let compiled = Compile.compile strategy circuit in
+  Executor.simulate
+    ~config:{ Executor.model; trajectories; base_seed = 99 }
+    compiled
+
+let test_fidelity_in_range () =
+  List.iter
+    (fun s ->
+      let r = sim s toffoli in
+      check_bool
+        (Printf.sprintf "%s fidelity in (0.5, 1]" s.Strategy.name)
+        true
+        (r.Executor.mean_fidelity > 0.5 && r.Executor.mean_fidelity <= 1. +. 1e-9))
+    Strategy.fig7_set
+
+let test_deterministic () =
+  let a = sim Strategy.mixed_radix_ccz toffoli in
+  let b = sim Strategy.mixed_radix_ccz toffoli in
+  close ~tol:1e-12 "same seed same result" a.Executor.mean_fidelity b.Executor.mean_fidelity
+
+let test_noise_hurts () =
+  (* Inflating ww error and shrinking T1 must lower fidelity. *)
+  let clean = sim Strategy.full_ququart toffoli in
+  let dirty =
+    sim
+      ~model:{ Noise.default with Noise.ww_error_scale = 10.; t1_high_scale = 20. }
+      Strategy.full_ququart toffoli
+  in
+  check_bool "more noise, less fidelity" true
+    (dirty.Executor.mean_fidelity < clean.Executor.mean_fidelity)
+
+let test_matches_eps_roughly () =
+  (* For small circuits the trajectory fidelity should track the EPS estimate
+     within a loose band. *)
+  let compiled = Compile.compile Strategy.mixed_radix_ccz toffoli in
+  let eps = (Eps.estimate compiled).Eps.total_eps in
+  let r =
+    Executor.simulate ~config:{ Executor.default_config with trajectories = 60 } compiled
+  in
+  check_bool
+    (Printf.sprintf "sim %.3f within 0.1 of EPS %.3f" r.Executor.mean_fidelity eps)
+    true
+    (Float.abs (r.Executor.mean_fidelity -. eps) < 0.1)
+
+let test_memory_guard () =
+  check_int "4-level guard" 11 (Executor.max_devices ~device_dim:4);
+  let big = Waltz_benchmarks.Bench_circuits.cuccaro ~bits:8 in
+  let compiled = Compile.compile Strategy.mixed_radix_ccz big in
+  (try
+     ignore (Executor.simulate compiled);
+     Alcotest.fail "memory guard did not trigger"
+   with Invalid_argument _ -> ())
+
+let test_sem_reported () =
+  let r = sim ~trajectories:10 Strategy.qubit_only toffoli in
+  check_int "trajectory count" 10 r.Executor.trajectories;
+  check_bool "sem non-negative" true (r.Executor.sem >= 0.)
+
+let suite =
+  [ case "fidelity in range" test_fidelity_in_range;
+    case "deterministic" test_deterministic;
+    case "noise hurts" test_noise_hurts;
+    case "matches eps roughly" test_matches_eps_roughly;
+    case "memory guard" test_memory_guard;
+    case "sem reported" test_sem_reported ]

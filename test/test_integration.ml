@@ -1,0 +1,156 @@
+(* Cross-layer seams not covered elsewhere: compile determinism, calibration
+   ↔ gate-set completeness, interaction-graph consistency with the
+   compiler's adjacency rules, and pipeline idempotence of the clean-up
+   passes. *)
+
+open Waltz_linalg
+open Waltz_qudit
+open Waltz_circuit
+open Waltz_arch
+open Waltz_core
+open Test_util
+
+let test_compile_deterministic () =
+  let circuit = Waltz_benchmarks.Bench_circuits.cuccaro ~bits:2 in
+  List.iter
+    (fun strategy ->
+      let a = Compile.compile strategy circuit and b = Compile.compile strategy circuit in
+      check_int (strategy.Strategy.name ^ " same op count") (Physical.op_count a)
+        (Physical.op_count b);
+      close (strategy.Strategy.name ^ " same duration") (Physical.total_duration a)
+        (Physical.total_duration b);
+      check_bool "same maps" true (a.Physical.initial_map = b.Physical.initial_map))
+    Strategy.fig7_set
+
+let test_every_calibrated_gate_has_a_unitary () =
+  (* Every Table 1/2 entry corresponds to a constructible, unitary gate. *)
+  let build (e : Calibration.entry) =
+    match e.Calibration.label with
+    | "U" | "U^0" | "U^1" | "U^{0,1}" -> Some (Ququart_gates.embedded_1q Gates.h ~slot:0)
+    | "CX^0" -> Some (Ququart_gates.internal_cx ~target_slot:0)
+    | "CX^1" -> Some (Ququart_gates.internal_cx ~target_slot:1)
+    | "SWAP^in" -> Some Ququart_gates.internal_swap
+    | "CX_2" -> Some Gates.cx
+    | "CZ_2" -> Some Gates.cz
+    | "CSdg_2" -> Some Gates.csdg
+    | "SWAP_2" -> Some Gates.swap
+    | "iToffoli_3" -> Some Gates.itoffoli
+    | "ENC" -> Some (Encoding.enc ~incoming_slot:0)
+    | "CX^{0q}" -> Some (Ququart_gates.mr_2q Gates.cx ~first:(Slot 0) ~second:Qubit)
+    | "CX^{1q}" -> Some (Ququart_gates.mr_2q Gates.cx ~first:(Slot 1) ~second:Qubit)
+    | "CX^{q0}" -> Some (Ququart_gates.mr_2q Gates.cx ~first:Qubit ~second:(Slot 0))
+    | "CX^{q1}" -> Some (Ququart_gates.mr_2q Gates.cx ~first:Qubit ~second:(Slot 1))
+    | "CZ^{q0}" -> Some (Ququart_gates.mr_2q Gates.cz ~first:Qubit ~second:(Slot 0))
+    | "CZ^{q1}" -> Some (Ququart_gates.mr_2q Gates.cz ~first:Qubit ~second:(Slot 1))
+    | "SWAP^{q0}" -> Some (Ququart_gates.mr_2q Gates.swap ~first:Qubit ~second:(Slot 0))
+    | "SWAP^{q1}" -> Some (Ququart_gates.mr_2q Gates.swap ~first:Qubit ~second:(Slot 1))
+    | "CX^{00}" -> Some (Ququart_gates.fq_2q Gates.cx ~first:(A 0) ~second:(B 0))
+    | "CX^{01}" -> Some (Ququart_gates.fq_2q Gates.cx ~first:(A 0) ~second:(B 1))
+    | "CX^{10}" -> Some (Ququart_gates.fq_2q Gates.cx ~first:(A 1) ~second:(B 0))
+    | "CX^{11}" -> Some (Ququart_gates.fq_2q Gates.cx ~first:(A 1) ~second:(B 1))
+    | "CZ^{00}" -> Some (Ququart_gates.fq_2q Gates.cz ~first:(A 0) ~second:(B 0))
+    | "CZ^{01}" -> Some (Ququart_gates.fq_2q Gates.cz ~first:(A 0) ~second:(B 1))
+    | "CZ^{11}" -> Some (Ququart_gates.fq_2q Gates.cz ~first:(A 1) ~second:(B 1))
+    | "SWAP^{00}" -> Some (Ququart_gates.fq_2q Gates.swap ~first:(A 0) ~second:(B 0))
+    | "SWAP^{01}" -> Some (Ququart_gates.fq_2q Gates.swap ~first:(A 0) ~second:(B 1))
+    | "SWAP^{11}" -> Some (Ququart_gates.fq_2q Gates.swap ~first:(A 1) ~second:(B 1))
+    | "CCX^{01q}" -> Some (Ququart_gates.mr_3q Gates.ccx ~operands:[ Slot 0; Slot 1; Qubit ])
+    | "CCX^{q01}" -> Some (Ququart_gates.mr_3q Gates.ccx ~operands:[ Qubit; Slot 0; Slot 1 ])
+    | "CCX^{1q0}" -> Some (Ququart_gates.mr_3q Gates.ccx ~operands:[ Slot 1; Qubit; Slot 0 ])
+    | "CCZ^{01q}" -> Some (Ququart_gates.mr_3q Gates.ccz ~operands:[ Slot 0; Slot 1; Qubit ])
+    | "CSWAP^{q01}" ->
+      Some (Ququart_gates.mr_3q Gates.cswap ~operands:[ Qubit; Slot 0; Slot 1 ])
+    | "CSWAP^{01q}" ->
+      Some (Ququart_gates.mr_3q Gates.cswap ~operands:[ Slot 0; Slot 1; Qubit ])
+    | "CSWAP^{10q}" ->
+      Some (Ququart_gates.mr_3q Gates.cswap ~operands:[ Slot 1; Slot 0; Qubit ])
+    | "CCX^{01,0}" -> Some (Ququart_gates.fq_3q Gates.ccx ~operands:[ A 0; A 1; B 0 ])
+    | "CCX^{01,1}" -> Some (Ququart_gates.fq_3q Gates.ccx ~operands:[ A 0; A 1; B 1 ])
+    | "CCX^{0,01}" -> Some (Ququart_gates.fq_3q Gates.ccx ~operands:[ A 0; B 0; B 1 ])
+    | "CCX^{0,10}" -> Some (Ququart_gates.fq_3q Gates.ccx ~operands:[ A 0; B 1; B 0 ])
+    | "CCX^{1,10}" -> Some (Ququart_gates.fq_3q Gates.ccx ~operands:[ A 1; B 1; B 0 ])
+    | "CCX^{1,01}" -> Some (Ququart_gates.fq_3q Gates.ccx ~operands:[ A 1; B 0; B 1 ])
+    | "CCZ^{01,0}" -> Some (Ququart_gates.fq_3q Gates.ccz ~operands:[ A 0; A 1; B 0 ])
+    | "CCZ^{01,1}" -> Some (Ququart_gates.fq_3q Gates.ccz ~operands:[ A 0; A 1; B 1 ])
+    | "CSWAP^{01,0}" -> Some (Ququart_gates.fq_3q Gates.cswap ~operands:[ A 0; A 1; B 0 ])
+    | "CSWAP^{01,1}" -> Some (Ququart_gates.fq_3q Gates.cswap ~operands:[ A 0; A 1; B 1 ])
+    | "CSWAP^{10,0}" -> Some (Ququart_gates.fq_3q Gates.cswap ~operands:[ A 1; A 0; B 0 ])
+    | "CSWAP^{10,1}" -> Some (Ququart_gates.fq_3q Gates.cswap ~operands:[ A 1; A 0; B 1 ])
+    | "CSWAP^{0,01}" -> Some (Ququart_gates.fq_3q Gates.cswap ~operands:[ A 0; B 0; B 1 ])
+    | "CSWAP^{1,01}" -> Some (Ququart_gates.fq_3q Gates.cswap ~operands:[ A 1; B 0; B 1 ])
+    | other -> Alcotest.failf "calibration entry %s has no gate construction" other
+  in
+  List.iter
+    (fun group ->
+      List.iter
+        (fun entry ->
+          match build entry with
+          | Some u -> assert_unitary entry.Calibration.label u
+          | None -> ())
+        group)
+    (Calibration.table1 @ Calibration.table2)
+
+let test_interaction_graph_matches_compiler () =
+  (* Two logical qubits are gate-compatible for the compiler exactly when
+     their virtual nodes are adjacent in the interaction graph. *)
+  let topo = Topology.mesh 4 in
+  let graph = Interaction_graph.make topo ~slots_per_device:2 in
+  let circuit = Circuit.of_gates ~n:6 [ Gate.make Gate.Cx [ 0; 5 ] ] in
+  let compiled = Compile.compile ~topology:topo Strategy.full_ququart circuit in
+  (* Find the CX op and check its two virtual wires are graph-adjacent at
+     emission time (the final map reflects any routing). *)
+  let cx_op =
+    List.find
+      (fun (o : Physical.op) -> String.length o.Physical.label >= 2
+                                && String.sub o.Physical.label 0 2 = "CX")
+      compiled.Physical.ops
+  in
+  (match cx_op.Physical.targets with
+  | [ (d1, s1); (d2, s2) ] ->
+    check_bool "emitted on adjacent virtual nodes" true
+      (Interaction_graph.adjacent graph
+         { Interaction_graph.device = d1; slot = s1 }
+         { Interaction_graph.device = d2; slot = s2 })
+  | _ -> Alcotest.fail "unexpected CX target shape")
+
+let test_cleanup_passes_compose () =
+  (* optimizer ∘ resynthesis ∘ optimizer is still semantics-preserving and
+     idempotent on the result. *)
+  let c =
+    Decompose.pre Strategy.qubit_only (Waltz_benchmarks.Bench_circuits.cnu ~controls:3)
+  in
+  let once = Optimizer.simplify (Resynthesis.reroll (Optimizer.simplify c)) in
+  let twice = Optimizer.simplify (Resynthesis.reroll once) in
+  check_int "composition is stable" (Circuit.gate_count once) (Circuit.gate_count twice);
+  mat_equal_phase "composition preserves semantics" (Circuit.to_unitary c)
+    (Circuit.to_unitary once)
+
+let test_pipeline_qasm_to_fidelity () =
+  (* The whole adoption path: QASM text -> parse -> optimize -> compile ->
+     simulate, in one go. *)
+  let text =
+    {|OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+h q[0];
+ccx q[0],q[1],q[2];
+cx q[2],q[3];
+ccx q[0],q[1],q[2];
+|}
+  in
+  let circuit = Optimizer.simplify (Qasm.of_string text) in
+  let compiled = Compile.compile Strategy.full_ququart circuit in
+  let r =
+    Executor.simulate ~config:{ Executor.default_config with trajectories = 20 } compiled
+  in
+  check_bool "pipeline produces a sane fidelity" true
+    (r.Executor.mean_fidelity > 0.5 && r.Executor.mean_fidelity <= 1.)
+
+let suite =
+  [ case "compile deterministic" test_compile_deterministic;
+    case "calibration covers gate set" test_every_calibrated_gate_has_a_unitary;
+    case "interaction graph consistency" test_interaction_graph_matches_compiler;
+    case "cleanup passes compose" test_cleanup_passes_compose;
+    case "qasm-to-fidelity pipeline" test_pipeline_qasm_to_fidelity ]
+
+let _ = Mat.equal

@@ -1,0 +1,114 @@
+open Waltz_circuit
+open Test_util
+
+let g = Gate.make
+
+let sample =
+  Circuit.of_gates ~n:4
+    [ g Gate.H [ 0 ];
+      g (Gate.Rz 0.75) [ 1 ];
+      g Gate.Cx [ 0; 1 ];
+      g Gate.Ccx [ 0; 1; 2 ];
+      g Gate.Ccz [ 1; 2; 3 ];
+      g Gate.Cswap [ 0; 2; 3 ];
+      g Gate.Sdg [ 3 ];
+      g Gate.Csdg [ 0; 3 ];
+      g (Gate.Phase (Float.pi /. 8.)) [ 2 ] ]
+
+let test_roundtrip () =
+  let text = Qasm.to_string sample in
+  let back = Qasm.of_string text in
+  check_int "qubit count" sample.Circuit.n back.Circuit.n;
+  check_int "gate count" (Circuit.gate_count sample) (Circuit.gate_count back);
+  mat_equal_phase "roundtrip preserves semantics" (Circuit.to_unitary sample)
+    (Circuit.to_unitary back)
+
+let test_parse_handwritten () =
+  let text =
+    {|OPENQASM 2.0;
+// a Bell pair with flourishes
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0],q[1];
+rz(pi/4) q[1];
+rx(-pi/2) q[2];
+u1(2*pi/3) q[0];
+toffoli q[0], q[1], q[2];
+measure q[0] -> c[0];
+|}
+  in
+  let c = Qasm.of_string text in
+  check_int "3 qubits" 3 c.Circuit.n;
+  check_int "6 gates" 6 (Circuit.gate_count c);
+  let has_angle theta =
+    List.exists
+      (fun gt ->
+        match gt.Gate.kind with
+        | Gate.Rz t | Gate.Rx t | Gate.Phase t -> Float.abs (t -. theta) < 1e-12
+        | _ -> false)
+      c.Circuit.gates
+  in
+  check_bool "pi/4 parsed" true (has_angle (Float.pi /. 4.));
+  check_bool "-pi/2 parsed" true (has_angle (-.Float.pi /. 2.));
+  check_bool "2*pi/3 parsed" true (has_angle (2. *. Float.pi /. 3.))
+
+let test_export_format () =
+  let text = Qasm.to_string sample in
+  check_bool "has header" true
+    (String.length text > 12 && String.sub text 0 12 = "OPENQASM 2.0");
+  check_bool "declares register" true
+    (List.exists (fun l -> String.trim l = "qreg q[4];") (String.split_on_char '\n' text))
+
+let test_errors () =
+  (try
+     ignore (Qasm.of_string "OPENQASM 2.0; qreg q[2]; frobnicate q[0];");
+     Alcotest.fail "unsupported gate accepted"
+   with Failure _ -> ());
+  (try
+     ignore (Qasm.of_string "h q[0];");
+     Alcotest.fail "missing qreg accepted"
+   with Failure _ -> ())
+
+let test_four_qubit_roundtrip () =
+  let c =
+    Circuit.of_gates ~n:5
+      [ g Gate.Cccx [ 0; 1; 2; 3 ]; g Gate.Cccz [ 1; 2; 3; 4 ]; g Gate.H [ 0 ] ]
+  in
+  let back = Qasm.of_string (Qasm.to_string c) in
+  check_int "gates survive" 3 (Circuit.gate_count back);
+  check_bool "c3x parsed back" true
+    (List.exists (fun gt -> gt.Gate.kind = Gate.Cccx) back.Circuit.gates);
+  check_bool "cccz parsed back" true
+    (List.exists (fun gt -> gt.Gate.kind = Gate.Cccz) back.Circuit.gates)
+
+let test_benchmarks_roundtrip () =
+  List.iter
+    (fun family ->
+      let c = Waltz_benchmarks.Bench_circuits.by_total_qubits family 7 in
+      let back = Qasm.of_string (Qasm.to_string c) in
+      check_int
+        (Printf.sprintf "%s gate count survives"
+           (Waltz_benchmarks.Bench_circuits.family_name family))
+        (Circuit.gate_count c) (Circuit.gate_count back))
+    Waltz_benchmarks.Bench_circuits.all_families
+
+let prop_roundtrip_semantics =
+  qcheck ~count:15 "QASM roundtrip preserves semantics" QCheck.(int_range 0 3000)
+    (fun seed ->
+      let c =
+        Waltz_benchmarks.Bench_circuits.synthetic ~n:4 ~gates:8 ~cx_fraction:0.5 ~seed
+      in
+      let back = Qasm.of_string (Qasm.to_string c) in
+      Waltz_linalg.Mat.equal_up_to_phase ~tol:1e-8 (Circuit.to_unitary c)
+        (Circuit.to_unitary back))
+
+let suite =
+  [ case "roundtrip" test_roundtrip;
+    prop_roundtrip_semantics;
+    case "parse handwritten" test_parse_handwritten;
+    case "export format" test_export_format;
+    case "errors" test_errors;
+    case "four qubit roundtrip" test_four_qubit_roundtrip;
+    case "benchmark roundtrip" test_benchmarks_roundtrip ]

@@ -1,0 +1,51 @@
+open Waltz_sim
+open Test_util
+
+let test_error_prob_conversion () =
+  (* F = 1 means no error. *)
+  close ~tol:1e-12 "perfect gate" 0. (Rb.error_prob_of_fidelity 1.);
+  (* The paper's 95.8% Clifford fidelity. *)
+  let p = Rb.error_prob_of_fidelity 0.958 in
+  check_bool "reasonable probability" true (p > 0.04 && p < 0.06)
+
+let test_rb_recovers_fidelity () =
+  let r = rng 123 in
+  let target_f = 0.958 in
+  let p = Rb.error_prob_of_fidelity target_f in
+  let result =
+    Rb.run r ~depths:[ 1; 4; 10; 20; 40 ] ~samples:60 ~error_per_clifford:p ()
+  in
+  check_bool "alpha in (0,1)" true (result.Rb.alpha > 0. && result.Rb.alpha < 1.);
+  close ~tol:0.01 "recovered Clifford fidelity" target_f result.Rb.fidelity;
+  (* Survival decays with depth. *)
+  let survivals = List.map (fun pt -> pt.Rb.survival_mean) result.Rb.points in
+  check_bool "monotonic-ish decay" true
+    (List.nth survivals 0 > List.nth survivals (List.length survivals - 1))
+
+let test_noiseless_rb () =
+  let r = rng 5 in
+  let result = Rb.run r ~depths:[ 1; 5; 10 ] ~samples:10 ~error_per_clifford:0. () in
+  List.iter (fun pt -> close ~tol:1e-9 "perfect survival" 1. pt.Rb.survival_mean)
+    result.Rb.points
+
+let test_irb_extraction () =
+  let r = rng 321 in
+  let p_clifford = Rb.error_prob_of_fidelity 0.958 in
+  let hh = Waltz_linalg.Mat.kron Waltz_qudit.Gates.h Waltz_qudit.Gates.h in
+  let p_hh = Rb.error_prob_of_fidelity 0.96 in
+  let reference =
+    Rb.run r ~depths:[ 1; 4; 10; 20 ] ~samples:60 ~error_per_clifford:p_clifford ()
+  in
+  let interleaved =
+    Rb.run r ~depths:[ 1; 4; 10; 20 ] ~samples:60 ~error_per_clifford:p_clifford
+      ~interleave:(hh, p_hh) ()
+  in
+  check_bool "interleaving decays faster" true (interleaved.Rb.alpha < reference.Rb.alpha);
+  let f_hh = Rb.interleaved_gate_fidelity ~reference ~interleaved in
+  close ~tol:0.015 "extracted H⊗H fidelity" 0.96 f_hh
+
+let suite =
+  [ case "error prob conversion" test_error_prob_conversion;
+    case "rb recovers fidelity" test_rb_recovers_fidelity;
+    case "noiseless rb" test_noiseless_rb;
+    case "irb extraction" test_irb_extraction ]

@@ -1,0 +1,89 @@
+open Waltz_circuit
+open Waltz_core
+open Test_util
+
+let g = Gate.make
+
+let test_reroll_toffoli () =
+  let decomposed = Circuit.of_gates ~n:3 (Decompose.ccx_to_cx 0 1 2) in
+  let rerolled, stats = Resynthesis.reroll_with_stats decomposed in
+  check_int "one three-qubit reroll" 1 stats.Resynthesis.rerolled_3q;
+  match rerolled.Circuit.gates with
+  | [ { Gate.kind = Gate.Ccx; qubits } ] ->
+    check_bool "operands recovered" true (List.sort compare qubits = [ 0; 1; 2 ])
+  | _ ->
+    Alcotest.failf "expected a single CCX, got %d gates" (Circuit.gate_count rerolled)
+
+let test_reroll_ccz () =
+  let decomposed = Circuit.of_gates ~n:3 (Decompose.ccz_to_cx 2 0 1) in
+  let rerolled = Resynthesis.reroll decomposed in
+  match rerolled.Circuit.gates with
+  | [ { Gate.kind = Gate.Ccz; _ } ] -> ()
+  | _ -> Alcotest.fail "expected a single CCZ"
+
+let test_reroll_cswap () =
+  let prefix, suffix = Decompose.cswap_shell 0 1 2 in
+  let gates = prefix @ [ g Gate.Ccx [ 0; 1; 2 ] ] @ suffix in
+  let rerolled = Resynthesis.reroll (Circuit.of_gates ~n:3 gates) in
+  match rerolled.Circuit.gates with
+  | [ { Gate.kind = Gate.Cswap; _ } ] -> ()
+  | _ -> Alcotest.fail "expected a single CSWAP"
+
+let test_reroll_two_qubit () =
+  (* H-conjugated CX is a CZ. *)
+  let c =
+    Circuit.of_gates ~n:2 [ g Gate.H [ 1 ]; g Gate.Cx [ 0; 1 ]; g Gate.H [ 1 ] ]
+  in
+  let rerolled = Resynthesis.reroll c in
+  match rerolled.Circuit.gates with
+  | [ { Gate.kind = Gate.Cz; _ } ] -> ()
+  | _ -> Alcotest.fail "expected a single CZ"
+
+let test_reroll_identity_run () =
+  let c =
+    Circuit.of_gates ~n:2 [ g Gate.Cx [ 0; 1 ]; g Gate.Cx [ 0; 1 ] ]
+  in
+  check_int "identity run dropped" 0 (Circuit.gate_count (Resynthesis.reroll c))
+
+let test_no_false_positive () =
+  (* A genuinely irreducible run stays put. *)
+  let c =
+    Circuit.of_gates ~n:3
+      [ g Gate.T [ 0 ]; g Gate.Cx [ 0; 1 ]; g (Gate.Rz 0.3) [ 1 ]; g Gate.Cx [ 1; 2 ] ]
+  in
+  let rerolled = Resynthesis.reroll c in
+  mat_equal_phase "semantics kept" (Circuit.to_unitary c) (Circuit.to_unitary rerolled)
+
+let test_whole_circuit_recovery () =
+  (* Decompose a CNU to 1q + CX, then recover every Toffoli. *)
+  let original = Waltz_benchmarks.Bench_circuits.cnu ~controls:3 in
+  let decomposed = Decompose.pre Strategy.qubit_only original in
+  let _, _, three_before = Circuit.count_by_arity decomposed in
+  check_int "fully decomposed" 0 three_before;
+  let rerolled = Resynthesis.reroll decomposed in
+  let _, _, three_after = Circuit.count_by_arity rerolled in
+  check_bool
+    (Printf.sprintf "three-qubit gates recovered (%d)" three_after)
+    true (three_after >= 3);
+  mat_equal_phase "recovered circuit equivalent" (Circuit.to_unitary original)
+    (Circuit.to_unitary rerolled)
+
+let prop_semantics_preserved =
+  qcheck ~count:15 "reroll preserves semantics" QCheck.(int_range 0 4000) (fun seed ->
+      let c =
+        Waltz_benchmarks.Bench_circuits.synthetic ~n:5 ~gates:12 ~cx_fraction:0.7 ~seed
+      in
+      let decomposed = Decompose.pre Strategy.qubit_only c in
+      let rerolled = Resynthesis.reroll decomposed in
+      Waltz_linalg.Mat.equal_up_to_phase ~tol:1e-7 (Circuit.to_unitary decomposed)
+        (Circuit.to_unitary rerolled))
+
+let suite =
+  [ case "reroll toffoli" test_reroll_toffoli;
+    case "reroll ccz" test_reroll_ccz;
+    case "reroll cswap" test_reroll_cswap;
+    case "reroll two qubit" test_reroll_two_qubit;
+    case "reroll identity run" test_reroll_identity_run;
+    case "no false positive" test_no_false_positive;
+    case "whole circuit recovery" test_whole_circuit_recovery;
+    prop_semantics_preserved ]

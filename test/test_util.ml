@@ -1,0 +1,28 @@
+(* Shared helpers for the test suites. *)
+open Waltz_linalg
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let close ?(tol = 1e-9) msg a b =
+  if Float.abs (a -. b) > tol then
+    Alcotest.failf "%s: expected %.12g, got %.12g (tol %g)" msg a b tol
+
+let mat_equal ?(tol = 1e-9) msg a b =
+  if not (Mat.equal ~tol a b) then
+    Alcotest.failf "%s: matrices differ by %g" msg (Mat.max_abs_diff a b)
+
+let mat_equal_phase ?(tol = 1e-9) msg a b =
+  if not (Mat.equal_up_to_phase ~tol a b) then
+    Alcotest.failf "%s: matrices differ (up to phase) by norm %g" msg (Mat.max_abs_diff a b)
+
+let assert_unitary ?(tol = 1e-9) msg m =
+  if not (Mat.is_unitary ~tol m) then Alcotest.failf "%s: not unitary" msg
+
+let rng seed = Rng.make ~seed
+
+(* A quick case helper. *)
+let case name f = Alcotest.test_case name `Quick f
+
+let qcheck ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)

@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "waltz"
+    [ ("linalg", Test_linalg.suite);
+      ("qudit", Test_qudit.suite);
+      ("circuit", Test_circuit.suite);
+      ("optimizer", Test_optimizer.suite);
+      ("qasm", Test_qasm.suite);
+      ("resynthesis", Test_resynthesis.suite);
+      ("arch", Test_arch.suite);
+      ("noise", Test_noise.suite);
+      ("sim", Test_sim.suite);
+      ("benchmarks", Test_benchmarks.suite);
+      ("compiler", Test_compiler.suite);
+      ("core-units", Test_core_units.suite);
+      ("robustness", Test_robustness.suite);
+      ("integration", Test_integration.suite);
+      ("extensions", Test_extensions.suite);
+      ("eps", Test_eps.suite);
+      ("diagnostics", Test_diagnostics.suite);
+      ("executor", Test_executor.suite);
+      ("exact", Test_exact.suite);
+      ("rb", Test_rb.suite);
+      ("control", Test_control.suite) ]
