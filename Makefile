@@ -1,0 +1,17 @@
+.PHONY: all build test lint clean
+
+all: build test
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Type-check everything (@check) and run the IR verifier over the example
+# programs. waltz_verify itself builds with warnings as errors.
+lint:
+	dune build @lint
+
+clean:
+	dune clean

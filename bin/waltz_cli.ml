@@ -48,6 +48,7 @@ let circuit_of ~family ~n ~cx_fraction ~qasm ~optimize =
       try Ok (Qasm.of_string (read_file path)) with
       | Failure msg -> Error msg
       | Sys_error msg -> Error msg
+      | Invalid_argument msg -> Error msg
     end
     | None -> begin
       match String.lowercase_ascii family with
@@ -309,6 +310,59 @@ let breakdown_cmd =
     (Cmd.info "breakdown" ~doc:"Per-device coherence budget of a compiled circuit")
     Term.(const run $ family_arg $ n_arg $ cx_fraction_arg $ strategy_arg)
 
+(* ---- verify ---- *)
+
+let verify_cmd =
+  let run family n cx_fraction strategy all_strategies topology qasm optimize rules probes =
+    if rules then begin
+      Format.printf "%a@?" Waltz_verify.Rules.pp_catalog ();
+      0
+    end
+    else
+      with_circuit ~qasm ~optimize family n cx_fraction (fun circuit ->
+          let chosen = if all_strategies then strategies else [ strategy ] in
+          let rc = ref 0 in
+          List.iter
+            (fun strategy ->
+              let devices = Compile.device_count strategy circuit.Circuit.n in
+              match topology_of topology devices with
+              | Error e ->
+                prerr_endline e;
+                rc := 1
+              | Ok topo ->
+                let compiled = Compile.compile ~topology:topo strategy circuit in
+                let report =
+                  Waltz_verify.Verify.run ~topology:topo ~probes (Some circuit) compiled
+                in
+                Printf.printf "== %s ==\n%!" strategy.Strategy.name;
+                Format.printf "%a@." Waltz_verify.Verify.pp_report report;
+                if not (Waltz_verify.Diagnostic.is_clean report) then rc := 1)
+            chosen;
+          !rc)
+  in
+  let all_strategies_arg =
+    Arg.(
+      value & flag
+      & info [ "all-strategies" ] ~doc:"Verify the compilation under every strategy.")
+  in
+  let rules_arg =
+    Arg.(
+      value & flag
+      & info [ "rules" ] ~doc:"Print the verifier's rule catalog and exit.")
+  in
+  let probes_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "probes" ] ~docv:"K"
+          ~doc:"Random probes for the bounded equivalence check.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Statically check a compiled program against the IR verifier's rules")
+    Term.(
+      const run $ family_arg $ n_arg $ cx_fraction_arg $ strategy_arg $ all_strategies_arg
+      $ topology_arg $ qasm_arg $ optimize_arg $ rules_arg $ probes_arg)
+
 (* ---- rb ---- *)
 
 let rb_cmd =
@@ -398,5 +452,5 @@ let () =
   let info = Cmd.info "waltz_cli" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval' (Cmd.group info
-       [ compile_cmd; estimate_cmd; simulate_cmd; sweep_cmd; breakdown_cmd; rb_cmd;
-         pulse_cmd ]))
+       [ compile_cmd; estimate_cmd; simulate_cmd; sweep_cmd; breakdown_cmd; verify_cmd;
+         rb_cmd; pulse_cmd ]))

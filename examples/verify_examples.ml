@@ -1,0 +1,43 @@
+(* Lint-time gate: the example-sized circuits must compile to programs the
+   IR verifier accepts with zero errors under every strategy. Attached to
+   the @lint and @runtest aliases (see examples/dune and the Makefile). *)
+open Waltz_core
+open Waltz_verify
+
+let strategies =
+  [ Strategy.qubit_only; Strategy.qubit_itoffoli; Strategy.mixed_radix_basic;
+    Strategy.mixed_radix_retarget; Strategy.mixed_radix_ccz; Strategy.full_ququart;
+    Strategy.mixed_radix_cswap; Strategy.full_ququart_cswap;
+    Strategy.full_ququart_cswap_oriented ]
+
+let circuits =
+  let open Waltz_benchmarks.Bench_circuits in
+  [ ("cnu-5", by_total_qubits Cnu 5);
+    ("cuccaro-6", by_total_qubits Cuccaro 6);
+    ("qram-6", by_total_qubits Qram 6);
+    ("grover-5", grover ~address_bits:3 ~marked:2 ~iterations:1) ]
+
+let () =
+  let failures = ref 0 in
+  List.iter
+    (fun (name, circuit) ->
+      List.iter
+        (fun strategy ->
+          let compiled = Compile.compile strategy circuit in
+          let report = Verify.run ~probes:1 (Some circuit) compiled in
+          if Diagnostic.is_clean report then
+            Printf.printf "%-10s %-18s ok (%d ops, %d warnings)\n" name
+              strategy.Strategy.name report.Diagnostic.ops_checked
+              (Diagnostic.warning_count report)
+          else begin
+            incr failures;
+            Printf.printf "%-10s %-18s FAILED:\n%s\n" name strategy.Strategy.name
+              (Diagnostic.report_to_string report)
+          end)
+        strategies)
+    circuits;
+  if !failures > 0 then begin
+    Printf.printf "verify_examples: %d verification failures\n" !failures;
+    exit 1
+  end;
+  print_endline "verify_examples: every compilation verifies clean"

@@ -8,8 +8,13 @@ let empty n =
   { n; gates = [] }
 
 let check_gate n (g : Gate.t) =
-  List.iter
-    (fun q -> if q < 0 || q >= n then invalid_arg "Circuit: qubit index out of range")
+  List.iteri
+    (fun i q ->
+      if q < 0 || q >= n then
+        invalid_arg
+          (Printf.sprintf
+             "Circuit: %s operand %d is qubit %d, outside the %d-qubit register"
+             (Gate.name g.Gate.kind) i q n))
     g.Gate.qubits
 
 let add c kind qubits =

@@ -85,13 +85,25 @@ let unitary = function
   | Cccz -> Gates.controlled Gates.ccz
   | Custom (_, m) -> m
 
+let string_of_operands qubits = String.concat ", " (List.map string_of_int qubits)
+
 let make kind qubits =
   let n = arity kind in
   if List.length qubits <> n then
-    invalid_arg (Printf.sprintf "Gate.make: %s expects %d operands" (name kind) n);
+    invalid_arg
+      (Printf.sprintf "Gate.make: %s expects %d operands, got %d (%s)" (name kind) n
+         (List.length qubits) (string_of_operands qubits));
   if List.length (List.sort_uniq compare qubits) <> n then
-    invalid_arg "Gate.make: duplicate operands";
-  if List.exists (fun q -> q < 0) qubits then invalid_arg "Gate.make: negative qubit index";
+    invalid_arg
+      (Printf.sprintf "Gate.make: %s has duplicate operands (%s)" (name kind)
+         (string_of_operands qubits));
+  List.iteri
+    (fun i q ->
+      if q < 0 then
+        invalid_arg
+          (Printf.sprintf "Gate.make: %s operand %d is the negative qubit index %d"
+             (name kind) i q))
+    qubits;
   { kind; qubits }
 
 let is_three_qubit g = arity g.kind = 3

@@ -7,6 +7,13 @@ let device_count strategy n =
   | Strategy.Bare | Strategy.Intermediate -> n
   | Strategy.Packed -> (n + 1) / 2
 
+type verifier =
+  topology:Topology.t -> Circuit.t option -> Physical.t -> (unit, string) result
+
+(* Filled in by [Waltz_verify.Verify] at link time; [compile] cannot depend
+   on the verifier library directly without a dependency cycle. *)
+let verifier_hook : verifier option ref = ref None
+
 let dist layout a b =
   Topology.distance (Layout.topology layout)
     (Layout.device_of layout a) (Layout.device_of layout b)
@@ -356,7 +363,7 @@ let itoffoli_3q layout ~hint (gate : Gate.t) =
     end
   | _ -> invalid_arg "itoffoli_3q: only CCX reaches the iToffoli backend"
 
-let compile ?topology strategy circuit =
+let compile ?topology ?(verify = false) strategy circuit =
   let n = circuit.Circuit.n in
   let topo =
     match topology with Some t -> t | None -> Topology.mesh (device_count strategy n)
@@ -400,10 +407,26 @@ let compile ?topology strategy circuit =
       end
       | _ -> invalid_arg "Compile.compile: unsupported gate arity")
     prepared.Circuit.gates;
-  { Physical.strategy;
-    n_logical = n;
-    device_count = Topology.device_count topo;
-    device_dim = Layout.device_dim layout;
-    ops = Layout.ops layout;
-    initial_map;
-    final_map = Layout.snapshot_map layout }
+  let compiled =
+    { Physical.strategy;
+      n_logical = n;
+      device_count = Topology.device_count topo;
+      device_dim = Layout.device_dim layout;
+      ops = Layout.ops layout;
+      initial_map;
+      final_map = Layout.snapshot_map layout }
+  in
+  if verify then begin
+    match !verifier_hook with
+    | None ->
+      invalid_arg
+        "Compile.compile ~verify:true: no verifier registered (link waltz_verify and \
+         reference Waltz_verify.Verify)"
+    | Some check -> begin
+      match check ~topology:topo (Some circuit) compiled with
+      | Ok () -> ()
+      | Error report ->
+        failwith (Printf.sprintf "Compile.compile: verification failed\n%s" report)
+    end
+  end;
+  compiled

@@ -8,7 +8,20 @@ val device_count : Strategy.t -> int -> int
 (** Physical devices needed for [n] logical qubits: [n] for bare and
     intermediate encodings, ⌈n/2⌉ for full-ququart packing. *)
 
-val compile : ?topology:Topology.t -> Strategy.t -> Circuit.t -> Physical.t
+type verifier =
+  topology:Topology.t -> Circuit.t option -> Physical.t -> (unit, string) result
+
+val verifier_hook : verifier option ref
+(** Set by [Waltz_verify.Verify] at link time; [compile ~verify:true] calls
+    it on the finished program. The indirection breaks the dependency cycle
+    between the compiler and the verifier library. *)
+
+val compile : ?topology:Topology.t -> ?verify:bool -> Strategy.t -> Circuit.t -> Physical.t
 (** Compiles a logical circuit for the given strategy. The default topology
     is the paper's 2D mesh sized by [device_count]. Raises [Failure] when
-    routing cannot make progress (pathological topologies only). *)
+    routing cannot make progress (pathological topologies only).
+
+    With [~verify:true], runs the registered {!verifier_hook} on the result
+    and raises [Failure] with the verifier's report if it finds errors, or
+    [Invalid_argument] if no verifier is linked (reference
+    [Waltz_verify.Verify] to register one). *)

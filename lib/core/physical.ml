@@ -32,11 +32,18 @@ let make_op ~label ~parts ~targets ~gate ~entry ~touches_ww =
          gate.Mat.rows gate.Mat.cols (List.length targets));
   let devs = List.map (fun p -> p.device) parts in
   if List.length (List.sort_uniq compare devs) <> List.length devs then
-    invalid_arg "Physical.make_op: duplicate device parts";
-  List.iter
-    (fun (d, _) ->
+    invalid_arg
+      (Printf.sprintf "Physical.make_op %s: duplicate device parts (devices %s)" label
+         (String.concat ", " (List.map string_of_int devs)));
+  List.iteri
+    (fun i (d, s) ->
       if not (List.mem d devs) then
-        invalid_arg "Physical.make_op: target device missing from parts")
+        invalid_arg
+          (Printf.sprintf
+             "Physical.make_op %s: target %d is (device %d, slot %d) but the op's parts \
+              cover only devices %s"
+             label i d s
+             (String.concat ", " (List.map string_of_int devs))))
     targets;
   { label;
     parts;

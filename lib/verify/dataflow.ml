@@ -1,0 +1,237 @@
+open Waltz_linalg
+open Waltz_core
+
+(* Abstract interpretation over per-wire occupancy: starting from
+   [initial_map], each op either preserves occupancy (plain pulses), moves it
+   (SWAPs, classified by their gate matrix), or merges/splits it (ENC/DEC,
+   classified by label and checked against the known ENC permutations). The
+   per-op [occ_before]/[occ_after] annotations and the [noise_role]s are
+   validated against the replayed state, and [final_map] against the wires
+   that end up occupied. *)
+
+type op_class = Enc | Dec | Move | Plain
+
+let classify (op : Physical.op) =
+  if op.Physical.label = "ENC" then Enc
+  else if op.Physical.label = "ENCdg" then Dec
+  else if
+    List.length op.Physical.targets = 2
+    && op.Physical.gate.Mat.rows = 4
+    && Mat.equal op.Physical.gate Waltz_qudit.Gates.swap
+  then Move
+  else Plain
+
+let is_enc_permutation gate =
+  Mat.equal gate (Emit.enc_gate ~incoming_slot:0)
+  || Mat.equal gate (Emit.enc_gate ~incoming_slot:1)
+
+let is_dec_permutation gate =
+  Mat.equal gate (Mat.adjoint (Emit.enc_gate ~incoming_slot:0))
+  || Mat.equal gate (Mat.adjoint (Emit.enc_gate ~incoming_slot:1))
+
+let check (p : Physical.t) =
+  let cap = Structural.capacity p in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let occ = Array.init p.Physical.device_count (fun _ -> Array.make cap false) in
+  Array.iter (fun (d, s) -> occ.(d).(s) <- true) p.Physical.initial_map;
+  let dev_occ d = Array.fold_left (fun acc o -> if o then acc + 1 else acc) 0 occ.(d) in
+  let lone_slot d =
+    if dev_occ d = 1 then
+      let rec find s = if occ.(d).(s) then s else find (s + 1) in
+      Some (find 0)
+    else None
+  in
+  List.iteri
+    (fun i (op : Physical.op) ->
+      let label = op.Physical.label in
+      (* occ_before must agree with the replayed state. *)
+      List.iter
+        (fun (part : Physical.device_part) ->
+          let tracked = dev_occ part.Physical.device in
+          if part.Physical.occ_before <> tracked then
+            add
+              (Diagnostic.error ~op_index:i "OCC01"
+                 (Printf.sprintf "%s: device %d claims occ_before %d but dataflow says %d"
+                    label part.Physical.device part.Physical.occ_before tracked)))
+        op.Physical.parts;
+      (* Pre-state facts needed after the update. *)
+      let pre_lone =
+        List.map
+          (fun (part : Physical.device_part) -> (part.Physical.device, lone_slot part.Physical.device))
+          op.Physical.parts
+      in
+      let pre_dev_occ =
+        List.map
+          (fun (part : Physical.device_part) -> (part.Physical.device, dev_occ part.Physical.device))
+          op.Physical.parts
+      in
+      let expected_ww =
+        p.Physical.device_dim = 4
+        && (List.exists
+              (fun (part : Physical.device_part) ->
+                max part.Physical.occ_before part.Physical.occ_after >= 2)
+              op.Physical.parts
+           || List.exists
+                (fun (d, s) -> s = 0 && List.assoc_opt d pre_dev_occ = Some 1)
+                op.Physical.targets)
+      in
+      (* Class-specific occupancy transfer. *)
+      (match classify op with
+      | Plain ->
+        List.iter
+          (fun (d, s) ->
+            if not occ.(d).(s) then
+              add
+                (Diagnostic.error ~op_index:i "OCC02"
+                   (Printf.sprintf "%s acts on empty wire %d.%d" label d s)))
+          op.Physical.targets
+      | Move -> begin
+        match op.Physical.targets with
+        | [ (d1, s1); (d2, s2) ] ->
+          if not (occ.(d1).(s1) || occ.(d2).(s2)) then
+            add
+              (Diagnostic.error ~op_index:i "OCC02"
+                 (Printf.sprintf "%s swaps two empty wires %d.%d and %d.%d" label d1 s1 d2
+                    s2));
+          let o1 = occ.(d1).(s1) and o2 = occ.(d2).(s2) in
+          occ.(d1).(s1) <- o2;
+          occ.(d2).(s2) <- o1
+        | _ -> ()
+      end
+      | Enc -> begin
+        if cap < 2 then
+          add (Diagnostic.error ~op_index:i "OCC03" "ENC on two-level devices")
+        else if not (is_enc_permutation op.Physical.gate) then
+          add
+            (Diagnostic.error ~op_index:i "OCC03"
+               "ENC gate is not one of the two ENC permutations")
+        else begin
+          match op.Physical.targets with
+          | [ (src, src_slot); (dst, 0); (dst', 1) ] when dst = dst' && src <> dst ->
+            if dev_occ dst >= 2 then
+              add
+                (Diagnostic.error ~op_index:i "OCC03"
+                   (Printf.sprintf "ENC into full ququart %d" dst))
+            else if dev_occ dst = 0 then
+              add
+                (Diagnostic.error ~op_index:i "OCC03"
+                   (Printf.sprintf "ENC into empty device %d" dst))
+            else if dev_occ src <> 1 || not occ.(src).(src_slot) then
+              add
+                (Diagnostic.error ~op_index:i "OCC03"
+                   (Printf.sprintf "ENC source %d must hold exactly one qubit on the touched slot"
+                      src))
+            else begin
+              Array.fill occ.(src) 0 cap false;
+              Array.fill occ.(dst) 0 cap true
+            end
+          | _ ->
+            add
+              (Diagnostic.error ~op_index:i "OCC03"
+                 "ENC targets must be (src slot, dst slot 0, dst slot 1)")
+        end
+      end
+      | Dec -> begin
+        if cap < 2 then add (Diagnostic.error ~op_index:i "OCC04" "DEC on two-level devices")
+        else if not (is_dec_permutation op.Physical.gate) then
+          add
+            (Diagnostic.error ~op_index:i "OCC04"
+               "DEC gate is not the adjoint of an ENC permutation")
+        else begin
+          match op.Physical.targets with
+          | [ (dst, dst_slot); (qq, 0); (qq', 1) ] when qq = qq' && dst <> qq ->
+            if dev_occ qq <> 2 then
+              add
+                (Diagnostic.error ~op_index:i "OCC04"
+                   (Printf.sprintf "DEC from device %d which is not an encoded ququart" qq))
+            else if dev_occ dst <> 0 then
+              add
+                (Diagnostic.error ~op_index:i "OCC04"
+                   (Printf.sprintf "DEC destination %d is not empty" dst))
+            else begin
+              (* After ENC-dagger the stayer drops back to slot 1 and the
+                 outgoing qubit lands on the touched destination slot. *)
+              Array.fill occ.(qq) 0 cap false;
+              occ.(qq).(1) <- true;
+              occ.(dst).(dst_slot) <- true
+            end
+          | _ ->
+            add
+              (Diagnostic.error ~op_index:i "OCC04"
+                 "DEC targets must be (dst slot, ququart slot 0, ququart slot 1)")
+        end
+      end);
+      (* occ_after must agree with the replayed state. *)
+      List.iter
+        (fun (part : Physical.device_part) ->
+          let tracked = dev_occ part.Physical.device in
+          if part.Physical.occ_after <> tracked then
+            add
+              (Diagnostic.error ~op_index:i "OCC07"
+                 (Printf.sprintf "%s: device %d claims occ_after %d but dataflow says %d"
+                    label part.Physical.device part.Physical.occ_after tracked)))
+        op.Physical.parts;
+      (* noise_role vs occupancy (Layout.part's contract). *)
+      List.iter
+        (fun (part : Physical.device_part) ->
+          let d = part.Physical.device in
+          let m = max part.Physical.occ_before part.Physical.occ_after in
+          match part.Physical.noise with
+          | Physical.P4 ->
+            if m < 2 then
+              add
+                (Diagnostic.error ~op_index:i "OCC05"
+                   (Printf.sprintf "%s: device %d has P4 noise but holds at most %d qubit"
+                      label d m))
+          | Physical.P2 s ->
+            if m <> 1 then
+              add
+                (Diagnostic.error ~op_index:i "OCC05"
+                   (Printf.sprintf "%s: device %d has P2 noise but holds %d qubits" label d m))
+            else if s < 0 || s >= cap then
+              add
+                (Diagnostic.error ~op_index:i "OCC05"
+                   (Printf.sprintf "%s: device %d P2 slot %d out of range" label d s))
+            else begin
+              match (part.Physical.occ_before, List.assoc_opt d pre_lone) with
+              | 1, Some (Some slot) when slot <> s ->
+                add
+                  (Diagnostic.warning ~op_index:i "OCC05"
+                     (Printf.sprintf "%s: device %d P2 slot %d but the qubit sits at slot %d"
+                        label d s slot))
+              | _ -> ()
+            end
+          | Physical.Quiet ->
+            if m <> 0 then
+              add
+                (Diagnostic.error ~op_index:i "OCC05"
+                   (Printf.sprintf "%s: device %d marked Quiet but holds %d qubit%s" label d m
+                      (if m = 1 then "" else "s"))))
+        op.Physical.parts;
+      (* touches_ww vs the levels the pulse can reach. *)
+      if p.Physical.device_dim = 4 && op.Physical.touches_ww <> expected_ww then
+        add
+          (Diagnostic.warning ~op_index:i "CAL04"
+             (Printf.sprintf "%s: touches_ww = %b but occupancy implies %b" label
+                op.Physical.touches_ww expected_ww)))
+    p.Physical.ops;
+  (* final_map must name exactly the wires that end up occupied. *)
+  let claimed = Hashtbl.create 16 in
+  Array.iter (fun wire -> Hashtbl.replace claimed wire ()) p.Physical.final_map;
+  Array.iteri
+    (fun d row ->
+      Array.iteri
+        (fun s o ->
+          let named = Hashtbl.mem claimed (d, s) in
+          if o && not named then
+            add
+              (Diagnostic.error "OCC06"
+                 (Printf.sprintf "wire %d.%d ends occupied but final_map does not name it" d s))
+          else if named && not o then
+            add
+              (Diagnostic.error "OCC06"
+                 (Printf.sprintf "final_map names wire %d.%d but dataflow leaves it empty" d s)))
+        row)
+    occ;
+  List.rev !diags

@@ -1,0 +1,16 @@
+(** Pass 2 — occupancy dataflow.
+
+    Replays the program from [initial_map], tracking which virtual wire of
+    each device holds a qubit. Ops are classified from the IR alone: SWAPs by
+    their gate matrix, ENC/DEC by label (cross-checked against the two ENC
+    permutations), everything else as occupancy-preserving. Rules
+    [OCC01]-[OCC07] plus the [CAL04] touches_ww consistency warning. *)
+
+val check : Waltz_core.Physical.t -> Diagnostic.t list
+
+(**/**)
+
+type op_class = Enc | Dec | Move | Plain
+
+val classify : Waltz_core.Physical.op -> op_class
+(** Exposed for tests. *)

@@ -1,0 +1,55 @@
+type severity = Error | Warning | Info
+
+type t = {
+  rule : string;
+  severity : severity;
+  op_index : int option;
+  message : string;
+}
+
+let make ?op_index ~rule ~severity message = { rule; severity; op_index; message }
+
+let error ?op_index rule message = make ?op_index ~rule ~severity:Error message
+let warning ?op_index rule message = make ?op_index ~rule ~severity:Warning message
+let info ?op_index rule message = make ?op_index ~rule ~severity:Info message
+
+let severity_label = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "note"
+
+let pp ppf d =
+  (match d.op_index with
+  | Some i -> Format.fprintf ppf "op %d: " i
+  | None -> Format.fprintf ppf "program: ");
+  Format.fprintf ppf "%s %s: %s" (severity_label d.severity) d.rule d.message
+
+type report = {
+  diagnostics : t list;
+  ops_checked : int;
+  passes_run : string list;
+}
+
+let count severity report =
+  List.length (List.filter (fun d -> d.severity = severity) report.diagnostics)
+
+let error_count = count Error
+let warning_count = count Warning
+let is_clean report = error_count report = 0
+
+let errors report = List.filter (fun d -> d.severity = Error) report.diagnostics
+
+let with_rule rule report = List.filter (fun d -> d.rule = rule) report.diagnostics
+
+let pp_report ppf report =
+  Format.fprintf ppf "@[<v>waltz_verify: %d pass%s over %d ops: %d error%s, %d warning%s"
+    (List.length report.passes_run)
+    (if List.length report.passes_run = 1 then "" else "es")
+    report.ops_checked (error_count report)
+    (if error_count report = 1 then "" else "s")
+    (warning_count report)
+    (if warning_count report = 1 then "" else "s");
+  List.iter (fun d -> Format.fprintf ppf "@,  %a" pp d) report.diagnostics;
+  Format.fprintf ppf "@]"
+
+let report_to_string report = Format.asprintf "%a" pp_report report

@@ -1,0 +1,29 @@
+(** Pass 6 — bounded semantic equivalence.
+
+    For small registers (default n <= 8 and device space <= 2^16), replays
+    the compiled program through the ideal executor on Haar-random logical
+    probes and checks the output against the source circuit's unitary up to
+    global phase ([EQ01]), with full support on the encoded computational
+    subspace ([EQ02]). Emits an [EQ00] info note when the bound is
+    exceeded. *)
+
+open Waltz_circuit
+
+val check :
+  ?probes:int ->
+  ?seed:int ->
+  ?max_qubits:int ->
+  ?max_dim:int ->
+  ?tol:float ->
+  Circuit.t ->
+  Waltz_core.Physical.t ->
+  Diagnostic.t list
+
+val default_max_qubits : int
+
+val default_max_dim : int
+
+(**/**)
+
+val embed_logical : Waltz_core.Physical.t -> Waltz_linalg.Vec.t -> Waltz_sim.State.t
+val extract_logical : Waltz_core.Physical.t -> Waltz_sim.State.t -> Waltz_linalg.Vec.t

@@ -1,0 +1,59 @@
+(** The Waltz IR verifier: an LLVM-style checker for compiled programs.
+
+    [run] statically analyses a [Physical.t] (and, when available, the
+    logical [Circuit.t] it was compiled from) and returns a structured
+    {!Diagnostic.report}. Six pass families:
+
+    - {b structural} ([WF]/[CIR]): well-formedness of both IRs;
+    - {b occupancy} ([OCC], [CAL04]): abstract interpretation of slot
+      occupancy from [initial_map] to [final_map];
+    - {b topology} ([TOP]): multi-device ops only on coupled devices;
+    - {b schedule} ([SCHED]): ASAP consistency, device exclusivity,
+      critical-path total;
+    - {b calibration} ([CAL]): durations/fidelities match Table 1/2 entries
+      legal for the strategy;
+    - {b equivalence} ([EQ]): bounded replay against the circuit unitary.
+
+    Linking this library also registers {!hook} in [Compile.verifier_hook],
+    enabling [Compile.compile ~verify:true]. *)
+
+open Waltz_circuit
+open Waltz_arch
+open Waltz_core
+
+type pass =
+  | Structural
+  | Occupancy
+  | Topology_pass
+  | Schedule
+  | Calibration_pass
+  | Equivalence_pass
+
+val all_passes : pass list
+
+val pass_name : pass -> string
+
+val run :
+  ?topology:Topology.t ->
+  ?passes:pass list ->
+  ?probes:int ->
+  ?seed:int ->
+  ?equiv_max_qubits:int ->
+  Circuit.t option ->
+  Physical.t ->
+  Diagnostic.report
+(** [run circuit compiled] checks [compiled] and returns a report. When
+    [~topology] is omitted, a full mesh over [compiled.device_count] devices
+    is assumed (adjacency trivially satisfied). If structural errors make
+    later passes unsafe ({!Structural.fatal}), only the structural findings
+    are reported. Pass [None] for the circuit to skip the circuit-side and
+    equivalence checks. *)
+
+val pp_report : Format.formatter -> Diagnostic.report -> unit
+
+val hook : Compile.verifier
+
+val install : unit -> unit
+(** Idempotently registers {!hook} in [Compile.verifier_hook]. Called at
+    module initialisation; referencing this function also forces the library
+    to be linked. *)

@@ -1,0 +1,264 @@
+(* Seeded-defect fixtures for the IR verifier: each hand-built malformed
+   [Physical.t] must fire exactly the rule it was built to violate and
+   nothing else. Ops are constructed as raw records on purpose — the point
+   is to check programs that [Physical.make_op] would already reject. *)
+open Waltz_linalg
+open Waltz_qudit
+open Waltz_circuit
+open Waltz_arch
+open Waltz_core
+open Waltz_verify
+open Test_util
+
+let part ~device ~noise ~occ =
+  { Physical.device; noise; occ_before = occ; occ_after = occ }
+
+let op ?(ww = false) ?duration ~label ~parts ~targets ~gate
+    (entry : Calibration.entry) =
+  { Physical.label;
+    parts;
+    targets;
+    gate;
+    duration_ns = Option.value ~default:entry.Calibration.duration_ns duration;
+    fidelity = entry.Calibration.fidelity;
+    touches_ww = ww }
+
+let program ?(strategy = Strategy.mixed_radix_ccz) ?(device_dim = 4) ~n ~devices
+    ~initial ~final ops =
+  { Physical.strategy;
+    n_logical = n;
+    device_count = devices;
+    device_dim;
+    ops;
+    initial_map = initial;
+    final_map = final }
+
+let expect_only ?(passes = Verify.all_passes) ?topology ?(circuit = None) rule p =
+  let report = Verify.run ?topology ~passes circuit p in
+  let errs = Diagnostic.errors report in
+  if errs = [] then Alcotest.failf "%s did not fire; report:\n%s" rule
+      (Diagnostic.report_to_string report);
+  List.iter
+    (fun (d : Diagnostic.t) ->
+      if d.Diagnostic.rule <> rule then
+        Alcotest.failf "expected only %s errors but got:\n%s" rule
+          (Diagnostic.report_to_string report))
+    errs
+
+(* OCC02: a plain pulse acting on an empty virtual wire. *)
+let test_gate_on_empty_slot () =
+  let initial = [| (0, 1); (1, 1) |] in
+  let p =
+    program ~n:2 ~devices:2 ~initial ~final:(Array.copy initial)
+      [ op ~ww:true ~label:"CZ^{q0}"
+          ~parts:
+            [ part ~device:0 ~noise:(Physical.P2 1) ~occ:1;
+              part ~device:1 ~noise:(Physical.P2 1) ~occ:1 ]
+          ~targets:[ (0, 1); (1, 0) ] ~gate:Gates.cz
+          (Calibration.mr_cz ~slot:0) ]
+  in
+  expect_only "OCC02" p
+
+(* OCC03: ENC into a ququart that already holds two qubits (a double-ENC). *)
+let test_double_enc () =
+  let initial = [| (0, 1); (1, 0); (1, 1) |] in
+  let p =
+    program ~n:3 ~devices:2 ~initial ~final:(Array.copy initial)
+      [ op ~ww:true ~label:"ENC"
+          ~parts:
+            [ part ~device:0 ~noise:(Physical.P2 1) ~occ:1;
+              part ~device:1 ~noise:Physical.P4 ~occ:2 ]
+          ~targets:[ (0, 1); (1, 0); (1, 1) ]
+          ~gate:(Emit.enc_gate ~incoming_slot:1)
+          Calibration.enc ]
+  in
+  expect_only "OCC03" p
+
+(* OCC04: DEC from a device that is not an encoded ququart. *)
+let test_dec_from_unencoded () =
+  let initial = [| (1, 1) |] in
+  let p =
+    program ~n:1 ~devices:2 ~initial ~final:(Array.copy initial)
+      [ op ~ww:true ~label:"ENCdg"
+          ~parts:
+            [ part ~device:0 ~noise:Physical.Quiet ~occ:0;
+              part ~device:1 ~noise:(Physical.P2 1) ~occ:1 ]
+          ~targets:[ (0, 1); (1, 0); (1, 1) ]
+          ~gate:(Mat.adjoint (Emit.enc_gate ~incoming_slot:1))
+          Calibration.enc ]
+  in
+  expect_only "OCC04" p
+
+(* OCC05: an encoded ququart annotated with a single-qubit noise role. *)
+let test_wrong_noise_role () =
+  let initial = [| (0, 0); (0, 1) |] in
+  let p =
+    program ~n:2 ~devices:1 ~initial ~final:(Array.copy initial)
+      [ op ~ww:true ~label:"CX^0"
+          ~parts:[ part ~device:0 ~noise:(Physical.P2 0) ~occ:2 ]
+          ~targets:[ (0, 1); (0, 0) ] ~gate:Gates.cx
+          (Calibration.internal_cx ~target_slot:0) ]
+  in
+  expect_only "OCC05" p
+
+(* TOP01: a two-device pulse between devices a line topology does not couple. *)
+let test_non_adjacent_devices () =
+  let initial = [| (0, 1); (3, 1) |] in
+  let p =
+    program ~strategy:Strategy.full_ququart ~n:2 ~devices:4 ~initial
+      ~final:(Array.copy initial)
+      [ op ~label:"CZ^{11}"
+          ~parts:
+            [ part ~device:0 ~noise:(Physical.P2 1) ~occ:1;
+              part ~device:3 ~noise:(Physical.P2 1) ~occ:1 ]
+          ~targets:[ (0, 1); (3, 1) ] ~gate:Gates.cz
+          (Calibration.fq_cz ~slot_a:1 ~slot_b:1) ]
+  in
+  expect_only "TOP01" ~topology:(Topology.line 4) p
+
+(* WF01: the same device listed twice in an op's parts. *)
+let test_duplicate_parts () =
+  let initial = [| (0, 1) |] in
+  let p =
+    program ~n:1 ~devices:1 ~initial ~final:(Array.copy initial)
+      [ op ~label:"U^1"
+          ~parts:
+            [ part ~device:0 ~noise:(Physical.P2 1) ~occ:1;
+              part ~device:0 ~noise:(Physical.P2 1) ~occ:1 ]
+          ~targets:[ (0, 1) ] ~gate:Gates.h
+          (Calibration.embedded_1q ~slot:1) ]
+  in
+  expect_only "WF01" p
+
+(* WF02 (fatal): gate dimension does not match the target count. *)
+let test_gate_dimension_mismatch () =
+  let initial = [| (0, 1) |] in
+  let p =
+    program ~n:1 ~devices:1 ~initial ~final:(Array.copy initial)
+      [ op ~label:"U^1"
+          ~parts:[ part ~device:0 ~noise:(Physical.P2 1) ~occ:1 ]
+          ~targets:[ (0, 1) ] ~gate:Gates.cz
+          (Calibration.embedded_1q ~slot:1) ]
+  in
+  expect_only "WF02" p
+
+(* WF03: a target wire on a device the op's parts do not mention. *)
+let test_target_not_in_parts () =
+  let initial = [| (0, 1); (1, 1) |] in
+  let p =
+    program ~n:2 ~devices:2 ~initial ~final:(Array.copy initial)
+      [ op ~label:"CZ^{11}"
+          ~parts:[ part ~device:0 ~noise:(Physical.P2 1) ~occ:1 ]
+          ~targets:[ (0, 1); (1, 1) ] ~gate:Gates.cz
+          (Calibration.fq_cz ~slot_a:1 ~slot_b:1) ]
+  in
+  expect_only "WF03" p
+
+(* WF05 (fatal): two logical qubits placed on the same wire. *)
+let test_non_injective_map () =
+  let p =
+    program ~n:2 ~devices:2
+      ~initial:[| (0, 1); (0, 1) |]
+      ~final:[| (0, 1); (1, 1) |]
+      []
+  in
+  expect_only "WF05" p
+
+(* SCHED03: a negative duration (pass-selected so CAL01 stays out of frame). *)
+let test_negative_duration () =
+  let initial = [| (0, 1); (1, 1) |] in
+  let p =
+    program ~n:2 ~devices:2 ~initial ~final:(Array.copy initial)
+      [ op ~duration:(-5.) ~label:"CZ^{q0}"
+          ~parts:
+            [ part ~device:0 ~noise:(Physical.P2 1) ~occ:1;
+              part ~device:1 ~noise:(Physical.P2 1) ~occ:1 ]
+          ~targets:[ (0, 1); (1, 1) ] ~gate:Gates.cz
+          (Calibration.mr_cz ~slot:0) ]
+  in
+  expect_only "SCHED03" ~passes:[ Verify.Structural; Verify.Schedule ] p
+
+(* CAL01: a (duration, fidelity) pair matching no calibration entry. *)
+let test_uncalibrated_duration () =
+  let initial = [| (0, 1); (1, 1) |] in
+  let bogus = { Calibration.label = "CZ_bogus"; duration_ns = 123.; fidelity = 0.99 } in
+  let p =
+    program ~n:2 ~devices:2 ~initial ~final:(Array.copy initial)
+      [ op ~label:"CZ_bogus"
+          ~parts:
+            [ part ~device:0 ~noise:(Physical.P2 1) ~occ:1;
+              part ~device:1 ~noise:(Physical.P2 1) ~occ:1 ]
+          ~targets:[ (0, 1); (1, 1) ] ~gate:Gates.cz bogus ]
+  in
+  expect_only "CAL01" p
+
+(* CAL03: claiming to touch levels |2>/|3> on two-level hardware. *)
+let test_ww_on_bare_qubits () =
+  let initial = [| (0, 0); (1, 0) |] in
+  let p =
+    program ~strategy:Strategy.qubit_only ~device_dim:2 ~n:2 ~devices:2 ~initial
+      ~final:(Array.copy initial)
+      [ op ~ww:true ~label:"CZ_2"
+          ~parts:
+            [ part ~device:0 ~noise:(Physical.P2 0) ~occ:1;
+              part ~device:1 ~noise:(Physical.P2 0) ~occ:1 ]
+          ~targets:[ (0, 0); (1, 0) ] ~gate:Gates.cz Calibration.qubit_cz ]
+  in
+  expect_only "CAL03" p
+
+(* EQ01: a compiled program with one gate silently replaced by the identity
+   is structurally impeccable — only the equivalence replay can catch it. *)
+let test_tampered_gate_caught_by_equivalence () =
+  let circuit = Circuit.add (Circuit.add (Circuit.empty 2) Gate.H [ 0 ]) Gate.Cx [ 0; 1 ] in
+  let compiled = Compile.compile Strategy.qubit_only circuit in
+  check_bool "fixture has a CX_2 to tamper" true
+    (List.exists (fun (o : Physical.op) -> o.Physical.label = "CX_2") compiled.Physical.ops);
+  let tampered =
+    { compiled with
+      Physical.ops =
+        List.map
+          (fun (o : Physical.op) ->
+            if o.Physical.label = "CX_2" then { o with Physical.gate = Mat.identity 4 }
+            else o)
+          compiled.Physical.ops }
+  in
+  expect_only "EQ01" ~circuit:(Some circuit) tampered
+
+let test_classification () =
+  let enc =
+    op ~label:"ENC" ~parts:[] ~targets:[] ~gate:(Emit.enc_gate ~incoming_slot:1)
+      Calibration.enc
+  in
+  let dec =
+    op ~label:"ENCdg" ~parts:[] ~targets:[]
+      ~gate:(Mat.adjoint (Emit.enc_gate ~incoming_slot:0))
+      Calibration.enc
+  in
+  let move =
+    op ~label:"SWAP_2" ~parts:[] ~targets:[ (0, 0); (1, 0) ] ~gate:Gates.swap
+      Calibration.qubit_swap
+  in
+  let plain =
+    op ~label:"CZ_2" ~parts:[] ~targets:[ (0, 0); (1, 0) ] ~gate:Gates.cz
+      Calibration.qubit_cz
+  in
+  check_bool "enc" true (Dataflow.classify enc = Dataflow.Enc);
+  check_bool "dec" true (Dataflow.classify dec = Dataflow.Dec);
+  check_bool "move" true (Dataflow.classify move = Dataflow.Move);
+  check_bool "plain" true (Dataflow.classify plain = Dataflow.Plain)
+
+let suite =
+  [ case "OCC02 gate on empty slot" test_gate_on_empty_slot;
+    case "OCC03 double ENC" test_double_enc;
+    case "OCC04 DEC from unencoded device" test_dec_from_unencoded;
+    case "OCC05 wrong noise role" test_wrong_noise_role;
+    case "TOP01 non-adjacent devices" test_non_adjacent_devices;
+    case "WF01 duplicate parts" test_duplicate_parts;
+    case "WF02 gate dimension mismatch" test_gate_dimension_mismatch;
+    case "WF03 target not in parts" test_target_not_in_parts;
+    case "WF05 non-injective map" test_non_injective_map;
+    case "SCHED03 negative duration" test_negative_duration;
+    case "CAL01 uncalibrated duration" test_uncalibrated_duration;
+    case "CAL03 ww on bare qubits" test_ww_on_bare_qubits;
+    case "EQ01 tampered gate" test_tampered_gate_caught_by_equivalence;
+    case "op classification" test_classification ]

@@ -20,4 +20,6 @@ let () =
       ("executor", Test_executor.suite);
       ("exact", Test_exact.suite);
       ("rb", Test_rb.suite);
-      ("control", Test_control.suite) ]
+      ("control", Test_control.suite);
+      ("verify", Test_verify.suite);
+      ("verify-fixtures", Test_verify_fixtures.suite) ]
