@@ -1,4 +1,4 @@
-.PHONY: all build test lint clean
+.PHONY: all build test lint bench-json clean
 
 all: build test
 
@@ -7,6 +7,12 @@ build:
 
 test:
 	dune runtest
+
+# Machine-readable micro-benchmark record (BENCH_micro.json in the working
+# directory): name -> ns/run plus domains used and trajectories/sec. Honors
+# WALTZ_DOMAINS, e.g. `WALTZ_DOMAINS=4 make bench-json`.
+bench-json:
+	dune exec bench/main.exe -- micro
 
 # Type-check everything (@check) and run the IR verifier over the example
 # programs. waltz_verify itself builds with warnings as errors.

@@ -492,11 +492,17 @@ let resynth () =
 
 (* ---------------- Bechamel micro-benchmarks ---------------- *)
 
+(* Trajectories per run of the fig9/trajectory-throughput kernel; the JSON
+   report divides by the measured time to get trajectories/sec. *)
+let throughput_trajectories = 8
+
 let micro () =
   header "Bechamel micro-benchmarks (one Test.make per table/figure kernel)";
   let open Bechamel in
   let toffoli = Circuit.of_gates ~n:3 [ Gate.make Gate.Ccx [ 0; 1; 2 ] ] in
   let cnu7 = Bench_circuits.cnu ~controls:4 in
+  let toffoli_fq = Compile.compile Strategy.full_ququart toffoli in
+  let cnu7_fq = Compile.compile Strategy.full_ququart cnu7 in
   let tests =
     [ Test.make ~name:"table1/calibration-lookup"
         (Staged.stage (fun () -> ignore (Calibration.mr_cx ~control:Qubit ~target:(Slot 0))));
@@ -516,12 +522,20 @@ let micro () =
              ignore (Eps.estimate (Compile.compile Strategy.full_ququart cnu7))));
       Test.make ~name:"fig9/trajectory-sim"
         (Staged.stage (fun () ->
-             let compiled = Compile.compile Strategy.full_ququart toffoli in
              ignore
                (Executor.simulate
                   ~config:{ Executor.default_config with Executor.trajectories = 2 }
-                  compiled))) ]
+                  toffoli_fq)));
+      Test.make ~name:"fig9/trajectory-throughput"
+        (Staged.stage (fun () ->
+             ignore
+               (Executor.simulate
+                  ~config:
+                    { Executor.default_config with
+                      Executor.trajectories = throughput_trajectories }
+                  cnu7_fq))) ]
   in
+  let measured = ref [] in
   List.iter
     (fun test ->
       let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 0.25) ~kde:None () in
@@ -534,11 +548,34 @@ let micro () =
               total_time := !total_time +. Measurement_raw.get ~label:"monotonic-clock" raw;
               total_runs := !total_runs +. Measurement_raw.run raw)
             b.Benchmark.lr;
-          Printf.printf "  %-30s %14.0f ns/run (%d samples)\n" name
-            (!total_time /. Float.max 1. !total_runs)
+          let ns_per_run = !total_time /. Float.max 1. !total_runs in
+          measured := (name, ns_per_run) :: !measured;
+          Printf.printf "  %-30s %14.0f ns/run (%d samples)\n" name ns_per_run
             (Array.length b.Benchmark.lr))
         results)
-    tests
+    tests;
+  (* Machine-readable perf trajectory, one file per run (see make bench-json). *)
+  let measured = List.rev !measured in
+  let domains = Waltz_runtime.Pool.default_domains () in
+  let traj_per_sec =
+    match List.assoc_opt "fig9/trajectory-throughput" measured with
+    | Some ns when ns > 0. -> float_of_int throughput_trajectories /. (ns *. 1e-9)
+    | _ -> 0.
+  in
+  let oc = open_out "BENCH_micro.json" in
+  Printf.fprintf oc "{\n  \"domains\": %d,\n" domains;
+  Printf.fprintf oc "  \"throughput_trajectories\": %d,\n" throughput_trajectories;
+  Printf.fprintf oc "  \"trajectories_per_sec\": %.1f,\n" traj_per_sec;
+  Printf.fprintf oc "  \"ns_per_run\": {\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "    %S: %.1f%s\n" name ns
+        (if i = List.length measured - 1 then "" else ","))
+    measured;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc;
+  Printf.printf "\n  wrote BENCH_micro.json (%d domains, %.1f trajectories/sec)\n" domains
+    traj_per_sec
 
 (* ---------------- main ---------------- *)
 

@@ -122,6 +122,16 @@ let trajectories_arg =
   Arg.(
     value & opt int 50 & info [ "trajectories" ] ~docv:"K" ~doc:"Trajectories per point.")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"D"
+        ~doc:
+          "Domains for the trajectory engine (default: \\$(b,WALTZ_DOMAINS) or the \
+           machine's recommended count; 1 = sequential). Results are identical at \
+           every setting.")
+
 let with_circuit ?(qasm = None) ?(optimize = false) ?(reroll = false) family n cx_fraction f =
   match
     Result.map
@@ -208,13 +218,13 @@ let estimate_cmd =
 (* ---- simulate ---- *)
 
 let simulate_cmd =
-  let run family n cx_fraction strategy trajectories seed qasm optimize =
+  let run family n cx_fraction strategy trajectories seed qasm optimize domains =
     with_circuit ~qasm ~optimize family n cx_fraction (fun circuit ->
         let compiled = Compile.compile strategy circuit in
         let d =
           Executor.simulate_detailed
             ~config:{ Executor.model = Noise.default; trajectories; base_seed = seed }
-            compiled
+            ?domains compiled
         in
         let result = d.Executor.summary in
         Printf.printf "%s\n" (Physical.summary compiled);
@@ -229,12 +239,12 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Trajectory-method fidelity of a compiled circuit")
     Term.(
       const run $ family_arg $ n_arg $ cx_fraction_arg $ strategy_arg $ trajectories_arg
-      $ seed $ qasm_arg $ optimize_arg)
+      $ seed $ qasm_arg $ optimize_arg $ domains_arg)
 
 (* ---- sweep ---- *)
 
 let sweep_cmd =
-  let run family n cx_fraction knob values trajectories =
+  let run family n cx_fraction knob values trajectories domains =
     with_circuit family n cx_fraction (fun circuit ->
         let strategies =
           [ Strategy.qubit_only; Strategy.qubit_itoffoli; Strategy.mixed_radix_ccz;
@@ -265,7 +275,7 @@ let sweep_cmd =
                   let result =
                     Executor.simulate
                       ~config:{ Executor.model; trajectories; base_seed = 2023 }
-                      compiled
+                      ?domains compiled
                   in
                   Printf.printf " %-16.4f" result.Executor.mean_fidelity)
                 strategies;
@@ -288,7 +298,8 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sensitivity sweeps (the Fig. 9 studies)")
     Term.(
-      const run $ family_arg $ n_arg $ cx_fraction_arg $ knob $ values $ trajectories_arg)
+      const run $ family_arg $ n_arg $ cx_fraction_arg $ knob $ values $ trajectories_arg
+      $ domains_arg)
 
 (* ---- breakdown ---- *)
 

@@ -2,6 +2,7 @@ open Waltz_linalg
 open Waltz_qudit
 open Waltz_noise
 open Waltz_sim
+open Waltz_runtime
 
 type config = { model : Noise.model; trajectories : int; base_seed : int }
 
@@ -17,18 +18,29 @@ type plan_op = {
   lifted : Mat.t;  (** unitary over those device wires *)
   error_p : float;
   error_parts : (int * Physical.noise_role) list;  (** device, role *)
-  part_devices : int list;  (** all touched devices (idle accounting) *)
-  start : float;
-  duration : float;
+  error_dims : int list;  (** radix of each error part's Pauli draw *)
+  pre_damp : (int * float array) list;
+      (** idle windows closing when this op starts: (device, lambdas) *)
 }
 
-let lift_gate ~device_dim (op : Physical.op) =
-  (* Devices in order of first appearance among the targets. *)
-  let devices =
-    List.fold_left
-      (fun acc (d, _) -> if List.mem d acc then acc else acc @ [ d ])
-      [] op.Physical.targets
-  in
+(* The per-trajectory schedule: idle-window bookkeeping is identical for
+   every trajectory, so start times, damping lambdas and Pauli radices are
+   all resolved once per plan and only read from the worker domains. *)
+type plan = {
+  plan_ops : plan_op list;
+  final_damp : (int * float array) list;  (** windows closing at the end *)
+}
+
+(* Devices in order of first appearance among the targets. Reversed-cons
+   accumulation; the [List.mem] scan is over at most three devices. *)
+let unique_devices targets =
+  List.rev
+    (List.fold_left
+       (fun acc (d, _) -> if List.mem d acc then acc else d :: acc)
+       [] targets)
+
+let lift_gate_uncached ~device_dim (op : Physical.op) =
+  let devices = unique_devices op.Physical.targets in
   let wires_per_device = if device_dim = 4 then 2 else 1 in
   let total_wires = wires_per_device * List.length devices in
   let wire_of (d, s) =
@@ -46,38 +58,95 @@ let lift_gate ~device_dim (op : Physical.op) =
   in
   (devices, lifted)
 
+(* The lifted unitary depends on the gate and the *pattern* of targets —
+   which of the op's devices each (device, slot) wire belongs to — not on
+   absolute device ids, so ops that repeat a gate on different devices share
+   one Kronecker lift. Keyed structurally ((=) on the gate's float arrays);
+   the mutex makes the table safe for concurrent planners. *)
+let lift_table : (int * (int * int) list * Mat.t, Mat.t) Hashtbl.t = Hashtbl.create 64
+let lift_mutex = Mutex.create ()
+
+let lift_gate ~device_dim (op : Physical.op) =
+  let devices = unique_devices op.Physical.targets in
+  let index_of d =
+    let rec go i = function
+      | [] -> assert false
+      | d' :: rest -> if d' = d then i else go (i + 1) rest
+    in
+    go 0 devices
+  in
+  let pattern = List.map (fun (d, s) -> (index_of d, s)) op.Physical.targets in
+  let key = (device_dim, pattern, op.Physical.gate) in
+  Mutex.lock lift_mutex;
+  let lifted =
+    match Hashtbl.find_opt lift_table key with
+    | Some lifted -> lifted
+    | None ->
+      if Hashtbl.length lift_table > 4096 then Hashtbl.reset lift_table;
+      let _, lifted = lift_gate_uncached ~device_dim op in
+      Hashtbl.add lift_table key lifted;
+      lifted
+  in
+  Mutex.unlock lift_mutex;
+  (devices, lifted)
+
 let plan ~model (compiled : Physical.t) =
   let device_dim = compiled.Physical.device_dim in
-  List.map
-    (fun ((op : Physical.op), start) ->
-      let devices, lifted = lift_gate ~device_dim op in
-      let err = 1. -. op.Physical.fidelity in
-      let err = if op.Physical.touches_ww then err *. model.Noise.ww_error_scale else err in
-      let error_parts =
-        List.filter_map
-          (fun (p : Physical.device_part) ->
-            match p.Physical.noise with
-            | Physical.Quiet -> None
-            | role -> Some (p.Physical.device, role))
-          op.Physical.parts
-      in
-      { devices;
-        lifted;
-        error_p = Float.max 0. err;
-        error_parts;
-        part_devices = List.map (fun (p : Physical.device_part) -> p.Physical.device) op.Physical.parts;
-        start;
-        duration = op.Physical.duration_ns })
-    (Physical.schedule compiled)
+  let schedule = Physical.schedule compiled in
+  let total_duration =
+    List.fold_left
+      (fun acc ((op : Physical.op), start) -> Float.max acc (start +. op.Physical.duration_ns))
+      0. schedule
+  in
+  let lambdas_of = Noise.damping_cache model ~d:device_dim in
+  let last_busy = Array.make compiled.Physical.device_count 0. in
+  let window device until =
+    let dt = until -. last_busy.(device) in
+    if dt > 1e-9 then Some (device, lambdas_of dt) else None
+  in
+  let plan_ops =
+    List.map
+      (fun ((op : Physical.op), start) ->
+        let devices, lifted = lift_gate ~device_dim op in
+        let err = 1. -. op.Physical.fidelity in
+        let err = if op.Physical.touches_ww then err *. model.Noise.ww_error_scale else err in
+        let error_parts =
+          List.filter_map
+            (fun (p : Physical.device_part) ->
+              match p.Physical.noise with
+              | Physical.Quiet -> None
+              | role -> Some (p.Physical.device, role))
+            op.Physical.parts
+        in
+        let part_devices =
+          List.map (fun (p : Physical.device_part) -> p.Physical.device) op.Physical.parts
+        in
+        let pre_damp = List.filter_map (fun d -> window d start) part_devices in
+        List.iter (fun d -> last_busy.(d) <- start +. op.Physical.duration_ns) part_devices;
+        { devices;
+          lifted;
+          error_p = Float.max 0. err;
+          error_parts;
+          error_dims =
+            List.map (fun (_, role) -> match role with Physical.P4 -> 4 | _ -> 2) error_parts;
+          pre_damp })
+      schedule
+  in
+  let final_damp =
+    List.filter_map
+      (fun d -> window d total_duration)
+      (List.init compiled.Physical.device_count Fun.id)
+  in
+  { plan_ops; final_damp }
 
-let initial_allowed (compiled : Physical.t) =
-  let device_dim = compiled.Physical.device_dim in
-  let allowed = Array.make compiled.Physical.device_count [ 0 ] in
-  if device_dim = 2 then
-    Array.iter (fun (d, _) -> allowed.(d) <- [ 0; 1 ]) compiled.Physical.initial_map
+(* Allowed levels per device under a placement map: a device's computational
+   subspace depends on how many qubits it holds and in which slots. *)
+let allowed_of_map ~device_dim ~device_count map =
+  let allowed = Array.make device_count [ 0 ] in
+  if device_dim = 2 then Array.iter (fun (d, _) -> allowed.(d) <- [ 0; 1 ]) map
   else begin
-    let slots = Array.make compiled.Physical.device_count [] in
-    Array.iter (fun (d, s) -> slots.(d) <- s :: slots.(d)) compiled.Physical.initial_map;
+    let slots = Array.make device_count [] in
+    Array.iter (fun (d, s) -> slots.(d) <- s :: slots.(d)) map;
     Array.iteri
       (fun d occupied ->
         allowed.(d) <-
@@ -89,6 +158,15 @@ let initial_allowed (compiled : Physical.t) =
       slots
   end;
   allowed
+
+(* Per-device bool lookup tables (level -> allowed), replacing List.mem in
+   the O(dim_total · devices) scans. *)
+let allowed_table ~device_dim allowed =
+  Array.map (fun levels -> Array.init device_dim (fun l -> List.mem l levels)) allowed
+
+let initial_allowed (compiled : Physical.t) =
+  allowed_of_map ~device_dim:compiled.Physical.device_dim
+    ~device_count:compiled.Physical.device_count compiled.Physical.initial_map
 
 let apply_plan_op state p = State.apply state ~targets:p.devices p.lifted
 
@@ -104,10 +182,7 @@ let embed_error ~device_dim role pauli =
 let inject_errors rng ~device_dim state p =
   if p.error_parts = [] then 0
   else begin
-    let dims =
-      List.map (fun (_, role) -> match role with Physical.P4 -> 4 | _ -> 2) p.error_parts
-    in
-    match Noise.draw_error rng ~dims ~p:p.error_p with
+    match Noise.draw_error rng ~dims:p.error_dims ~p:p.error_p with
     | None -> 0
     | Some factors ->
       List.iter2
@@ -117,64 +192,42 @@ let inject_errors rng ~device_dim state p =
       1
   end
 
-let run_noisy rng ~model ~device_dim ~device_count ~total_duration plan_ops state =
-  let last_busy = Array.make device_count 0. in
+let run_noisy rng ~device_dim plan state =
   let draws = ref 0 in
-  let idle_damp device until =
-    let dt = until -. last_busy.(device) in
-    if dt > 1e-9 then begin
-      let lambdas = Noise.damping_lambdas model ~d:device_dim ~dt_ns:dt in
-      State.damp state rng ~wire:device ~lambdas
-    end
-  in
   List.iter
     (fun p ->
-      List.iter (fun d -> idle_damp d p.start) p.part_devices;
+      List.iter (fun (d, lambdas) -> State.damp state rng ~wire:d ~lambdas) p.pre_damp;
       apply_plan_op state p;
-      draws := !draws + inject_errors rng ~device_dim state p;
-      List.iter (fun d -> last_busy.(d) <- p.start +. p.duration) p.part_devices)
-    plan_ops;
-  for d = 0 to device_count - 1 do
-    idle_damp d total_duration
-  done;
+      draws := !draws + inject_errors rng ~device_dim state p)
+    plan.plan_ops;
+  List.iter (fun (d, lambdas) -> State.damp state rng ~wire:d ~lambdas) plan.final_damp;
   !draws
 
 let run_ideal (compiled : Physical.t) state =
-  let plan_ops = plan ~model:Noise.default compiled in
+  let plan = plan ~model:Noise.default compiled in
   let out = State.copy state in
-  List.iter (fun p -> apply_plan_op out p) plan_ops;
+  List.iter (fun p -> apply_plan_op out p) plan.plan_ops;
   out
 
 (* Population outside the computational subspace defined by a placement
    map: a device's allowed levels depend on how many qubits it holds. *)
 let leakage_against ~map (compiled : Physical.t) state =
   let device_dim = compiled.Physical.device_dim in
-  let allowed = Array.make compiled.Physical.device_count [ 0 ] in
-  if device_dim = 2 then Array.iter (fun (d, _) -> allowed.(d) <- [ 0; 1 ]) map
-  else begin
-    let slots = Array.make compiled.Physical.device_count [] in
-    Array.iter (fun (d, s) -> slots.(d) <- s :: slots.(d)) map;
-    Array.iteri
-      (fun d occupied ->
-        allowed.(d) <-
-          (match List.sort_uniq compare occupied with
-          | [] -> [ 0 ]
-          | [ 1 ] -> [ 0; 1 ]
-          | [ 0 ] -> [ 0; 2 ]
-          | _ -> [ 0; 1; 2; 3 ]))
-      slots
-  end;
+  let device_count = compiled.Physical.device_count in
+  let allowed =
+    allowed_table ~device_dim (allowed_of_map ~device_dim ~device_count map)
+  in
   let amps = State.amplitudes state in
-  let dims = Array.make compiled.Physical.device_count device_dim in
-  let strides = Array.make compiled.Physical.device_count 1 in
-  for d = compiled.Physical.device_count - 2 downto 0 do
+  let dims = Array.make device_count device_dim in
+  let strides = Array.make device_count 1 in
+  for d = device_count - 2 downto 0 do
     strides.(d) <- strides.(d + 1) * dims.(d + 1)
   done;
   let inside = ref 0. in
   for idx = 0 to Waltz_linalg.Vec.dim amps - 1 do
     let ok = ref true in
-    for d = 0 to compiled.Physical.device_count - 1 do
-      if not (List.mem (idx / strides.(d) mod device_dim) allowed.(d)) then ok := false
+    for d = 0 to device_count - 1 do
+      if not allowed.(d).(idx / strides.(d) mod device_dim) then ok := false
     done;
     if !ok then
       inside :=
@@ -186,51 +239,58 @@ let leakage_against ~map (compiled : Physical.t) state =
 
 type detailed = { summary : result; mean_leakage : float; mean_error_draws : float }
 
-let simulate_detailed ?(config = default_config) (compiled : Physical.t) =
+let simulate_detailed ?(config = default_config) ?domains (compiled : Physical.t) =
   let device_dim = compiled.Physical.device_dim in
   if compiled.Physical.device_count > max_devices ~device_dim then
     invalid_arg
       (Printf.sprintf "Executor.simulate: %d devices exceeds the %d-device memory guard"
          compiled.Physical.device_count (max_devices ~device_dim));
   let model = config.model in
-  let plan_ops = plan ~model compiled in
-  let total_duration =
-    List.fold_left (fun acc p -> Float.max acc (p.start +. p.duration)) 0. plan_ops
-  in
+  let plan = plan ~model compiled in
   let dims = Array.make compiled.Physical.device_count device_dim in
   let allowed = initial_allowed compiled in
+  (* Warm the shared Pauli table before fanning out (it is mutex-guarded,
+     but pre-filling keeps the hot path contention-free). *)
+  List.iter (fun d -> ignore (Noise.pauli_set ~d)) [ 2; device_dim ];
+  let run_trajectory k =
+    (* Split-stream seeding: trajectory k's stream depends only on k, so the
+       result is bit-identical at every domain count. *)
+    let rng = Rng.make ~seed:(config.base_seed + (7919 * k)) in
+    let input = State.random_supported rng ~dims ~allowed in
+    let ideal = State.copy input in
+    List.iter (fun p -> apply_plan_op ideal p) plan.plan_ops;
+    let noisy = State.copy input in
+    let draws = run_noisy rng ~device_dim plan noisy in
+    let leak = leakage_against ~map:compiled.Physical.final_map compiled noisy in
+    (State.overlap2 ideal noisy, leak, draws)
+  in
+  let domains =
+    match domains with Some d -> max 1 d | None -> Pool.default_domains ()
+  in
   let samples =
-    List.init config.trajectories (fun k ->
-        let rng = Rng.make ~seed:(config.base_seed + (7919 * k)) in
-        let input = State.random_supported rng ~dims ~allowed in
-        let ideal = State.copy input in
-        List.iter (fun p -> apply_plan_op ideal p) plan_ops;
-        let noisy = State.copy input in
-        let draws =
-          run_noisy rng ~model ~device_dim ~device_count:compiled.Physical.device_count
-            ~total_duration plan_ops noisy
-        in
-        let leak = leakage_against ~map:compiled.Physical.final_map compiled noisy in
-        (State.overlap2 ideal noisy, leak, draws))
+    if domains <= 1 || config.trajectories <= 1 then
+      Array.init config.trajectories run_trajectory
+    else
+      Pool.map_array ~domains (Pool.shared ~domains ()) ~n:config.trajectories
+        ~f:run_trajectory
   in
   let n = float_of_int config.trajectories in
-  let fidelities = List.map (fun (f, _, _) -> f) samples in
-  let mean = List.fold_left ( +. ) 0. fidelities /. n in
+  let mean = Array.fold_left (fun a (f, _, _) -> a +. f) 0. samples /. n in
   let var =
-    List.fold_left (fun a f -> a +. ((f -. mean) *. (f -. mean))) 0. fidelities
+    Array.fold_left (fun a (f, _, _) -> a +. ((f -. mean) *. (f -. mean))) 0. samples
     /. Float.max 1. (n -. 1.)
   in
   let summary =
     { mean_fidelity = mean; sem = sqrt (var /. n); trajectories = config.trajectories }
   in
-  let mean_leakage = List.fold_left (fun a (_, l, _) -> a +. l) 0. samples /. n in
+  let mean_leakage = Array.fold_left (fun a (_, l, _) -> a +. l) 0. samples /. n in
   let mean_error_draws =
-    List.fold_left (fun a (_, _, d) -> a +. float_of_int d) 0. samples /. n
+    Array.fold_left (fun a (_, _, d) -> a +. float_of_int d) 0. samples /. n
   in
   { summary; mean_leakage; mean_error_draws }
 
-let simulate ?config compiled =
+let simulate ?config ?domains compiled =
   (match config with
-  | Some c -> simulate_detailed ~config:c compiled
-  | None -> simulate_detailed compiled)
+  | Some c -> simulate_detailed ~config:c ?domains compiled
+  | None -> simulate_detailed ?domains compiled)
     .summary

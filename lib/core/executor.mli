@@ -22,9 +22,16 @@ val max_devices : device_dim:int -> int
 (** Memory guard: the largest register the executor will simulate
     (11 four-level or 22 two-level devices). *)
 
-val simulate : ?config:config -> Physical.t -> result
+val simulate : ?config:config -> ?domains:int -> Physical.t -> result
 (** Raises [Invalid_argument] if the compiled circuit exceeds
-    [max_devices]. *)
+    [max_devices].
+
+    Trajectories fan out across [domains] OCaml domains (default: the
+    [WALTZ_DOMAINS] environment knob, else the machine's recommended domain
+    count; [1] runs the exact legacy sequential path). Each trajectory owns
+    an independent seed stream ([base_seed + 7919·k]) and results are
+    reduced in trajectory order, so every statistic is bit-identical at
+    every domain count. *)
 
 type detailed = {
   summary : result;
@@ -34,7 +41,8 @@ type detailed = {
   mean_error_draws : float;  (** average depolarizing events per trajectory *)
 }
 
-val simulate_detailed : ?config:config -> Physical.t -> detailed
+val simulate_detailed : ?config:config -> ?domains:int -> Physical.t -> detailed
+(** See {!simulate} for the [domains] knob and the determinism guarantee. *)
 
 val run_ideal : Physical.t -> Waltz_sim.State.t -> Waltz_sim.State.t
 (** Applies the compiled ops without noise to a copy of the given physical
@@ -45,7 +53,12 @@ val run_ideal : Physical.t -> Waltz_sim.State.t -> Waltz_sim.State.t
 
 val lift_gate : device_dim:int -> Physical.op -> int list * Waltz_linalg.Mat.t
 (** The devices an op touches (in target order) and its unitary lifted to
-    their joint space. *)
+    their joint space. Memoized on (gate, target-slot pattern, device_dim):
+    ops repeating a gate on different devices share one Kronecker lift. *)
+
+val lift_gate_uncached : device_dim:int -> Physical.op -> int list * Waltz_linalg.Mat.t
+(** The raw (un-memoized) lift; exposed so tests can check the cache against
+    freshly built matrices. *)
 
 val embed_error : device_dim:int -> Physical.noise_role -> Waltz_linalg.Mat.t -> Waltz_linalg.Mat.t
 (** Lifts a per-operand Pauli factor onto a device's full space (a P2 factor

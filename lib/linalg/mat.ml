@@ -172,6 +172,23 @@ let equal_up_to_phase ?(tol = 1e-9) a b =
 let is_unitary ?(tol = 1e-9) m =
   m.rows = m.cols && equal ~tol (mul (adjoint m) m) (identity m.rows)
 
+let is_diagonal m =
+  m.rows = m.cols
+  &&
+  let ok = ref true in
+  (try
+     for i = 0 to m.rows - 1 do
+       let row = i * m.cols in
+       for j = 0 to m.cols - 1 do
+         if i <> j && (m.re.(row + j) <> 0. || m.im.(row + j) <> 0.) then begin
+           ok := false;
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  !ok
+
 let process_fidelity u v =
   if u.rows <> v.rows || u.rows <> u.cols || v.rows <> v.cols then
     invalid_arg "Mat.process_fidelity";

@@ -80,6 +80,11 @@ val equal_up_to_phase : ?tol:float -> t -> t -> bool
 
 val is_unitary : ?tol:float -> t -> bool
 
+val is_diagonal : t -> bool
+(** True for square matrices whose off-diagonal entries are exactly zero
+    (no tolerance — used to select exact fast paths, so a near-diagonal
+    matrix must not qualify). *)
+
 val process_fidelity : t -> t -> float
 (** [process_fidelity u v] is |Tr(u†·v)|²/n² — the gate fidelity of Eq. 1
     between two same-dimension unitaries. *)

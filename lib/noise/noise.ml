@@ -12,16 +12,22 @@ let default =
   { t1_base_ns = Calibration.t1_base_ns; t1_high_scale = 1.; ww_error_scale = 1.; seed = 2023 }
 
 let pauli_table : (int, Mat.t array) Hashtbl.t = Hashtbl.create 4
+let pauli_mutex = Mutex.create ()
 
+(* The table is shared by every domain running trajectories, so the
+   check-and-fill must be atomic. The returned arrays are never mutated. *)
 let pauli_set ~d =
-  match Hashtbl.find_opt pauli_table d with
-  | Some set -> set
-  | None ->
-    let set =
-      Array.init (d * d) (fun k -> Qudit_ops.pauli ~d (k / d) (k mod d))
-    in
-    Hashtbl.add pauli_table d set;
-    set
+  Mutex.lock pauli_mutex;
+  let set =
+    match Hashtbl.find_opt pauli_table d with
+    | Some set -> set
+    | None ->
+      let set = Array.init (d * d) (fun k -> Qudit_ops.pauli ~d (k / d) (k mod d)) in
+      Hashtbl.add pauli_table d set;
+      set
+  in
+  Mutex.unlock pauli_mutex;
+  set
 
 let draw_error rng ~dims ~p =
   if p <= 0. then None
@@ -48,6 +54,16 @@ let t1_of_level model k =
 let damping_lambdas model ~d ~dt_ns =
   Array.init d (fun m ->
       if m = 0 then 0. else 1. -. exp (-.dt_ns /. t1_of_level model m))
+
+let damping_cache model ~d =
+  let table : (float, float array) Hashtbl.t = Hashtbl.create 16 in
+  fun dt_ns ->
+    match Hashtbl.find_opt table dt_ns with
+    | Some lambdas -> lambdas
+    | None ->
+      let lambdas = damping_lambdas model ~d ~dt_ns in
+      Hashtbl.add table dt_ns lambdas;
+      lambdas
 
 let decoherence_survival model ~max_level ~dt_ns =
   if max_level <= 0 then 1. else exp (-.dt_ns /. t1_of_level model max_level)

@@ -1,0 +1,192 @@
+(* Worker domains sleep on [work_cv] between jobs. A job is published as
+   [current = Some (generation, job)]; each worker remembers the last
+   generation it examined so a job is joined at most once per worker, and
+   [seats] caps how many workers may join (the [?domains] argument). Items
+   are claimed from [job.next]; participants (caller included) decrement
+   [job.active] when the counter is exhausted, and the caller waits on
+   [done_cv] for the count to reach zero before reading the results. *)
+
+type job = {
+  run_item : int -> unit;
+  length : int;
+  next : int Atomic.t;
+  mutable seats : int;  (* extra workers still allowed to join; under [m] *)
+  mutable active : int;  (* participants not yet drained; under [m] *)
+  failure : exn option Atomic.t;
+}
+
+type t = {
+  n_workers : int;
+  m : Mutex.t;
+  work_cv : Condition.t;
+  done_cv : Condition.t;
+  mutable current : (int * job) option;
+  mutable gen : int;
+  mutable stopping : bool;
+  mutable handles : unit Domain.t list;
+}
+
+let default_domains () =
+  let recommended = max 1 (Domain.recommended_domain_count ()) in
+  match Sys.getenv_opt "WALTZ_DOMAINS" with
+  | Some s -> begin
+    match int_of_string_opt (String.trim s) with
+    (* Oversubscribing physical cores can only add scheduling overhead, and
+       determinism makes the setting observationally equivalent anyway, so
+       the env knob is capped at the hardware's recommendation. *)
+    | Some d when d >= 1 -> min (min d 64) recommended
+    | _ -> recommended
+  end
+  | None -> recommended
+
+(* Claim items until the counter runs dry, then sign off. On an exception the
+   job is aborted (the counter is pushed past the end) and the first failure
+   is kept for the caller to re-raise. *)
+let participate pool job =
+  let rec claim () =
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i < job.length then begin
+      (try job.run_item i
+       with e ->
+         ignore (Atomic.compare_and_set job.failure None (Some e));
+         Atomic.set job.next job.length);
+      claim ()
+    end
+  in
+  claim ();
+  Mutex.lock pool.m;
+  job.active <- job.active - 1;
+  if job.active = 0 then Condition.broadcast pool.done_cv;
+  Mutex.unlock pool.m
+
+let worker pool =
+  let last_gen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.m;
+    let job = ref None in
+    while !job = None && not pool.stopping do
+      (match pool.current with
+      | Some (g, j) when g <> !last_gen ->
+        last_gen := g;
+        if j.seats > 0 then begin
+          j.seats <- j.seats - 1;
+          j.active <- j.active + 1;
+          job := Some j
+        end
+      | _ -> ());
+      if !job = None && not pool.stopping then Condition.wait pool.work_cv pool.m
+    done;
+    Mutex.unlock pool.m;
+    match !job with
+    | None -> running := false
+    | Some j -> participate pool j
+  done
+
+let create ?workers () =
+  let n_workers =
+    match workers with Some w -> max 0 w | None -> default_domains () - 1
+  in
+  let pool =
+    { n_workers;
+      m = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      current = None;
+      gen = 0;
+      stopping = false;
+      handles = [] }
+  in
+  pool.handles <- List.init n_workers (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let size pool = pool.n_workers + 1
+
+let shutdown pool =
+  Mutex.lock pool.m;
+  pool.stopping <- true;
+  Condition.broadcast pool.work_cv;
+  Mutex.unlock pool.m;
+  List.iter Domain.join pool.handles;
+  pool.handles <- []
+
+let map_array ?domains pool ~n ~f =
+  if n < 0 then invalid_arg "Pool.map_array: negative length";
+  let budget =
+    match domains with Some d -> max 1 d | None -> pool.n_workers + 1
+  in
+  let results = Array.make (max n 1) None in
+  if budget = 1 || pool.n_workers = 0 || n <= 1 then
+    for i = 0 to n - 1 do
+      results.(i) <- Some (f i)
+    done
+  else begin
+    let job =
+      { run_item = (fun i -> results.(i) <- Some (f i));
+        length = n;
+        next = Atomic.make 0;
+        seats = min (budget - 1) pool.n_workers;
+        active = 1;
+        failure = Atomic.make None }
+    in
+    Mutex.lock pool.m;
+    if pool.current <> None then begin
+      Mutex.unlock pool.m;
+      invalid_arg "Pool.map_array: pool is already running a job"
+    end;
+    pool.gen <- pool.gen + 1;
+    pool.current <- Some (pool.gen, job);
+    Condition.broadcast pool.work_cv;
+    Mutex.unlock pool.m;
+    participate pool job;
+    Mutex.lock pool.m;
+    job.seats <- 0;
+    while job.active > 0 do
+      Condition.wait pool.done_cv pool.m
+    done;
+    pool.current <- None;
+    Mutex.unlock pool.m;
+    match Atomic.get job.failure with Some e -> raise e | None -> ()
+  end;
+  Array.init n (fun i ->
+      match results.(i) with
+      | Some v -> v
+      | None -> invalid_arg "Pool.map_array: item never computed")
+
+let map_reduce ?domains pool ~n ~map ~fold ~init =
+  let results = map_array ?domains pool ~n ~f:map in
+  Array.fold_left fold init results
+
+let with_pool ?domains f =
+  let workers = match domains with Some d -> max 0 (d - 1) | None -> default_domains () - 1 in
+  let pool = create ~workers () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let run ?domains ~n f =
+  match domains with
+  | Some d when d <= 1 -> Array.init n f
+  | _ -> with_pool ?domains (fun pool -> map_array pool ~n ~f)
+
+(* The process-wide pool. Grown (shutdown + recreate, never shrunk) to the
+   largest request seen; worker domains idle on the condition variable
+   between jobs, so keeping it alive for the process lifetime is free and
+   saves the domain spawn/join on every trajectory batch. *)
+let shared_state : (t * int) option ref = ref None
+let shared_mutex = Mutex.create ()
+
+let shared ?domains () =
+  let workers =
+    match domains with Some d -> max 0 (d - 1) | None -> default_domains () - 1
+  in
+  Mutex.lock shared_mutex;
+  let pool =
+    match !shared_state with
+    | Some (pool, w) when w >= workers -> pool
+    | prev ->
+      (match prev with Some (pool, _) -> shutdown pool | None -> ());
+      let pool = create ~workers () in
+      shared_state := Some (pool, workers);
+      pool
+  in
+  Mutex.unlock shared_mutex;
+  pool

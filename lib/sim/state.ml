@@ -49,11 +49,17 @@ let random_supported rng ~dims ~allowed =
   if Array.length allowed <> Array.length dims then invalid_arg "State.random_supported";
   let strides = strides_of dims in
   let n = total dims in
+  let nw = Array.length dims in
+  (* Per-wire membership tables replace the List.mem scan in the O(n·w)
+     support test below. *)
+  let ok_level =
+    Array.init nw (fun w -> Array.init dims.(w) (fun l -> List.mem l allowed.(w)))
+  in
   let v = Vec.create n in
   let in_support idx =
     let ok = ref true in
-    for w = 0 to Array.length dims - 1 do
-      if not (List.mem (idx / strides.(w) mod dims.(w)) allowed.(w)) then ok := false
+    for w = 0 to nw - 1 do
+      if not ok_level.(w).(idx / strides.(w) mod dims.(w)) then ok := false
     done;
     !ok
   in
@@ -71,7 +77,7 @@ let dims s = Array.copy s.dims
 let dim_total s = Vec.dim s.vec
 let amplitudes s = s.vec
 
-let apply s ~targets m =
+let check_targets s ~targets m =
   let nw = Array.length s.dims in
   List.iter (fun w -> if w < 0 || w >= nw then invalid_arg "State.apply: wire out of range") targets;
   let tgt = Array.of_list targets in
@@ -80,7 +86,11 @@ let apply s ~targets m =
     invalid_arg "State.apply: duplicate targets";
   let g = Array.fold_left (fun acc w -> acc * s.dims.(w)) 1 tgt in
   if m.Mat.rows <> g || m.Mat.cols <> g then invalid_arg "State.apply: matrix dimension mismatch";
-  (* Offsets of the g target-digit combinations. *)
+  (tgt, g)
+
+(* Offsets of the g target-digit combinations. *)
+let offsets_of s tgt g =
+  let nt = Array.length tgt in
   let offsets = Array.make g 0 in
   for j = 0 to g - 1 do
     let rem = ref j and off = ref 0 in
@@ -91,7 +101,11 @@ let apply s ~targets m =
     done;
     offsets.(j) <- !off
   done;
-  (* Odometer over the non-target wires. *)
+  offsets
+
+(* Odometer over the non-target wires; calls [kernel] once per base index. *)
+let iter_bases s tgt kernel =
+  let nw = Array.length s.dims in
   let others = ref [] in
   for w = nw - 1 downto 0 do
     if not (Array.mem w tgt) then others := w :: !others
@@ -99,31 +113,10 @@ let apply s ~targets m =
   let others = Array.of_list !others in
   let no = Array.length others in
   let counters = Array.make (max no 1) 0 in
-  let vre = s.vec.Vec.re and vim = s.vec.Vec.im in
-  let gre = Array.make g 0. and gim = Array.make g 0. in
-  let mre = m.Mat.re and mim = m.Mat.im in
   let n_bases = Array.fold_left (fun acc w -> acc * s.dims.(w)) 1 others in
   let base = ref 0 in
   for _ = 1 to n_bases do
-    (* Gather, multiply, scatter. *)
-    for j = 0 to g - 1 do
-      let idx = !base + offsets.(j) in
-      gre.(j) <- vre.(idx);
-      gim.(j) <- vim.(idx)
-    done;
-    for i = 0 to g - 1 do
-      let acc_re = ref 0. and acc_im = ref 0. in
-      let row = i * g in
-      for j = 0 to g - 1 do
-        let a = mre.(row + j) and b = mim.(row + j) in
-        acc_re := !acc_re +. (a *. gre.(j)) -. (b *. gim.(j));
-        acc_im := !acc_im +. (a *. gim.(j)) +. (b *. gre.(j))
-      done;
-      let idx = !base + offsets.(i) in
-      vre.(idx) <- !acc_re;
-      vim.(idx) <- !acc_im
-    done;
-    (* Advance the odometer. *)
+    kernel !base;
     let k = ref (no - 1) in
     let carried = ref true in
     while !carried && !k >= 0 do
@@ -138,6 +131,89 @@ let apply s ~targets m =
       else carried := false
     done
   done
+
+let apply_generic_on s tgt g m =
+  let offsets = offsets_of s tgt g in
+  let vre = s.vec.Vec.re and vim = s.vec.Vec.im in
+  let gre = Array.make g 0. and gim = Array.make g 0. in
+  let mre = m.Mat.re and mim = m.Mat.im in
+  iter_bases s tgt (fun base ->
+      (* Gather, multiply, scatter. *)
+      for j = 0 to g - 1 do
+        let idx = base + offsets.(j) in
+        gre.(j) <- vre.(idx);
+        gim.(j) <- vim.(idx)
+      done;
+      for i = 0 to g - 1 do
+        let acc_re = ref 0. and acc_im = ref 0. in
+        let row = i * g in
+        for j = 0 to g - 1 do
+          let a = mre.(row + j) and b = mim.(row + j) in
+          acc_re := !acc_re +. (a *. gre.(j)) -. (b *. gim.(j));
+          acc_im := !acc_im +. (a *. gim.(j)) +. (b *. gre.(j))
+        done;
+        let idx = base + offsets.(i) in
+        vre.(idx) <- !acc_re;
+        vim.(idx) <- !acc_im
+      done)
+
+(* Fast path: a diagonal matrix only scales each amplitude, so the
+   gather/multiply/scatter collapses to one complex product per index. *)
+let apply_diag_on s tgt g m =
+  let dre = Array.init g (fun j -> m.Mat.re.((j * g) + j)) in
+  let dim' = Array.init g (fun j -> m.Mat.im.((j * g) + j)) in
+  let offsets = offsets_of s tgt g in
+  let vre = s.vec.Vec.re and vim = s.vec.Vec.im in
+  iter_bases s tgt (fun base ->
+      for j = 0 to g - 1 do
+        let idx = base + offsets.(j) in
+        let re = vre.(idx) and im = vim.(idx) in
+        vre.(idx) <- (dre.(j) *. re) -. (dim'.(j) *. im);
+        vim.(idx) <- (dre.(j) *. im) +. (dim'.(j) *. re)
+      done)
+
+(* Fast path: a single target wire needs no odometer — the bases with digit
+   zero on the wire are [block * b + inner] for a contiguous inner range. *)
+let apply_single_on s w m =
+  let d = s.dims.(w) and st = s.strides.(w) in
+  let n = Vec.dim s.vec in
+  let vre = s.vec.Vec.re and vim = s.vec.Vec.im in
+  let mre = m.Mat.re and mim = m.Mat.im in
+  let gre = Array.make d 0. and gim = Array.make d 0. in
+  let block = d * st in
+  for blk = 0 to (n / block) - 1 do
+    let b0 = blk * block in
+    for inner = 0 to st - 1 do
+      let base = b0 + inner in
+      for j = 0 to d - 1 do
+        let idx = base + (j * st) in
+        gre.(j) <- vre.(idx);
+        gim.(j) <- vim.(idx)
+      done;
+      for i = 0 to d - 1 do
+        let acc_re = ref 0. and acc_im = ref 0. in
+        let row = i * d in
+        for j = 0 to d - 1 do
+          let a = mre.(row + j) and b = mim.(row + j) in
+          acc_re := !acc_re +. (a *. gre.(j)) -. (b *. gim.(j));
+          acc_im := !acc_im +. (a *. gim.(j)) +. (b *. gre.(j))
+        done;
+        let idx = base + (i * st) in
+        vre.(idx) <- !acc_re;
+        vim.(idx) <- !acc_im
+      done
+    done
+  done
+
+let apply_generic s ~targets m =
+  let tgt, g = check_targets s ~targets m in
+  apply_generic_on s tgt g m
+
+let apply s ~targets m =
+  let tgt, g = check_targets s ~targets m in
+  if Mat.is_diagonal m then apply_diag_on s tgt g m
+  else if Array.length tgt = 1 then apply_single_on s tgt.(0) m
+  else apply_generic_on s tgt g m
 
 let populations s ~wire =
   let d = s.dims.(wire) and stride = s.strides.(wire) in

@@ -41,7 +41,16 @@ val amplitudes : t -> Vec.t
 val apply : t -> targets:int list -> Mat.t -> unit
 (** In-place application of a unitary (or Kraus operator) on the listed
     wires; the matrix dimension must equal the product of the target wire
-    dimensions, first target most significant. Does not renormalize. *)
+    dimensions, first target most significant. Does not renormalize.
+
+    Dispatches to fast paths for exactly-diagonal matrices (pure scaling, no
+    gather/scatter — CZ/CCZ/Rz-heavy schedules hit this constantly) and for
+    single-wire gates (no odometer over the spectator wires). *)
+
+val apply_generic : t -> targets:int list -> Mat.t -> unit
+(** The reference gather/multiply/scatter path, with no fast-path dispatch.
+    Exposed so tests can check the specialized paths against it; [apply]
+    should be preferred everywhere else. *)
 
 val populations : t -> wire:int -> float array
 (** Marginal probability of each level of one wire. *)

@@ -1,0 +1,59 @@
+(* Standalone determinism harness, run under several WALTZ_DOMAINS settings
+   by the dune [determinism] alias. For a grid of benchmark circuits and
+   compilation strategies it checks that the env-default execution, the
+   forced-sequential path ([~domains:1]) and a forced multi-domain fan-out
+   ([~domains:3]) all produce bit-identical statistics. Exits non-zero on
+   the first mismatch. *)
+open Waltz_circuit
+open Waltz_noise
+open Waltz_core
+
+let failures = ref 0
+
+let check label a b =
+  if not (Float.equal a b) then begin
+    incr failures;
+    Printf.eprintf "MISMATCH %s: %.17g <> %.17g\n" label a b
+  end
+
+let () =
+  let circuits =
+    [ ("toffoli", Circuit.of_gates ~n:3 [ Gate.make Gate.Ccx [ 0; 1; 2 ] ]);
+      ("cnu5", Waltz_benchmarks.Bench_circuits.by_total_qubits Cnu 5);
+      ("cuccaro5", Waltz_benchmarks.Bench_circuits.by_total_qubits Cuccaro 5) ]
+  in
+  let strategies =
+    [ Strategy.qubit_only; Strategy.mixed_radix_ccz; Strategy.full_ququart ]
+  in
+  let config = { Executor.model = Noise.default; trajectories = 6; base_seed = 11 } in
+  List.iter
+    (fun (cname, circuit) ->
+      List.iter
+        (fun (strategy : Strategy.t) ->
+          let compiled = Compile.compile strategy circuit in
+          let default_run = Executor.simulate_detailed ~config compiled in
+          let compare tag other =
+            let l field = Printf.sprintf "%s/%s %s %s" cname strategy.Strategy.name tag field in
+            check (l "mean_fidelity")
+              default_run.Executor.summary.Executor.mean_fidelity
+              other.Executor.summary.Executor.mean_fidelity;
+            check (l "sem") default_run.Executor.summary.Executor.sem
+              other.Executor.summary.Executor.sem;
+            check (l "mean_leakage") default_run.Executor.mean_leakage
+              other.Executor.mean_leakage;
+            check (l "mean_error_draws") default_run.Executor.mean_error_draws
+              other.Executor.mean_error_draws
+          in
+          compare "domains=1" (Executor.simulate_detailed ~config ~domains:1 compiled);
+          compare "domains=3" (Executor.simulate_detailed ~config ~domains:3 compiled))
+        strategies)
+    circuits;
+  if !failures > 0 then begin
+    Printf.eprintf "determinism: %d mismatches\n" !failures;
+    exit 1
+  end;
+  Printf.printf
+    "determinism: OK (%d circuits x %d strategies, WALTZ_DOMAINS=%s, default=%d domains)\n"
+    (List.length circuits) (List.length strategies)
+    (Option.value ~default:"unset" (Sys.getenv_opt "WALTZ_DOMAINS"))
+    (Waltz_runtime.Pool.default_domains ())

@@ -22,4 +22,5 @@ let () =
       ("rb", Test_rb.suite);
       ("control", Test_control.suite);
       ("verify", Test_verify.suite);
-      ("verify-fixtures", Test_verify_fixtures.suite) ]
+      ("verify-fixtures", Test_verify_fixtures.suite);
+      ("runtime", Test_runtime.suite) ]
