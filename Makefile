@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench-json clean
+.PHONY: all build test lint bench-json trace-smoke clean
 
 all: build test
 
@@ -14,10 +14,18 @@ test:
 bench-json:
 	dune exec bench/main.exe -- micro
 
-# Type-check everything (@check) and run the IR verifier over the example
-# programs. waltz_verify itself builds with warnings as errors.
+# Type-check everything (@check), run the IR verifier over the example
+# programs, the telemetry test suite and the trace smoke. waltz_verify and
+# waltz_telemetry themselves build with warnings as errors.
 lint:
 	dune build @lint
+
+# Telemetry smoke outside the dune sandbox: simulate with --stats and
+# --trace, then validate the Chrome trace_event file it wrote.
+trace-smoke:
+	dune exec bin/waltz_cli.exe -- simulate -c cuccaro -n 5 --trajectories 5 \
+	  --trace /tmp/waltz_trace.json --stats
+	dune exec bin/waltz_cli.exe -- trace-check /tmp/waltz_trace.json
 
 clean:
 	dune clean

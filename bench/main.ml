@@ -562,10 +562,44 @@ let micro () =
     | Some ns when ns > 0. -> float_of_int throughput_trajectories /. (ns *. 1e-9)
     | _ -> 0.
   in
+  (* One instrumented re-run of the throughput kernel (outside the timed
+     section, so the numbers above stay telemetry-free) gives the report
+     its cache hit-rates and pool utilization. *)
+  let module Telemetry = Waltz_telemetry.Telemetry in
+  Telemetry.reset ();
+  Telemetry.enable ();
+  ignore
+    (Executor.simulate
+       ~config:
+         { Executor.default_config with Executor.trajectories = throughput_trajectories }
+       cnu7_fq);
+  Telemetry.disable ();
+  let lift_hit =
+    Telemetry.Metrics.hit_rate ~hit:"executor.lift_gate.hit"
+      ~miss:"executor.lift_gate.miss"
+  in
+  let damping_hit =
+    Telemetry.Metrics.hit_rate ~hit:"noise.damping_cache.hit"
+      ~miss:"noise.damping_cache.miss"
+  in
+  let offered = Telemetry.Metrics.counter "pool.seats.offered" in
+  let joined = Telemetry.Metrics.counter "pool.seats.joined" in
+  let stolen = Telemetry.Metrics.counter "pool.items.stolen" in
+  let pool_util =
+    if offered = 0 then 1.0 else float_of_int joined /. float_of_int offered
+  in
   let oc = open_out "BENCH_micro.json" in
   Printf.fprintf oc "{\n  \"domains\": %d,\n" domains;
   Printf.fprintf oc "  \"throughput_trajectories\": %d,\n" throughput_trajectories;
   Printf.fprintf oc "  \"trajectories_per_sec\": %.1f,\n" traj_per_sec;
+  Printf.fprintf oc "  \"telemetry\": {\n";
+  Printf.fprintf oc "    \"lift_gate_hit_rate\": %.4f,\n" lift_hit;
+  Printf.fprintf oc "    \"damping_cache_hit_rate\": %.4f,\n" damping_hit;
+  Printf.fprintf oc "    \"pool_seats_offered\": %d,\n" offered;
+  Printf.fprintf oc "    \"pool_seats_joined\": %d,\n" joined;
+  Printf.fprintf oc "    \"pool_items_stolen\": %d,\n" stolen;
+  Printf.fprintf oc "    \"pool_utilization\": %.4f\n" pool_util;
+  Printf.fprintf oc "  },\n";
   Printf.fprintf oc "  \"ns_per_run\": {\n";
   List.iteri
     (fun i (name, ns) ->

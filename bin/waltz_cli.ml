@@ -12,6 +12,7 @@ open Cmdliner
 open Waltz_circuit
 open Waltz_core
 open Waltz_noise
+module Telemetry = Waltz_telemetry.Telemetry
 
 (* ---- shared arguments ---- *)
 
@@ -132,6 +133,43 @@ let domains_arg =
            machine's recommended count; 1 = sequential). Results are identical at \
            every setting.")
 
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Enable telemetry and append its report (per-phase spans, counters, \
+           histograms) to the output.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Enable telemetry and write a Chrome trace_event JSON file (open in \
+           chrome://tracing or https://ui.perfetto.dev; one track per domain).")
+
+(* Telemetry bracket shared by the instrumented subcommands: [--stats] and/or
+   [--trace FILE] switch the process-wide flag on around the command body. *)
+let with_telemetry ~stats ~trace f =
+  let on = stats || trace <> None in
+  if on then begin
+    Telemetry.reset ();
+    Telemetry.enable ()
+  end;
+  let rc = f () in
+  if on then begin
+    Telemetry.disable ();
+    if stats then print_string (Telemetry.Report.to_string ());
+    match trace with
+    | Some path ->
+      Telemetry.Trace.write path;
+      Printf.printf "wrote trace %s\n" path
+    | None -> ()
+  end;
+  rc
+
 let with_circuit ?(qasm = None) ?(optimize = false) ?(reroll = false) family n cx_fraction f =
   match
     Result.map
@@ -146,7 +184,8 @@ let with_circuit ?(qasm = None) ?(optimize = false) ?(reroll = false) family n c
 (* ---- compile ---- *)
 
 let compile_cmd =
-  let run family n cx_fraction strategy show_ops qasm optimize reroll topology emit_qasm =
+  let run family n cx_fraction strategy show_ops qasm optimize reroll topology emit_qasm
+      stats trace =
     with_circuit ~qasm ~optimize ~reroll family n cx_fraction (fun circuit ->
         let devices = Compile.device_count strategy circuit.Circuit.n in
         match topology_of topology devices with
@@ -154,23 +193,39 @@ let compile_cmd =
           prerr_endline e;
           1
         | Ok topology ->
-          let compiled = Compile.compile ~topology strategy circuit in
-          let one, two, three = Circuit.count_by_arity circuit in
-          Printf.printf "circuit: %d qubits, %d gates (%d/%d/%d by arity)\n"
-            circuit.Circuit.n (Circuit.gate_count circuit) one two three;
-          Printf.printf "%s\n" (Physical.summary compiled);
-          let eps = Eps.estimate compiled in
-          Printf.printf "gate EPS %.4f, coherence EPS %.4f, total %.4f\n" eps.Eps.gate_eps
-            eps.Eps.coherence_eps eps.Eps.total_eps;
-          if show_ops then print_string (Format.asprintf "%a" Physical.pp_ops compiled);
-          (match emit_qasm with
-          | Some path ->
-            let oc = open_out path in
-            output_string oc (Qasm.to_string circuit);
-            close_out oc;
-            Printf.printf "wrote %s\n" path
-          | None -> ());
-          0)
+          with_telemetry ~stats ~trace (fun () ->
+              let compiled = Compile.compile ~topology strategy circuit in
+              let one, two, three = Circuit.count_by_arity circuit in
+              Printf.printf "circuit: %d qubits, %d gates (%d/%d/%d by arity)\n"
+                circuit.Circuit.n (Circuit.gate_count circuit) one two three;
+              (* One Eps.estimate serves both the summary line and the EPS
+                 line: its duration used to be recomputed by
+                 Physical.summary and then discarded here. *)
+              let eps = Eps.estimate compiled in
+              Printf.printf "%s: %d ops (%d multi-device), duration %.0f ns\n"
+                strategy.Strategy.name (Physical.op_count compiled)
+                (Physical.two_device_op_count compiled) eps.Eps.duration_ns;
+              Printf.printf "gate EPS %.4f, coherence EPS %.4f, total %.4f\n"
+                eps.Eps.gate_eps eps.Eps.coherence_eps eps.Eps.total_eps;
+              if stats then begin
+                Printf.printf "per-op breakdown:\n";
+                Printf.printf "  %-14s %6s %12s %14s\n" "label" "count" "total(ns)"
+                  "error budget";
+                List.iter
+                  (fun (r : Eps.label_report) ->
+                    Printf.printf "  %-14s %6d %12.0f %14.5f\n" r.Eps.op_label r.Eps.count
+                      r.Eps.total_ns r.Eps.error_budget)
+                  (Eps.label_breakdown compiled)
+              end;
+              if show_ops then print_string (Format.asprintf "%a" Physical.pp_ops compiled);
+              (match emit_qasm with
+              | Some path ->
+                let oc = open_out path in
+                output_string oc (Qasm.to_string circuit);
+                close_out oc;
+                Printf.printf "wrote %s\n" path
+              | None -> ());
+              0))
   in
   let show_ops =
     Arg.(value & flag & info [ "ops" ] ~doc:"Print the scheduled physical ops.")
@@ -191,7 +246,7 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Compile a benchmark or QASM circuit and report its schedule")
     Term.(
       const run $ family_arg $ n_arg $ cx_fraction_arg $ strategy_arg $ show_ops $ qasm_arg
-      $ optimize_arg $ reroll_arg $ topology_arg $ emit_qasm)
+      $ optimize_arg $ reroll_arg $ topology_arg $ emit_qasm $ stats_arg $ trace_arg)
 
 (* ---- estimate ---- *)
 
@@ -218,28 +273,29 @@ let estimate_cmd =
 (* ---- simulate ---- *)
 
 let simulate_cmd =
-  let run family n cx_fraction strategy trajectories seed qasm optimize domains =
+  let run family n cx_fraction strategy trajectories seed qasm optimize domains stats trace =
     with_circuit ~qasm ~optimize family n cx_fraction (fun circuit ->
-        let compiled = Compile.compile strategy circuit in
-        let d =
-          Executor.simulate_detailed
-            ~config:{ Executor.model = Noise.default; trajectories; base_seed = seed }
-            ?domains compiled
-        in
-        let result = d.Executor.summary in
-        Printf.printf "%s\n" (Physical.summary compiled);
-        Printf.printf "simulated fidelity: %.4f +- %.4f (%d trajectories)\n"
-          result.Executor.mean_fidelity result.Executor.sem result.Executor.trajectories;
-        Printf.printf "mean leakage %.4f, mean error draws %.2f per trajectory\n"
-          d.Executor.mean_leakage d.Executor.mean_error_draws;
-        0)
+        with_telemetry ~stats ~trace (fun () ->
+            let compiled = Compile.compile strategy circuit in
+            let d =
+              Executor.simulate_detailed
+                ~config:{ Executor.model = Noise.default; trajectories; base_seed = seed }
+                ?domains compiled
+            in
+            let result = d.Executor.summary in
+            Printf.printf "%s\n" (Physical.summary compiled);
+            Printf.printf "simulated fidelity: %.4f +- %.4f (%d trajectories)\n"
+              result.Executor.mean_fidelity result.Executor.sem result.Executor.trajectories;
+            Printf.printf "mean leakage %.4f, mean error draws %.2f per trajectory\n"
+              d.Executor.mean_leakage d.Executor.mean_error_draws;
+            0))
   in
   let seed = Arg.(value & opt int 2023 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Trajectory-method fidelity of a compiled circuit")
     Term.(
       const run $ family_arg $ n_arg $ cx_fraction_arg $ strategy_arg $ trajectories_arg
-      $ seed $ qasm_arg $ optimize_arg $ domains_arg)
+      $ seed $ qasm_arg $ optimize_arg $ domains_arg $ stats_arg $ trace_arg)
 
 (* ---- sweep ---- *)
 
@@ -374,6 +430,102 @@ let verify_cmd =
       const run $ family_arg $ n_arg $ cx_fraction_arg $ strategy_arg $ all_strategies_arg
       $ topology_arg $ qasm_arg $ optimize_arg $ rules_arg $ probes_arg)
 
+(* ---- report ---- *)
+
+let report_cmd =
+  let run n trajectories domains trace =
+    Telemetry.reset ();
+    Telemetry.enable ();
+    let strategies = Strategy.fig7_set in
+    Printf.printf
+      "telemetry report: benchmark x strategy grid (n = %d, %d trajectories per cell)\n" n
+      trajectories;
+    Printf.printf "%-10s %-18s %9s %9s %9s %9s %9s %9s %9s\n" "circuit" "strategy"
+      "compile" "route" "choreo" "plan" "sim" "lift-hit" "damp-hit";
+    Printf.printf "%-10s %-18s %9s %9s %9s %9s %9s %9s %9s\n" "" "" "(ms)" "(ms)" "(ms)"
+      "(ms)" "(ms)" "" "";
+    List.iter
+      (fun family ->
+        let circuit = Waltz_benchmarks.Bench_circuits.by_total_qubits family n in
+        List.iter
+          (fun (strategy : Strategy.t) ->
+            (* Per-cell deltas against the running totals, so one enabled
+               window serves both the table and an optional whole-grid
+               [--trace]. *)
+            let spans_before = List.length (Telemetry.Span.all ()) in
+            let counters_before = Telemetry.Metrics.counters () in
+            let compiled = Compile.compile strategy circuit in
+            if trajectories > 0 then
+              ignore
+                (Executor.simulate
+                   ~config:{ Executor.model = Noise.default; trajectories; base_seed = 2023 }
+                   ?domains compiled);
+            let fresh =
+              List.filteri (fun i _ -> i >= spans_before) (Telemetry.Span.all ())
+            in
+            let agg = Telemetry.Span.aggregate_of fresh in
+            let total name =
+              match
+                List.find_opt (fun a -> a.Telemetry.Span.agg_name = name) agg
+              with
+              | Some a -> a.Telemetry.Span.total_us /. 1000.
+              | None -> 0.
+            in
+            let delta name =
+              Telemetry.Metrics.counter name
+              - Option.value ~default:0 (List.assoc_opt name counters_before)
+            in
+            let rate hit miss =
+              let h = delta hit and m = delta miss in
+              if h + m = 0 then 0. else 100. *. float_of_int h /. float_of_int (h + m)
+            in
+            Printf.printf "%-10s %-18s %9.2f %9.2f %9.2f %9.2f %9.2f %8.1f%% %8.1f%%\n"
+              (Waltz_benchmarks.Bench_circuits.family_name family)
+              strategy.Strategy.name (total "compile") (total "compile/route")
+              (total "compile/choreograph") (total "executor/plan")
+              (total "executor/simulate")
+              (rate "executor.lift_gate.hit" "executor.lift_gate.miss")
+              (rate "noise.damping_cache.hit" "noise.damping_cache.miss"))
+          strategies)
+      Waltz_benchmarks.Bench_circuits.all_families;
+    Telemetry.disable ();
+    (match trace with
+    | Some path ->
+      Telemetry.Trace.write path;
+      Printf.printf "wrote trace %s\n" path
+    | None -> ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Compile (and simulate) a benchmark x strategy grid and print a telemetry \
+          phase-time / cache-hit table")
+    Term.(const run $ n_arg $ trajectories_arg $ domains_arg $ trace_arg)
+
+(* ---- trace-check ---- *)
+
+let trace_check_cmd =
+  let run file =
+    match Telemetry.Trace.validate (read_file file) with
+    | Ok (events, tracks) ->
+      Printf.printf "%s: valid trace (%d span events, %d tracks)\n" file events tracks;
+      0
+    | Error msg ->
+      Printf.eprintf "%s: INVALID trace: %s\n" file msg;
+      1
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Trace file written by --trace.")
+  in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:"Validate a Chrome trace_event JSON file written by --trace")
+    Term.(const run $ file)
+
 (* ---- rb ---- *)
 
 let rb_cmd =
@@ -464,4 +616,4 @@ let () =
   exit
     (Cmd.eval' (Cmd.group info
        [ compile_cmd; estimate_cmd; simulate_cmd; sweep_cmd; breakdown_cmd; verify_cmd;
-         rb_cmd; pulse_cmd ]))
+         report_cmd; trace_check_cmd; rb_cmd; pulse_cmd ]))

@@ -1,6 +1,7 @@
 open Waltz_qudit
 open Waltz_circuit
 open Waltz_arch
+module Telemetry = Waltz_telemetry.Telemetry
 
 let device_count strategy n =
   match strategy.Strategy.encoding with
@@ -363,58 +364,89 @@ let itoffoli_3q layout ~hint (gate : Gate.t) =
     end
   | _ -> invalid_arg "itoffoli_3q: only CCX reaches the iToffoli backend"
 
+(* Per-phase op accounting for the stats report: every emitted op, plus the
+   communication overhead split the way Qompress reports it — SWAP movement
+   (routing) vs ENC/DEC encode-decode choreography. *)
+let record_op_counts ops =
+  if Telemetry.enabled () then begin
+    Telemetry.Metrics.incr ~by:(List.length ops) "compile.ops";
+    List.iter
+      (fun (op : Physical.op) ->
+        if String.starts_with ~prefix:"SWAP" op.Physical.label then
+          Telemetry.Metrics.incr "compile.swap_ops"
+        else if op.Physical.label = "ENC" || op.Physical.label = "ENCdg" then
+          Telemetry.Metrics.incr "compile.encdec_ops")
+      ops
+  end
+
 let compile ?topology ?(verify = false) strategy circuit =
+  Telemetry.Span.with_ ~name:"compile"
+    ~args:[ ("strategy", strategy.Strategy.name) ]
+  @@ fun () ->
   let n = circuit.Circuit.n in
   let topo =
     match topology with Some t -> t | None -> Topology.mesh (device_count strategy n)
   in
   if Topology.device_count topo < device_count strategy n then
     invalid_arg "Compile.compile: topology too small for the circuit";
-  let prepared = Decompose.pre strategy circuit in
-  let weights = Circuit.interaction_weights prepared in
-  let layout = Layout.create topo strategy ~n_logical:n ~weights in
-  Mapping.initial layout;
+  let prepared =
+    Telemetry.Span.with_ ~name:"compile/decompose" (fun () -> Decompose.pre strategy circuit)
+  in
+  let layout =
+    Telemetry.Span.with_ ~name:"compile/map" (fun () ->
+        let weights = Circuit.interaction_weights prepared in
+        let layout = Layout.create topo strategy ~n_logical:n ~weights in
+        Mapping.initial layout;
+        layout)
+  in
   let initial_map = Layout.snapshot_map layout in
-  List.iter
-    (fun (gate : Gate.t) ->
-      match Gate.arity gate.Gate.kind with
-      | 1 -> Emit.one_qubit_op layout gate.Gate.kind (List.hd gate.Gate.qubits)
-      | 2 -> begin
-        match gate.Gate.qubits with
-        | [ a; b ] ->
-          if not (Router.adjacent_or_same layout a b) then Router.route_pair layout a b;
-          Emit.two_qubit_op layout gate.Gate.kind a b
-        | _ -> assert false
-      end
-      | 3 | 4 -> begin
-        let handler ~hint =
-          match (Gate.arity gate.Gate.kind, strategy.Strategy.encoding) with
-          | 4, Strategy.Packed -> packed_4q layout gate
-          | 4, _ -> invalid_arg "Compile: four-qubit gates should have been decomposed"
-          | _, Strategy.Bare -> itoffoli_3q layout ~hint gate
-          | _, Strategy.Intermediate -> intermediate_3q layout ~hint gate
-          | _, Strategy.Packed -> packed_3q layout ~hint gate
-        in
-        (* Backtrack over operand splits when a routing order dead-ends. *)
-        let rec attempt hint =
-          let cp = Layout.checkpoint layout in
-          try handler ~hint
-          with Failure _ when hint < 5 ->
-            Layout.restore layout cp;
-            attempt (hint + 1)
-        in
-        attempt 0
-      end
-      | _ -> invalid_arg "Compile.compile: unsupported gate arity")
-    prepared.Circuit.gates;
+  Telemetry.Span.with_ ~name:"compile/route+choreograph" (fun () ->
+      List.iter
+        (fun (gate : Gate.t) ->
+          match Gate.arity gate.Gate.kind with
+          | 1 -> Emit.one_qubit_op layout gate.Gate.kind (List.hd gate.Gate.qubits)
+          | 2 -> begin
+            match gate.Gate.qubits with
+            | [ a; b ] ->
+              Telemetry.Span.with_ ~name:"compile/route" (fun () ->
+                  if not (Router.adjacent_or_same layout a b) then
+                    Router.route_pair layout a b);
+              Emit.two_qubit_op layout gate.Gate.kind a b
+            | _ -> assert false
+          end
+          | 3 | 4 -> begin
+            let handler ~hint =
+              match (Gate.arity gate.Gate.kind, strategy.Strategy.encoding) with
+              | 4, Strategy.Packed -> packed_4q layout gate
+              | 4, _ -> invalid_arg "Compile: four-qubit gates should have been decomposed"
+              | _, Strategy.Bare -> itoffoli_3q layout ~hint gate
+              | _, Strategy.Intermediate -> intermediate_3q layout ~hint gate
+              | _, Strategy.Packed -> packed_3q layout ~hint gate
+            in
+            (* Backtrack over operand splits when a routing order dead-ends. *)
+            let rec attempt hint =
+              let cp = Layout.checkpoint layout in
+              try handler ~hint
+              with Failure _ when hint < 5 ->
+                Telemetry.Metrics.incr "compile.backtracks";
+                Layout.restore layout cp;
+                attempt (hint + 1)
+            in
+            Telemetry.Span.with_ ~name:"compile/choreograph" (fun () -> attempt 0)
+          end
+          | _ -> invalid_arg "Compile.compile: unsupported gate arity")
+        prepared.Circuit.gates);
   let compiled =
-    { Physical.strategy;
-      n_logical = n;
-      device_count = Topology.device_count topo;
-      device_dim = Layout.device_dim layout;
-      ops = Layout.ops layout;
-      initial_map;
-      final_map = Layout.snapshot_map layout }
+    Telemetry.Span.with_ ~name:"compile/schedule" (fun () ->
+        let ops = Layout.ops layout in
+        record_op_counts ops;
+        { Physical.strategy;
+          n_logical = n;
+          device_count = Topology.device_count topo;
+          device_dim = Layout.device_dim layout;
+          ops;
+          initial_map;
+          final_map = Layout.snapshot_map layout })
   in
   if verify then begin
     match !verifier_hook with
@@ -423,7 +455,10 @@ let compile ?topology ?(verify = false) strategy circuit =
         "Compile.compile ~verify:true: no verifier registered (link waltz_verify and \
          reference Waltz_verify.Verify)"
     | Some check -> begin
-      match check ~topology:topo (Some circuit) compiled with
+      match
+        Telemetry.Span.with_ ~name:"compile/verify" (fun () ->
+            check ~topology:topo (Some circuit) compiled)
+      with
       | Ok () -> ()
       | Error report ->
         failwith (Printf.sprintf "Compile.compile: verification failed\n%s" report)

@@ -59,6 +59,32 @@ let estimate ?(model = Noise.default) (compiled : Physical.t) =
   let coherence_eps = !coherence in
   { gate_eps; coherence_eps; total_eps = gate_eps *. coherence_eps; duration_ns }
 
+type label_report = {
+  op_label : string;
+  count : int;
+  total_ns : float;
+  error_budget : float;
+}
+
+let label_breakdown ?(model = Noise.default) (compiled : Physical.t) =
+  let tbl : (string, int * float * float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (op : Physical.op) ->
+      let c, t, e =
+        Option.value ~default:(0, 0., 0.) (Hashtbl.find_opt tbl op.Physical.label)
+      in
+      Hashtbl.replace tbl op.Physical.label
+        (c + 1, t +. op.Physical.duration_ns, e +. (1. -. op_success model op)))
+    compiled.Physical.ops;
+  Hashtbl.fold
+    (fun op_label (count, total_ns, error_budget) acc ->
+      { op_label; count; total_ns; error_budget } :: acc)
+    tbl []
+  |> List.sort (fun a b ->
+         match compare b.total_ns a.total_ns with
+         | 0 -> compare a.op_label b.op_label
+         | c -> c)
+
 type device_report = {
   device : int;
   busy_ns : float;

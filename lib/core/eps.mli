@@ -16,6 +16,19 @@ val estimate : ?model:Waltz_noise.Noise.model -> Physical.t -> breakdown
     pulses and [t1_high_scale] shortens the T1 of levels ≥ 2, mirroring the
     Fig. 9b/9c sensitivity knobs. *)
 
+type label_report = {
+  op_label : string;
+  count : int;
+  total_ns : float;  (** summed pulse time under this label *)
+  error_budget : float;  (** summed per-pulse error probability 1 − success *)
+}
+
+val label_breakdown : ?model:Waltz_noise.Noise.model -> Physical.t -> label_report list
+(** Per-op-label cost accounting — the Qompress-style communication-vs-gate
+    split: SWAP labels are routing overhead, ENC/ENCdg are encode-decode
+    choreography, the rest are logical pulses. Sorted by total pulse time
+    (descending, then label). *)
+
 type device_report = {
   device : int;
   busy_ns : float;  (** time under pulses *)

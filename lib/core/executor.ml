@@ -3,6 +3,7 @@ open Waltz_qudit
 open Waltz_noise
 open Waltz_sim
 open Waltz_runtime
+module Telemetry = Waltz_telemetry.Telemetry
 
 type config = { model : Noise.model; trajectories : int; base_seed : int }
 
@@ -78,19 +79,22 @@ let lift_gate ~device_dim (op : Physical.op) =
   let pattern = List.map (fun (d, s) -> (index_of d, s)) op.Physical.targets in
   let key = (device_dim, pattern, op.Physical.gate) in
   Mutex.lock lift_mutex;
-  let lifted =
+  let lifted, hit =
     match Hashtbl.find_opt lift_table key with
-    | Some lifted -> lifted
+    | Some lifted -> (lifted, true)
     | None ->
       if Hashtbl.length lift_table > 4096 then Hashtbl.reset lift_table;
       let _, lifted = lift_gate_uncached ~device_dim op in
       Hashtbl.add lift_table key lifted;
-      lifted
+      (lifted, false)
   in
   Mutex.unlock lift_mutex;
+  Telemetry.Metrics.incr
+    (if hit then "executor.lift_gate.hit" else "executor.lift_gate.miss");
   (devices, lifted)
 
 let plan ~model (compiled : Physical.t) =
+  Telemetry.Span.with_ ~name:"executor/plan" @@ fun () ->
   let device_dim = compiled.Physical.device_dim in
   let schedule = Physical.schedule compiled in
   let total_duration =
@@ -240,6 +244,11 @@ let leakage_against ~map (compiled : Physical.t) state =
 type detailed = { summary : result; mean_leakage : float; mean_error_draws : float }
 
 let simulate_detailed ?(config = default_config) ?domains (compiled : Physical.t) =
+  Telemetry.Span.with_ ~name:"executor/simulate"
+    ~args:
+      [ ("strategy", compiled.Physical.strategy.Strategy.name);
+        ("trajectories", string_of_int config.trajectories) ]
+  @@ fun () ->
   let device_dim = compiled.Physical.device_dim in
   if compiled.Physical.device_count > max_devices ~device_dim then
     invalid_arg
@@ -252,7 +261,7 @@ let simulate_detailed ?(config = default_config) ?domains (compiled : Physical.t
   (* Warm the shared Pauli table before fanning out (it is mutex-guarded,
      but pre-filling keeps the hot path contention-free). *)
   List.iter (fun d -> ignore (Noise.pauli_set ~d)) [ 2; device_dim ];
-  let run_trajectory k =
+  let run_trajectory_raw k =
     (* Split-stream seeding: trajectory k's stream depends only on k, so the
        result is bit-identical at every domain count. *)
     let rng = Rng.make ~seed:(config.base_seed + (7919 * k)) in
@@ -263,6 +272,20 @@ let simulate_detailed ?(config = default_config) ?domains (compiled : Physical.t
     let draws = run_noisy rng ~device_dim plan noisy in
     let leak = leakage_against ~map:compiled.Physical.final_map compiled noisy in
     (State.overlap2 ideal noisy, leak, draws)
+  in
+  (* Telemetry does not touch the trajectory's RNG stream or the reduction
+     order, so the statistics are bit-identical with it on or off. *)
+  let run_trajectory k =
+    if not (Telemetry.enabled ()) then run_trajectory_raw k
+    else begin
+      Telemetry.Metrics.incr "executor.trajectories";
+      Telemetry.Metrics.incr
+        (Printf.sprintf "executor.domain.%d.trajectories" (Domain.self () :> int));
+      let t0 = Telemetry.now_us () in
+      let r = Telemetry.Span.with_ ~name:"trajectory" (fun () -> run_trajectory_raw k) in
+      Telemetry.Metrics.observe "executor.trajectory_us" (Telemetry.now_us () -. t0);
+      r
+    end
   in
   let domains =
     match domains with Some d -> max 1 d | None -> Pool.default_domains ()

@@ -59,8 +59,11 @@ let damping_cache model ~d =
   let table : (float, float array) Hashtbl.t = Hashtbl.create 16 in
   fun dt_ns ->
     match Hashtbl.find_opt table dt_ns with
-    | Some lambdas -> lambdas
+    | Some lambdas ->
+      Waltz_telemetry.Telemetry.Metrics.incr "noise.damping_cache.hit";
+      lambdas
     | None ->
+      Waltz_telemetry.Telemetry.Metrics.incr "noise.damping_cache.miss";
       let lambdas = damping_lambdas model ~d ~dt_ns in
       Hashtbl.add table dt_ns lambdas;
       lambdas

@@ -41,11 +41,16 @@ let default_domains () =
 
 (* Claim items until the counter runs dry, then sign off. On an exception the
    job is aborted (the counter is pushed past the end) and the first failure
-   is kept for the caller to re-raise. *)
-let participate pool job =
+   is kept for the caller to re-raise. Telemetry: items claimed by a worker
+   domain (rather than the submitting caller) count as steals; claims are
+   tallied locally and flushed once per participation to keep the claim loop
+   free of locking. *)
+let participate ?(stolen = false) pool job =
+  let claimed = ref 0 in
   let rec claim () =
     let i = Atomic.fetch_and_add job.next 1 in
     if i < job.length then begin
+      incr claimed;
       (try job.run_item i
        with e ->
          ignore (Atomic.compare_and_set job.failure None (Some e));
@@ -54,6 +59,10 @@ let participate pool job =
     end
   in
   claim ();
+  if Waltz_telemetry.Telemetry.enabled () && !claimed > 0 then begin
+    Waltz_telemetry.Telemetry.Metrics.incr ~by:!claimed "pool.items";
+    if stolen then Waltz_telemetry.Telemetry.Metrics.incr ~by:!claimed "pool.items.stolen"
+  end;
   Mutex.lock pool.m;
   job.active <- job.active - 1;
   if job.active = 0 then Condition.broadcast pool.done_cv;
@@ -72,6 +81,7 @@ let worker pool =
         if j.seats > 0 then begin
           j.seats <- j.seats - 1;
           j.active <- j.active + 1;
+          Waltz_telemetry.Telemetry.Metrics.incr "pool.seats.joined";
           job := Some j
         end
       | _ -> ());
@@ -80,7 +90,7 @@ let worker pool =
     Mutex.unlock pool.m;
     match !job with
     | None -> running := false
-    | Some j -> participate pool j
+    | Some j -> participate ~stolen:true pool j
   done
 
 let create ?workers () =
@@ -121,11 +131,16 @@ let map_array ?domains pool ~n ~f =
       results.(i) <- Some (f i)
     done
   else begin
+    let seats = min (budget - 1) pool.n_workers in
+    if Waltz_telemetry.Telemetry.enabled () then begin
+      Waltz_telemetry.Telemetry.Metrics.incr "pool.jobs";
+      Waltz_telemetry.Telemetry.Metrics.incr ~by:seats "pool.seats.offered"
+    end;
     let job =
       { run_item = (fun i -> results.(i) <- Some (f i));
         length = n;
         next = Atomic.make 0;
-        seats = min (budget - 1) pool.n_workers;
+        seats;
         active = 1;
         failure = Atomic.make None }
     in

@@ -1,0 +1,549 @@
+(* Process-wide tracing and metrics for the Waltz pipeline.
+
+   Everything is guarded by one enable flag: with telemetry off, every entry
+   point is a single branch on an [Atomic.t] and performs no allocation, so
+   instrumented hot paths cost nothing in production. With it on, spans
+   capture monotonic wall time with a per-domain parent stack, and counters
+   and histograms accumulate under one mutex (instrumented code records at
+   most once per coarse unit of work — a pipeline phase, a trajectory, a
+   cache probe during planning — so contention is negligible). *)
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+
+(* ---- clock ---- *)
+
+let epoch_us = Unix.gettimeofday () *. 1e6
+
+(* Monotonized wall clock: gettimeofday can step backwards (NTP), which
+   would break the nesting invariant the trace exporter promises, so reads
+   are clamped to the latest value seen by any domain. *)
+let last_now = Atomic.make 0.
+
+let rec now_us () =
+  let t = (Unix.gettimeofday () *. 1e6) -. epoch_us in
+  let prev = Atomic.get last_now in
+  if t <= prev then prev
+  else if Atomic.compare_and_set last_now prev t then t
+  else now_us ()
+
+(* ---- shared state ---- *)
+
+type hist_state = {
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  bins : int array;  (* indexed by frexp exponent + bin_offset *)
+}
+
+let bin_offset = 32
+let n_bins = 64
+
+let bin_of v =
+  if v <= 0. then 0
+  else begin
+    let _, e = Float.frexp v in
+    max 0 (min (n_bins - 1) (e + bin_offset))
+  end
+
+let bin_upper i = Float.ldexp 1. (i - bin_offset)
+
+let state_mutex = Mutex.create ()
+
+module Span = struct
+  type t = {
+    name : string;
+    track : int;  (** the recording domain's id *)
+    start_us : float;
+    dur_us : float;
+    depth : int;  (** open ancestors on this domain's stack at start *)
+    parent : string option;
+    args : (string * string) list;
+  }
+
+  (* Completed spans, newest first. *)
+  let completed : t list ref = ref []
+
+  (* Per-domain stack of open span names (innermost first). *)
+  let stack_key : string list ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref [])
+
+  let with_ ?(args = []) ~name f =
+    if not (Atomic.get enabled_flag) then f ()
+    else begin
+      let stack = Domain.DLS.get stack_key in
+      let parent = match !stack with [] -> None | p :: _ -> Some p in
+      let depth = List.length !stack in
+      let start_us = now_us () in
+      stack := name :: !stack;
+      Fun.protect
+        ~finally:(fun () ->
+          (match !stack with _ :: rest -> stack := rest | [] -> ());
+          let dur_us = now_us () -. start_us in
+          let span =
+            { name; track = (Domain.self () :> int); start_us; dur_us; depth; parent; args }
+          in
+          Mutex.lock state_mutex;
+          completed := span :: !completed;
+          Mutex.unlock state_mutex)
+        f
+    end
+
+  let all () =
+    Mutex.lock state_mutex;
+    let spans = List.rev !completed in
+    Mutex.unlock state_mutex;
+    spans
+
+  type aggregate = { agg_name : string; count : int; total_us : float; max_us : float }
+
+  let aggregate_of spans =
+    let tbl : (string, int * float * float) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun s ->
+        let c, t, m = Option.value ~default:(0, 0., 0.) (Hashtbl.find_opt tbl s.name) in
+        Hashtbl.replace tbl s.name (c + 1, t +. s.dur_us, Float.max m s.dur_us))
+      spans;
+    Hashtbl.fold
+      (fun agg_name (count, total_us, max_us) acc ->
+        { agg_name; count; total_us; max_us } :: acc)
+      tbl []
+    |> List.sort (fun a b ->
+           match compare b.total_us a.total_us with
+           | 0 -> compare a.agg_name b.agg_name
+           | c -> c)
+
+  let aggregate () = aggregate_of (all ())
+end
+
+module Metrics = struct
+  let counters_tbl : (string, int) Hashtbl.t = Hashtbl.create 32
+  let hists_tbl : (string, hist_state) Hashtbl.t = Hashtbl.create 16
+
+  let incr ?(by = 1) name =
+    if Atomic.get enabled_flag then begin
+      Mutex.lock state_mutex;
+      let cur = Option.value ~default:0 (Hashtbl.find_opt counters_tbl name) in
+      Hashtbl.replace counters_tbl name (cur + by);
+      Mutex.unlock state_mutex
+    end
+
+  let observe name v =
+    if Atomic.get enabled_flag then begin
+      Mutex.lock state_mutex;
+      let h =
+        match Hashtbl.find_opt hists_tbl name with
+        | Some h -> h
+        | None ->
+          let h =
+            { count = 0; sum = 0.; min_v = infinity; max_v = neg_infinity;
+              bins = Array.make n_bins 0 }
+          in
+          Hashtbl.add hists_tbl name h;
+          h
+      in
+      h.count <- h.count + 1;
+      h.sum <- h.sum +. v;
+      h.min_v <- Float.min h.min_v v;
+      h.max_v <- Float.max h.max_v v;
+      h.bins.(bin_of v) <- h.bins.(bin_of v) + 1;
+      Mutex.unlock state_mutex
+    end
+
+  let counter name =
+    Mutex.lock state_mutex;
+    let v = Option.value ~default:0 (Hashtbl.find_opt counters_tbl name) in
+    Mutex.unlock state_mutex;
+    v
+
+  let counters () =
+    Mutex.lock state_mutex;
+    let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) counters_tbl [] in
+    Mutex.unlock state_mutex;
+    List.sort compare l
+
+  type histogram = {
+    count : int;
+    sum : float;
+    min : float;
+    max : float;
+    buckets : (float * int) list;  (** non-empty bins as (upper bound, count) *)
+  }
+
+  let snapshot h =
+    let buckets = ref [] in
+    for i = n_bins - 1 downto 0 do
+      if h.bins.(i) > 0 then buckets := (bin_upper i, h.bins.(i)) :: !buckets
+    done;
+    { count = h.count; sum = h.sum; min = h.min_v; max = h.max_v; buckets = !buckets }
+
+  let histogram name =
+    Mutex.lock state_mutex;
+    let h = Option.map snapshot (Hashtbl.find_opt hists_tbl name) in
+    Mutex.unlock state_mutex;
+    h
+
+  let histograms () =
+    Mutex.lock state_mutex;
+    let l = Hashtbl.fold (fun k h acc -> (k, snapshot h) :: acc) hists_tbl [] in
+    Mutex.unlock state_mutex;
+    List.sort (fun (a, _) (b, _) -> compare a b) l
+
+  let hit_rate ~hit ~miss =
+    let h = counter hit and m = counter miss in
+    if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m)
+end
+
+let reset () =
+  Mutex.lock state_mutex;
+  Span.completed := [];
+  Hashtbl.reset Metrics.counters_tbl;
+  Hashtbl.reset Metrics.hists_tbl;
+  Mutex.unlock state_mutex
+
+module Report = struct
+  let to_string () =
+    let b = Buffer.create 1024 in
+    let spans = Span.aggregate () in
+    Buffer.add_string b "== waltz telemetry ==\n";
+    if spans <> [] then begin
+      Buffer.add_string b
+        (Printf.sprintf "%-28s %8s %12s %12s %12s\n" "span" "count" "total(ms)"
+           "mean(us)" "max(us)");
+      List.iter
+        (fun (a : Span.aggregate) ->
+          Buffer.add_string b
+            (Printf.sprintf "%-28s %8d %12.3f %12.1f %12.1f\n" a.Span.agg_name a.Span.count
+               (a.Span.total_us /. 1000.)
+               (a.Span.total_us /. float_of_int (max 1 a.Span.count))
+               a.Span.max_us))
+        spans
+    end;
+    let counters = Metrics.counters () in
+    if counters <> [] then begin
+      Buffer.add_string b "counters:\n";
+      List.iter
+        (fun (name, v) -> Buffer.add_string b (Printf.sprintf "  %-34s %10d\n" name v))
+        counters
+    end;
+    let hists = Metrics.histograms () in
+    if hists <> [] then begin
+      Buffer.add_string b "histograms:\n";
+      List.iter
+        (fun (name, (h : Metrics.histogram)) ->
+          Buffer.add_string b
+            (Printf.sprintf "  %-34s n=%d mean=%.1f min=%.1f max=%.1f\n" name h.Metrics.count
+               (h.Metrics.sum /. float_of_int (max 1 h.Metrics.count))
+               h.Metrics.min h.Metrics.max))
+        hists
+    end;
+    if spans = [] && counters = [] && hists = [] then
+      Buffer.add_string b "(no telemetry recorded; is the instrumented path enabled?)\n";
+    Buffer.contents b
+end
+
+(* ---- Chrome trace_event export and validation ---- *)
+
+module Trace = struct
+  let escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let track_name track = if track = 0 then "main" else Printf.sprintf "domain-%d" track
+
+  let to_json () =
+    let spans = Span.all () in
+    (* One track per domain: sort by (tid, ts); ties put the enclosing span
+       first so the file is well-nested in order. *)
+    let spans =
+      List.sort
+        (fun (a : Span.t) (b : Span.t) ->
+          match compare a.Span.track b.Span.track with
+          | 0 -> begin
+            match compare a.Span.start_us b.Span.start_us with
+            | 0 -> compare b.Span.dur_us a.Span.dur_us
+            | c -> c
+          end
+          | c -> c)
+        spans
+    in
+    let tracks =
+      List.sort_uniq compare (List.map (fun (s : Span.t) -> s.Span.track) spans)
+    in
+    let b = Buffer.create 4096 in
+    Buffer.add_string b "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    let first = ref true in
+    let event s =
+      if not !first then Buffer.add_char b ',';
+      first := false;
+      Buffer.add_string b "\n";
+      Buffer.add_string b s
+    in
+    List.iter
+      (fun track ->
+        event
+          (Printf.sprintf
+             "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+             track (track_name track)))
+      tracks;
+    List.iter
+      (fun (s : Span.t) ->
+        let args =
+          match s.Span.args with
+          | [] -> ""
+          | kvs ->
+            ",\"args\":{"
+            ^ String.concat ","
+                (List.map (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)) kvs)
+            ^ "}"
+        in
+        event
+          (Printf.sprintf
+             "{\"ph\":\"X\",\"name\":\"%s\",\"cat\":\"waltz\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f%s}"
+             (escape s.Span.name) s.Span.track s.Span.start_us s.Span.dur_us args))
+      spans;
+    Buffer.add_string b "\n]}\n";
+    Buffer.contents b
+
+  let write path =
+    let oc = open_out path in
+    output_string oc (to_json ());
+    close_out oc
+
+  (* -- minimal JSON parser, enough to validate exported traces -- *)
+
+  type json =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of json list
+    | Obj of (string * json) list
+
+  exception Parse_error of string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %c" c)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' -> begin
+          advance ();
+          (match peek () with
+          | Some '"' -> Buffer.add_char b '"'
+          | Some '\\' -> Buffer.add_char b '\\'
+          | Some '/' -> Buffer.add_char b '/'
+          | Some 'n' -> Buffer.add_char b '\n'
+          | Some 'r' -> Buffer.add_char b '\r'
+          | Some 't' -> Buffer.add_char b '\t'
+          | Some 'b' -> Buffer.add_char b '\b'
+          | Some 'f' -> Buffer.add_char b '\012'
+          | Some 'u' ->
+            if !pos + 4 >= n then fail "truncated \\u escape";
+            (* Decoded code points are irrelevant to validation. *)
+            pos := !pos + 4;
+            Buffer.add_char b '?'
+          | _ -> fail "bad escape");
+          advance ();
+          go ()
+        end
+        | Some c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      let num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c when num_char c -> true | _ -> false) do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "bad number"
+    in
+    let parse_literal lit v =
+      if !pos + String.length lit <= n && String.sub s !pos (String.length lit) = lit then begin
+        pos := !pos + String.length lit;
+        v
+      end
+      else fail ("expected " ^ lit)
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '"' -> Str (parse_string ())
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              members ((key, v) :: acc)
+            | Some '}' ->
+              advance ();
+              Obj (List.rev ((key, v) :: acc))
+            | _ -> fail "expected , or } in object"
+          in
+          members []
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              elems (v :: acc)
+            | Some ']' ->
+              advance ();
+              Arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ] in array"
+          in
+          elems []
+        end
+      | Some 't' -> parse_literal "true" (Bool true)
+      | Some 'f' -> parse_literal "false" (Bool false)
+      | Some 'n' -> parse_literal "null" Null
+      | Some _ -> Num (parse_number ())
+      | None -> fail "unexpected end of input"
+    in
+    try
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then Error (Printf.sprintf "trailing garbage at byte %d" !pos)
+      else Ok v
+    with Parse_error msg -> Error msg
+
+  (* Validate the shape the exporter promises: a traceEvents array whose
+     "X" events carry name/ts/dur/pid/tid, listed in nondecreasing ts order
+     per track, siblings never partially overlapping (well-nested). *)
+  let validate contents =
+    let eps = 1e-6 in
+    match parse contents with
+    | Error msg -> Error ("invalid JSON: " ^ msg)
+    | Ok (Obj fields) -> begin
+      match List.assoc_opt "traceEvents" fields with
+      | Some (Arr events) -> begin
+        let tracks : (float, float list ref * float ref) Hashtbl.t = Hashtbl.create 8 in
+        (* tid -> (containment stack of end times, last ts seen) *)
+        let n_spans = ref 0 in
+        let check_event = function
+          | Obj ev -> begin
+            match List.assoc_opt "ph" ev with
+            | Some (Str "X") -> begin
+              match
+                ( List.assoc_opt "name" ev, List.assoc_opt "ts" ev, List.assoc_opt "dur" ev,
+                  List.assoc_opt "pid" ev, List.assoc_opt "tid" ev )
+              with
+              | Some (Str _), Some (Num ts), Some (Num dur), Some (Num _), Some (Num tid) ->
+                if ts < 0. || dur < 0. then Error "negative ts or dur"
+                else begin
+                  incr n_spans;
+                  let stack, last_ts =
+                    match Hashtbl.find_opt tracks tid with
+                    | Some entry -> entry
+                    | None ->
+                      let entry = (ref [], ref neg_infinity) in
+                      Hashtbl.add tracks tid entry;
+                      entry
+                  in
+                  if ts +. eps < !last_ts then
+                    Error (Printf.sprintf "track %g: ts not monotone (%g after %g)" tid ts !last_ts)
+                  else begin
+                    last_ts := ts;
+                    let rec popped = function
+                      | e :: rest when e <= ts +. eps -> popped rest
+                      | stack -> stack
+                    in
+                    let remaining = popped !stack in
+                    match remaining with
+                    | enclosing :: _ when ts +. dur > enclosing +. eps ->
+                      Error
+                        (Printf.sprintf
+                           "track %g: span [%g, %g] partially overlaps one ending at %g" tid ts
+                           (ts +. dur) enclosing)
+                    | _ ->
+                      stack := (ts +. dur) :: remaining;
+                      Ok ()
+                  end
+                end
+              | _ -> Error "X event missing name/ts/dur/pid/tid"
+            end
+            | Some (Str "M") -> Ok ()
+            | Some (Str ph) -> Error (Printf.sprintf "unexpected event phase %S" ph)
+            | _ -> Error "event without a ph field"
+          end
+          | _ -> Error "traceEvents element is not an object"
+        in
+        let rec check = function
+          | [] -> Ok (!n_spans, Hashtbl.length tracks)
+          | ev :: rest -> begin
+            match check_event ev with Ok () -> check rest | Error msg -> Error msg
+          end
+        in
+        check events
+      end
+      | _ -> Error "traceEvents missing or not an array"
+    end
+    | Ok _ -> Error "top-level JSON value is not an object"
+end

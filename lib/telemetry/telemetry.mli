@@ -1,0 +1,98 @@
+(** Zero-dependency tracing and metrics for the Waltz pipeline.
+
+    One process-wide enable flag guards every entry point: with telemetry
+    disabled (the default) each instrumented call is a single branch on an
+    [Atomic.t] with no allocation, so the hot paths pay nothing. Recording
+    never touches RNG streams or reorders work, so instrumented runs are
+    bit-identical to uninstrumented ones.
+
+    Spans are hierarchical (a per-domain parent stack) and timestamped with
+    a monotonized wall clock; counters and histograms accumulate under a
+    single mutex and are safe to update from worker domains. See
+    doc/OBSERVABILITY.md for the metric catalog and naming scheme. *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Clears completed spans, counters and histograms (the enable flag is
+    left as is). Open spans still record on completion. *)
+
+val now_us : unit -> float
+(** Microseconds since process start, clamped to be globally monotone. *)
+
+module Span : sig
+  type t = {
+    name : string;
+    track : int;  (** the recording domain's id; 0 is the main domain *)
+    start_us : float;
+    dur_us : float;
+    depth : int;  (** open ancestors on this domain's stack at start *)
+    parent : string option;  (** innermost enclosing span's name, if any *)
+    args : (string * string) list;
+  }
+
+  val with_ : ?args:(string * string) list -> name:string -> (unit -> 'a) -> 'a
+  (** [with_ ~name f] runs [f] inside a span. Disabled: exactly [f ()].
+      Exceptions propagate; the span is recorded either way. *)
+
+  val all : unit -> t list
+  (** Completed spans in completion order. *)
+
+  type aggregate = { agg_name : string; count : int; total_us : float; max_us : float }
+
+  val aggregate : unit -> aggregate list
+  (** Spans grouped by name, sorted by total time (descending, then name). *)
+
+  val aggregate_of : t list -> aggregate list
+end
+
+module Metrics : sig
+  val incr : ?by:int -> string -> unit
+  val observe : string -> float -> unit
+
+  val counter : string -> int
+  (** 0 when the counter never fired. *)
+
+  val counters : unit -> (string * int) list
+  (** Sorted by name. *)
+
+  type histogram = {
+    count : int;
+    sum : float;
+    min : float;
+    max : float;
+    buckets : (float * int) list;
+        (** non-empty power-of-two bins as (upper bound, count) *)
+  }
+
+  val histogram : string -> histogram option
+  val histograms : unit -> (string * histogram) list
+
+  val hit_rate : hit:string -> miss:string -> float
+  (** [counter hit / (counter hit + counter miss)]; 0 when both are zero. *)
+end
+
+module Report : sig
+  val to_string : unit -> string
+  (** Human-readable report: spans aggregated by name, counters,
+      histogram summaries. This is what the CLI's [--stats] flag prints. *)
+end
+
+module Trace : sig
+  val to_json : unit -> string
+  (** Chrome [trace_event] JSON (complete "X" events plus thread-name
+      metadata; one track per domain), loadable in chrome://tracing and
+      Perfetto. Events are sorted by (track, ts) with enclosing spans
+      first, so each track is monotone and well-nested in file order. *)
+
+  val write : string -> unit
+  (** [write path] saves {!to_json} to [path]. *)
+
+  val validate : string -> (int * int, string) result
+  (** Checks a trace file's contents: valid JSON, a [traceEvents] array,
+      every "X" event carrying name/ts/dur/pid/tid with nonnegative times,
+      per-track monotone [ts] and no partially-overlapping spans (siblings
+      disjoint, children contained). Returns (span events, tracks). *)
+end

@@ -1,6 +1,7 @@
 open Waltz_circuit
 open Waltz_arch
 open Waltz_core
+module Telemetry = Waltz_telemetry.Telemetry
 
 type pass =
   | Structural
@@ -29,14 +30,26 @@ let run ?topology ?(passes = all_passes) ?probes ?seed ?equiv_max_qubits
     | Some t -> t
     | None -> Topology.mesh (max 1 p.Physical.device_count)
   in
+  (* Each pass runs inside a span and records how many of its rules fired,
+     so a stats report shows where verification time and noise go. *)
+  let timed pass f =
+    let diagnostics =
+      Telemetry.Span.with_ ~name:("verify/" ^ pass_name pass) f
+    in
+    if diagnostics <> [] then
+      Telemetry.Metrics.incr
+        ~by:(List.length diagnostics)
+        ("verify." ^ pass_name pass ^ ".fired");
+    diagnostics
+  in
   let structural =
     if not (want Structural) then []
-    else begin
-      let program = Structural.check_program p in
-      match circuit with
-      | None -> program
-      | Some c -> program @ Structural.check_circuit c @ Structural.check_link c p
-    end
+    else
+      timed Structural (fun () ->
+          let program = Structural.check_program p in
+          match circuit with
+          | None -> program
+          | Some c -> program @ Structural.check_circuit c @ Structural.check_link c p)
   in
   let fatal = Structural.fatal structural in
   let ran = ref [] in
@@ -46,7 +59,7 @@ let run ?topology ?(passes = all_passes) ?probes ?seed ?equiv_max_qubits
     if (not (want pass)) || fatal then []
     else begin
       note pass;
-      f ()
+      timed pass f
     end
   in
   let occupancy = when_safe Occupancy (fun () -> Dataflow.check p) in

@@ -45,7 +45,16 @@ let () =
               other.Executor.mean_error_draws
           in
           compare "domains=1" (Executor.simulate_detailed ~config ~domains:1 compiled);
-          compare "domains=3" (Executor.simulate_detailed ~config ~domains:3 compiled))
+          compare "domains=3" (Executor.simulate_detailed ~config ~domains:3 compiled);
+          (* Telemetry must be observationally invisible: recording spans and
+             counters may not perturb the RNG streams or the reduction order,
+             so the statistics stay bit-identical with the flag on. *)
+          Waltz_telemetry.Telemetry.reset ();
+          Waltz_telemetry.Telemetry.enable ();
+          compare "telemetry-on" (Executor.simulate_detailed ~config compiled);
+          compare "telemetry-on/domains=3"
+            (Executor.simulate_detailed ~config ~domains:3 compiled);
+          Waltz_telemetry.Telemetry.disable ())
         strategies)
     circuits;
   if !failures > 0 then begin

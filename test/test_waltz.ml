@@ -23,4 +23,5 @@ let () =
       ("control", Test_control.suite);
       ("verify", Test_verify.suite);
       ("verify-fixtures", Test_verify_fixtures.suite);
-      ("runtime", Test_runtime.suite) ]
+      ("runtime", Test_runtime.suite);
+      ("telemetry", Test_telemetry.suite) ]
