@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench-json trace-smoke clean
+.PHONY: all build test lint bench-json bench-smoke trace-smoke clean
 
 all: build test
 
@@ -13,6 +13,12 @@ test:
 # WALTZ_DOMAINS, e.g. `WALTZ_DOMAINS=4 make bench-json`.
 bench-json:
 	dune exec bench/main.exe -- micro
+
+# Fast correctness gate over the benchmark kernels: every planned gate's
+# specialized kernel must agree with the generic path, and a tiny simulate
+# must be bit-identical at 1 and 2 domains. Also runs as part of `make lint`.
+bench-smoke:
+	dune exec bench/main.exe -- smoke
 
 # Type-check everything (@check), run the IR verifier over the example
 # programs, the telemetry test suite and the trace smoke. waltz_verify and

@@ -8,7 +8,7 @@
      WALTZ_EPS_SIZES  sizes for the EPS studies (default "5,9,13,17,21")
      WALTZ_SECTIONS   comma-separated subset of
                       table1,table2,fig2,fig7,fig8,fig9a,fig9b,fig9c,fig9d,
-                      ablations,resynth,pulses,micro (default: all)
+                      ablations,resynth,pulses,micro,smoke (default: all)
      WALTZ_PULSE_ITERS  GRAPE iterations in the pulse section (default 400)
      WALTZ_SENS_N     circuit size for the fig9b/c/d sensitivity sweeps
                       (default 7; they run 3x the trajectories)
@@ -503,7 +503,62 @@ let micro () =
   let cnu7 = Bench_circuits.cnu ~controls:4 in
   let toffoli_fq = Compile.compile Strategy.full_ququart toffoli in
   let cnu7_fq = Compile.compile Strategy.full_ququart cnu7 in
+  (* fig9/kernel-classes: one precompiled kernel per class, applied to a
+     reused state vector. All gates are unitary so the norm survives the
+     bechamel repetition loop; each constructor is asserted to land in the
+     class it is named for, so the benchmark can't silently drift. *)
+  let hh = Mat.kron Gates.h Gates.h in
+  let ctrl16 =
+    let m = Mat.identity 16 in
+    for i = 0 to 3 do
+      for j = 0 to 3 do
+        Mat.set m (12 + i) (12 + j) (Mat.get hh i j)
+      done
+    done;
+    m
+  in
+  let kernel_cases =
+    [ ( "diagonal",
+        [| 4; 4; 4 |],
+        Waltz_sim.Kernel.compile ~dims:[| 4; 4; 4 |] ~targets:[ 0; 1 ]
+          (Mat.diag (Array.init 16 (fun i -> Cplx.exp_i (0.1 *. float_of_int i)))) );
+      ( "monomial",
+        [| 4; 4; 4 |],
+        Waltz_sim.Kernel.compile ~dims:[| 4; 4; 4 |] ~targets:[ 0; 1 ]
+          (Mat.permutation 16 (fun i -> (i + 5) mod 16)) );
+      ( "controlled_block",
+        [| 4; 4; 4 |],
+        Waltz_sim.Kernel.compile ~dims:[| 4; 4; 4 |] ~targets:[ 0; 1 ] ctrl16 );
+      ( "single_wire",
+        [| 4; 4; 4 |],
+        Waltz_sim.Kernel.compile ~dims:[| 4; 4; 4 |] ~targets:[ 1 ] hh );
+      ( "two_wire",
+        [| 4; 4; 4 |],
+        Waltz_sim.Kernel.compile ~dims:[| 4; 4; 4 |] ~targets:[ 0; 2 ] (Mat.kron hh hh) );
+      ( "generic",
+        [| 2; 2; 2; 2 |],
+        Waltz_sim.Kernel.compile ~dims:[| 2; 2; 2; 2 |] ~targets:[ 0; 1; 3 ]
+          (Mat.kron hh Gates.h) ) ]
+  in
+  let kernel_tests =
+    List.map
+      (fun (cls, dims, kernel) ->
+        if Waltz_sim.Kernel.class_name kernel <> cls then
+          failwith
+            (Printf.sprintf "kernel-classes bench: expected %s, compiled to %s" cls
+               (Waltz_sim.Kernel.class_name kernel));
+        let r = Rng.make ~seed:31 in
+        let n = Array.fold_left ( * ) 1 dims in
+        let v = Vec.gaussian (fun () -> Rng.gaussian r) n in
+        Vec.normalize_in_place v;
+        Test.make
+          ~name:("fig9/kernel-classes/" ^ cls)
+          (Staged.stage (fun () -> Waltz_sim.Kernel.apply kernel v)))
+      kernel_cases
+  in
   let tests =
+    kernel_tests
+    @
     [ Test.make ~name:"table1/calibration-lookup"
         (Staged.stage (fun () -> ignore (Calibration.mr_cx ~control:Qubit ~target:(Slot 0))));
       Test.make ~name:"table2/gate-construction"
@@ -588,6 +643,15 @@ let micro () =
   let pool_util =
     if offered = 0 then 1.0 else float_of_int joined /. float_of_int offered
   in
+  let plan_hits = Telemetry.Metrics.counter "executor.plan_cache.hit" in
+  let plan_misses = Telemetry.Metrics.counter "executor.plan_cache.miss" in
+  (* Class-dispatch histogram of the instrumented throughput run: how many
+     per-trajectory gate applications each specialized path absorbed. *)
+  let kernel_dispatch =
+    List.map
+      (fun cls -> (cls, Telemetry.Metrics.counter ("executor.kernel_dispatch." ^ cls)))
+      [ "diagonal"; "monomial"; "controlled_block"; "single_wire"; "two_wire"; "generic" ]
+  in
   let oc = open_out "BENCH_micro.json" in
   Printf.fprintf oc "{\n  \"domains\": %d,\n" domains;
   Printf.fprintf oc "  \"throughput_trajectories\": %d,\n" throughput_trajectories;
@@ -598,7 +662,16 @@ let micro () =
   Printf.fprintf oc "    \"pool_seats_offered\": %d,\n" offered;
   Printf.fprintf oc "    \"pool_seats_joined\": %d,\n" joined;
   Printf.fprintf oc "    \"pool_items_stolen\": %d,\n" stolen;
-  Printf.fprintf oc "    \"pool_utilization\": %.4f\n" pool_util;
+  Printf.fprintf oc "    \"pool_utilization\": %.4f,\n" pool_util;
+  Printf.fprintf oc "    \"plan_cache_hits\": %d,\n" plan_hits;
+  Printf.fprintf oc "    \"plan_cache_misses\": %d,\n" plan_misses;
+  Printf.fprintf oc "    \"kernel_dispatch\": {\n";
+  List.iteri
+    (fun i (cls, count) ->
+      Printf.fprintf oc "      %S: %d%s\n" cls count
+        (if i = List.length kernel_dispatch - 1 then "" else ","))
+    kernel_dispatch;
+  Printf.fprintf oc "    }\n";
   Printf.fprintf oc "  },\n";
   Printf.fprintf oc "  \"ns_per_run\": {\n";
   List.iteri
@@ -610,6 +683,77 @@ let micro () =
   close_out oc;
   Printf.printf "\n  wrote BENCH_micro.json (%d domains, %.1f trajectories/sec)\n" domains
     traj_per_sec
+
+(* ---------------- Smoke (lint-gated) ---------------- *)
+
+(* Fast correctness gate for `make bench-smoke` and the lint alias: every
+   kernel the planner would compile for a spread of benchmark programs must
+   agree with the reference generic path on a random state, and a tiny
+   simulate must be bit-identical at 1 and 2 domains. Exits non-zero on the
+   first discrepancy, so a broken specialization fails `make lint` before
+   any timed run can record nonsense. *)
+let smoke () =
+  header "Kernel smoke checks (lint gate)";
+  let failures = ref 0 in
+  let toffoli = Circuit.of_gates ~n:3 [ Gate.make Gate.Ccx [ 0; 1; 2 ] ] in
+  let cnu5 = Bench_circuits.cnu ~controls:2 in
+  let programs =
+    [ Compile.compile Strategy.full_ququart toffoli;
+      Compile.compile Strategy.mixed_radix_ccz cnu5;
+      Compile.compile Strategy.qubit_only toffoli ]
+  in
+  let r = Rng.make ~seed:97 in
+  let checked = ref 0 in
+  List.iter
+    (fun (compiled : Physical.t) ->
+      let device_dim = compiled.Physical.device_dim in
+      let dims = Array.make compiled.Physical.device_count device_dim in
+      List.iter
+        (fun (op : Physical.op) ->
+          let devices, lifted = Executor.lift_gate ~device_dim op in
+          let kernel = Waltz_sim.Kernel.compile ~dims ~targets:devices lifted in
+          let state = Waltz_sim.State.random r ~dims in
+          let reference =
+            Waltz_sim.State.of_vec ~dims (Waltz_sim.State.amplitudes state)
+          in
+          let v = Vec.copy (Waltz_sim.State.amplitudes state) in
+          Waltz_sim.Kernel.apply kernel v;
+          Waltz_sim.State.apply_generic reference ~targets:devices lifted;
+          let vr = Waltz_sim.State.amplitudes reference in
+          let diff = ref 0. in
+          for i = 0 to Vec.dim v - 1 do
+            diff := Float.max !diff (Float.abs (v.Vec.re.(i) -. vr.Vec.re.(i)));
+            diff := Float.max !diff (Float.abs (v.Vec.im.(i) -. vr.Vec.im.(i)))
+          done;
+          incr checked;
+          if !diff > 1e-12 then begin
+            incr failures;
+            Printf.printf "  FAIL %s (%s): kernel disagrees with generic by %g\n"
+              op.Physical.label
+              (Waltz_sim.Kernel.class_name kernel)
+              !diff
+          end)
+        compiled.Physical.ops)
+    programs;
+  Printf.printf "  kernel-vs-generic: %d plan ops checked\n" !checked;
+  let config = { Executor.model = Noise.default; trajectories = 4; base_seed = 5 } in
+  let compiled = Compile.compile Strategy.full_ququart toffoli in
+  let a = Executor.simulate_detailed ~config ~domains:1 compiled in
+  let b = Executor.simulate_detailed ~config ~domains:2 compiled in
+  if
+    Float.equal a.Executor.summary.Executor.mean_fidelity
+      b.Executor.summary.Executor.mean_fidelity
+    && Float.equal a.Executor.mean_leakage b.Executor.mean_leakage
+  then Printf.printf "  domains 1 vs 2: bit-identical\n"
+  else begin
+    incr failures;
+    Printf.printf "  FAIL: domains 1 vs 2 statistics differ\n"
+  end;
+  if !failures > 0 then begin
+    Printf.printf "smoke: %d failures\n" !failures;
+    exit 1
+  end;
+  Printf.printf "  smoke OK\n"
 
 (* ---------------- main ---------------- *)
 
@@ -626,7 +770,8 @@ let all_sections =
     ("ablations", ablations);
     ("resynth", resynth);
     ("pulses", pulses);
-    ("micro", micro) ]
+    ("micro", micro);
+    ("smoke", smoke) ]
 
 let () =
   let requested =

@@ -13,23 +13,31 @@ type result = { mean_fidelity : float; sem : float; trajectories : int }
 
 let max_devices ~device_dim = if device_dim = 4 then 11 else 22
 
+(* An idle window resolved at plan time: the damping lambdas and the
+   no-jump Kraus scales are pure functions of the window length, so both
+   are computed once per plan and only read by worker domains. *)
+type damp_spec = { dwire : int; lambdas : float array; scales : float array }
+
 (* A compiled op, prepared for fast repeated execution. *)
 type plan_op = {
   devices : int list;  (** state wires the lifted gate acts on, in order *)
   lifted : Mat.t;  (** unitary over those device wires *)
+  kernel : Kernel.t;  (** plan-time classified apply path for [lifted] *)
+  dispatch_counter : string;
+      (** preallocated telemetry counter name for the kernel class *)
   error_p : float;
   error_parts : (int * Physical.noise_role) list;  (** device, role *)
   error_dims : int list;  (** radix of each error part's Pauli draw *)
-  pre_damp : (int * float array) list;
-      (** idle windows closing when this op starts: (device, lambdas) *)
+  pre_damp : damp_spec list;  (** idle windows closing when this op starts *)
 }
 
 (* The per-trajectory schedule: idle-window bookkeeping is identical for
    every trajectory, so start times, damping lambdas and Pauli radices are
    all resolved once per plan and only read from the worker domains. *)
 type plan = {
+  plan_dims : int array;  (** register shape the kernels were compiled for *)
   plan_ops : plan_op list;
-  final_damp : (int * float array) list;  (** windows closing at the end *)
+  final_damp : damp_spec list;  (** windows closing at the end *)
 }
 
 (* Devices in order of first appearance among the targets. Reversed-cons
@@ -62,9 +70,16 @@ let lift_gate_uncached ~device_dim (op : Physical.op) =
 (* The lifted unitary depends on the gate and the *pattern* of targets —
    which of the op's devices each (device, slot) wire belongs to — not on
    absolute device ids, so ops that repeat a gate on different devices share
-   one Kronecker lift. Keyed structurally ((=) on the gate's float arrays);
-   the mutex makes the table safe for concurrent planners. *)
-let lift_table : (int * (int * int) list * Mat.t, Mat.t) Hashtbl.t = Hashtbl.create 64
+   one Kronecker lift. Keyed on the op's label plus dimensions rather than
+   the gate's full float arrays, so lookups never hash 256 floats; ops that
+   share a label but carry different matrices (the two ENC encode directions,
+   parameterized rotations) land in one bucket and are told apart by matrix
+   equality, counted as [executor.lift_table.collision]. The mutex makes the
+   table safe for concurrent planners. *)
+let lift_table : (int * (int * int) list * string * int, (Mat.t * Mat.t) list ref)
+    Hashtbl.t =
+  Hashtbl.create 64
+
 let lift_mutex = Mutex.create ()
 
 let lift_gate ~device_dim (op : Physical.op) =
@@ -77,25 +92,37 @@ let lift_gate ~device_dim (op : Physical.op) =
     go 0 devices
   in
   let pattern = List.map (fun (d, s) -> (index_of d, s)) op.Physical.targets in
-  let key = (device_dim, pattern, op.Physical.gate) in
+  let gate = op.Physical.gate in
+  let key = (device_dim, pattern, op.Physical.label, gate.Mat.rows) in
   Mutex.lock lift_mutex;
-  let lifted, hit =
+  let bucket =
     match Hashtbl.find_opt lift_table key with
-    | Some lifted -> (lifted, true)
+    | Some b -> b
     | None ->
       if Hashtbl.length lift_table > 4096 then Hashtbl.reset lift_table;
+      let b = ref [] in
+      Hashtbl.add lift_table key b;
+      b
+  in
+  let lifted, hit, collision =
+    match List.find_opt (fun (g, _) -> g = gate) !bucket with
+    | Some (_, lifted) -> (lifted, true, false)
+    | None ->
       let _, lifted = lift_gate_uncached ~device_dim op in
-      Hashtbl.add lift_table key lifted;
-      (lifted, false)
+      let collision = !bucket <> [] in
+      bucket := (gate, lifted) :: !bucket;
+      (lifted, false, collision)
   in
   Mutex.unlock lift_mutex;
   Telemetry.Metrics.incr
     (if hit then "executor.lift_gate.hit" else "executor.lift_gate.miss");
+  if collision then Telemetry.Metrics.incr "executor.lift_table.collision";
   (devices, lifted)
 
-let plan ~model (compiled : Physical.t) =
+let plan_uncached ~model (compiled : Physical.t) =
   Telemetry.Span.with_ ~name:"executor/plan" @@ fun () ->
   let device_dim = compiled.Physical.device_dim in
+  let plan_dims = Array.make compiled.Physical.device_count device_dim in
   let schedule = Physical.schedule compiled in
   let total_duration =
     List.fold_left
@@ -106,12 +133,19 @@ let plan ~model (compiled : Physical.t) =
   let last_busy = Array.make compiled.Physical.device_count 0. in
   let window device until =
     let dt = until -. last_busy.(device) in
-    if dt > 1e-9 then Some (device, lambdas_of dt) else None
+    if dt > 1e-9 then begin
+      let lambdas = lambdas_of dt in
+      Some { dwire = device; lambdas; scales = State.damp_scales lambdas }
+    end
+    else None
   in
   let plan_ops =
     List.map
       (fun ((op : Physical.op), start) ->
         let devices, lifted = lift_gate ~device_dim op in
+        let kernel = Kernel.compile ~dims:plan_dims ~targets:devices lifted in
+        let cls = Kernel.class_name kernel in
+        Telemetry.Metrics.incr ("executor.kernel_class." ^ cls);
         let err = 1. -. op.Physical.fidelity in
         let err = if op.Physical.touches_ww then err *. model.Noise.ww_error_scale else err in
         let error_parts =
@@ -129,6 +163,8 @@ let plan ~model (compiled : Physical.t) =
         List.iter (fun d -> last_busy.(d) <- start +. op.Physical.duration_ns) part_devices;
         { devices;
           lifted;
+          kernel;
+          dispatch_counter = "executor.kernel_dispatch." ^ cls;
           error_p = Float.max 0. err;
           error_parts;
           error_dims =
@@ -141,7 +177,45 @@ let plan ~model (compiled : Physical.t) =
       (fun d -> window d total_duration)
       (List.init compiled.Physical.device_count Fun.id)
   in
-  { plan_ops; final_damp }
+  { plan_dims; plan_ops; final_damp }
+
+(* Cross-call plan cache. Repeated [simulate] calls on one compiled program
+   (benchmark reps, parameter sweeps over trajectories/seeds) replan from
+   scratch without it. Keyed by physical identity of the compiled program —
+   a [Physical.t] is immutable once built, and recompiling yields a fresh
+   value, so [==] is exactly "same compilation" — plus structural equality
+   of the noise model, which feeds the damping tables and error scaling.
+   Bounded MRU list: hits move to the front, inserts evict the tail. *)
+let plan_cache : (Physical.t * Noise.model * plan) list ref = ref []
+let plan_cache_mutex = Mutex.create ()
+let plan_cache_capacity = 8
+
+let plan ~model (compiled : Physical.t) =
+  Mutex.lock plan_cache_mutex;
+  let cached =
+    List.find_opt (fun (c, m, _) -> c == compiled && m = model) !plan_cache
+  in
+  let p =
+    match cached with
+    | Some ((_, _, p) as entry) ->
+      plan_cache := entry :: List.filter (fun e -> not (e == entry)) !plan_cache;
+      Mutex.unlock plan_cache_mutex;
+      Telemetry.Metrics.incr "executor.plan_cache.hit";
+      p
+    | None ->
+      Mutex.unlock plan_cache_mutex;
+      Telemetry.Metrics.incr "executor.plan_cache.miss";
+      let p = plan_uncached ~model compiled in
+      Mutex.lock plan_cache_mutex;
+      plan_cache :=
+        (compiled, model, p)
+        :: (if List.length !plan_cache >= plan_cache_capacity then
+              List.filteri (fun i _ -> i < plan_cache_capacity - 1) !plan_cache
+            else !plan_cache);
+      Mutex.unlock plan_cache_mutex;
+      p
+  in
+  p
 
 (* Allowed levels per device under a placement map: a device's computational
    subspace depends on how many qubits it holds and in which slots. *)
@@ -172,7 +246,11 @@ let initial_allowed (compiled : Physical.t) =
   allowed_of_map ~device_dim:compiled.Physical.device_dim
     ~device_count:compiled.Physical.device_count compiled.Physical.initial_map
 
-let apply_plan_op state p = State.apply state ~targets:p.devices p.lifted
+(* The whole point of the kernel stage: per-op, per-trajectory cost is one
+   dispatch on the precompiled class, no re-validation or re-classification. *)
+let apply_plan_op state p =
+  Telemetry.Metrics.incr p.dispatch_counter;
+  Kernel.apply p.kernel (State.amplitudes state)
 
 let embed_error ~device_dim role pauli =
   match (role, device_dim) with
@@ -196,15 +274,21 @@ let inject_errors rng ~device_dim state p =
       1
   end
 
+let damp_specs state rng specs =
+  List.iter
+    (fun { dwire; lambdas; scales } ->
+      State.damp_with state rng ~wire:dwire ~lambdas ~scales)
+    specs
+
 let run_noisy rng ~device_dim plan state =
   let draws = ref 0 in
   List.iter
     (fun p ->
-      List.iter (fun (d, lambdas) -> State.damp state rng ~wire:d ~lambdas) p.pre_damp;
+      damp_specs state rng p.pre_damp;
       apply_plan_op state p;
       draws := !draws + inject_errors rng ~device_dim state p)
     plan.plan_ops;
-  List.iter (fun (d, lambdas) -> State.damp state rng ~wire:d ~lambdas) plan.final_damp;
+  damp_specs state rng plan.final_damp;
   !draws
 
 let run_ideal (compiled : Physical.t) state =
@@ -213,20 +297,32 @@ let run_ideal (compiled : Physical.t) state =
   List.iter (fun p -> apply_plan_op out p) plan.plan_ops;
   out
 
-(* Population outside the computational subspace defined by a placement
-   map: a device's allowed levels depend on how many qubits it holds. *)
-let leakage_against ~map (compiled : Physical.t) state =
+(* Population outside the computational subspace defined by a placement map:
+   a device's allowed levels depend on how many qubits it holds. The tables
+   and strides depend only on the map, so they are built once per simulate
+   call and shared by every trajectory. *)
+type leakage_tables = {
+  l_allowed : bool array array;
+  l_strides : int array;
+  l_dim : int;  (** device_dim *)
+}
+
+let leakage_tables_of ~map (compiled : Physical.t) =
   let device_dim = compiled.Physical.device_dim in
   let device_count = compiled.Physical.device_count in
-  let allowed =
-    allowed_table ~device_dim (allowed_of_map ~device_dim ~device_count map)
-  in
-  let amps = State.amplitudes state in
-  let dims = Array.make device_count device_dim in
   let strides = Array.make device_count 1 in
   for d = device_count - 2 downto 0 do
-    strides.(d) <- strides.(d + 1) * dims.(d + 1)
+    strides.(d) <- strides.(d + 1) * device_dim
   done;
+  { l_allowed =
+      allowed_table ~device_dim (allowed_of_map ~device_dim ~device_count map);
+    l_strides = strides;
+    l_dim = device_dim }
+
+let leakage_with tables state =
+  let allowed = tables.l_allowed and strides = tables.l_strides in
+  let device_count = Array.length strides and device_dim = tables.l_dim in
+  let amps = State.amplitudes state in
   let inside = ref 0. in
   for idx = 0 to Waltz_linalg.Vec.dim amps - 1 do
     let ok = ref true in
@@ -243,6 +339,30 @@ let leakage_against ~map (compiled : Physical.t) state =
 
 type detailed = { summary : result; mean_leakage : float; mean_error_draws : float }
 
+(* Per-domain trajectory workspace: the input/ideal/noisy state triple is
+   reused across every trajectory a domain runs, so the steady-state loop
+   allocates no state vectors at all. One slot per domain suffices — a
+   simulate call has a single register shape — keyed by the full dims array
+   (dims [|2;2|] and [|4|] share a total dimension but not a shape). *)
+type workspace = { wdims : int array; input : State.t; ideal : State.t; noisy : State.t }
+
+let workspace_key : workspace option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let workspace_for dims =
+  let slot = Domain.DLS.get workspace_key in
+  match !slot with
+  | Some ws when ws.wdims = dims -> ws
+  | _ ->
+    let ws =
+      { wdims = Array.copy dims;
+        input = State.create ~dims;
+        ideal = State.create ~dims;
+        noisy = State.create ~dims }
+    in
+    slot := Some ws;
+    ws
+
 let simulate_detailed ?(config = default_config) ?domains (compiled : Physical.t) =
   Telemetry.Span.with_ ~name:"executor/simulate"
     ~args:
@@ -256,8 +376,9 @@ let simulate_detailed ?(config = default_config) ?domains (compiled : Physical.t
          compiled.Physical.device_count (max_devices ~device_dim));
   let model = config.model in
   let plan = plan ~model compiled in
-  let dims = Array.make compiled.Physical.device_count device_dim in
-  let allowed = initial_allowed compiled in
+  let dims = plan.plan_dims in
+  let allowed = allowed_table ~device_dim (initial_allowed compiled) in
+  let leak_tables = leakage_tables_of ~map:compiled.Physical.final_map compiled in
   (* Warm the shared Pauli table before fanning out (it is mutex-guarded,
      but pre-filling keeps the hot path contention-free). *)
   List.iter (fun d -> ignore (Noise.pauli_set ~d)) [ 2; device_dim ];
@@ -265,13 +386,14 @@ let simulate_detailed ?(config = default_config) ?domains (compiled : Physical.t
     (* Split-stream seeding: trajectory k's stream depends only on k, so the
        result is bit-identical at every domain count. *)
     let rng = Rng.make ~seed:(config.base_seed + (7919 * k)) in
-    let input = State.random_supported rng ~dims ~allowed in
-    let ideal = State.copy input in
-    List.iter (fun p -> apply_plan_op ideal p) plan.plan_ops;
-    let noisy = State.copy input in
-    let draws = run_noisy rng ~device_dim plan noisy in
-    let leak = leakage_against ~map:compiled.Physical.final_map compiled noisy in
-    (State.overlap2 ideal noisy, leak, draws)
+    let ws = workspace_for dims in
+    State.fill_random_supported ws.input rng ~allowed;
+    State.assign ~dst:ws.ideal ~src:ws.input;
+    List.iter (fun p -> apply_plan_op ws.ideal p) plan.plan_ops;
+    State.assign ~dst:ws.noisy ~src:ws.input;
+    let draws = run_noisy rng ~device_dim plan ws.noisy in
+    let leak = leakage_with leak_tables ws.noisy in
+    (State.overlap2 ws.ideal ws.noisy, leak, draws)
   in
   (* Telemetry does not touch the trajectory's RNG stream or the reduction
      order, so the statistics are bit-identical with it on or off. *)

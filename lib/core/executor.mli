@@ -53,8 +53,11 @@ val run_ideal : Physical.t -> Waltz_sim.State.t -> Waltz_sim.State.t
 
 val lift_gate : device_dim:int -> Physical.op -> int list * Waltz_linalg.Mat.t
 (** The devices an op touches (in target order) and its unitary lifted to
-    their joint space. Memoized on (gate, target-slot pattern, device_dim):
-    ops repeating a gate on different devices share one Kronecker lift. *)
+    their joint space. Memoized on (device_dim, target-slot pattern, op
+    label, gate dimension), so lookups never hash the gate's float arrays;
+    same-key ops with different matrices fall back to matrix equality within
+    the bucket (counted as [executor.lift_table.collision]). Ops repeating a
+    gate on different devices share one Kronecker lift. *)
 
 val lift_gate_uncached : device_dim:int -> Physical.op -> int list * Waltz_linalg.Mat.t
 (** The raw (un-memoized) lift; exposed so tests can check the cache against

@@ -189,6 +189,73 @@ let is_diagonal m =
    with Exit -> ());
   !ok
 
+let diagonal_entries m =
+  if m.rows <> m.cols || not (is_diagonal m) then None
+  else
+    Some
+      ( Array.init m.rows (fun i -> m.re.((i * m.cols) + i)),
+        Array.init m.rows (fun i -> m.im.((i * m.cols) + i)) )
+
+let monomial_structure m =
+  if m.rows <> m.cols then None
+  else begin
+    let n = m.rows in
+    let src = Array.make n (-1) in
+    let pre = Array.make n 0. and pim = Array.make n 0. in
+    let col_used = Array.make n false in
+    let ok = ref true in
+    (try
+       for i = 0 to n - 1 do
+         let row = i * n in
+         let found = ref (-1) in
+         for j = 0 to n - 1 do
+           if m.re.(row + j) <> 0. || m.im.(row + j) <> 0. then begin
+             if !found >= 0 then begin
+               ok := false;
+               raise Exit
+             end;
+             found := j
+           end
+         done;
+         if !found < 0 || col_used.(!found) then begin
+           ok := false;
+           raise Exit
+         end;
+         col_used.(!found) <- true;
+         src.(i) <- !found;
+         pre.(i) <- m.re.(row + !found);
+         pim.(i) <- m.im.(row + !found)
+       done
+     with Exit -> ());
+    if !ok then Some (src, pre, pim) else None
+  end
+
+let active_subspace m =
+  if m.rows <> m.cols then invalid_arg "Mat.active_subspace: not square";
+  let n = m.rows in
+  let active = Array.make n false in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let re = m.re.((i * n) + j) and im = m.im.((i * n) + j) in
+      let id_re = if i = j then 1. else 0. in
+      if re <> id_re || im <> 0. then begin
+        active.(i) <- true;
+        active.(j) <- true
+      end
+    done
+  done;
+  let count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 active in
+  let out = Array.make count 0 in
+  let k = ref 0 in
+  Array.iteri
+    (fun i b ->
+      if b then begin
+        out.(!k) <- i;
+        incr k
+      end)
+    active;
+  out
+
 let process_fidelity u v =
   if u.rows <> v.rows || u.rows <> u.cols || v.rows <> v.cols then
     invalid_arg "Mat.process_fidelity";

@@ -85,6 +85,24 @@ val is_diagonal : t -> bool
     (no tolerance — used to select exact fast paths, so a near-diagonal
     matrix must not qualify). *)
 
+val diagonal_entries : t -> (float array * float array) option
+(** The (re, im) diagonal of a square, exactly-diagonal matrix; [None]
+    otherwise. Same exact-zero discipline as {!is_diagonal}. *)
+
+val monomial_structure : t -> (int array * float array * float array) option
+(** [Some (src, pre, pim)] when the square matrix has exactly one nonzero
+    entry per row and per column — a permutation-with-phases (generalized
+    X(+m), controlled-X, SWAP, …). Row [i]'s nonzero sits in column
+    [src.(i)] with value [pre.(i) + i·pim.(i)], so applying the matrix is
+    [out(i) = phase(i) · in(src(i))]. Exact zero tests: a near-monomial
+    matrix with any 1e-300 residue does not qualify. *)
+
+val active_subspace : t -> int array
+(** The sorted indices [i] whose row or column differs from the identity's
+    (exact comparison). A controlled gate embedded in a larger space returns
+    only its control-active block; the identity returns [[||]]. Raises
+    [Invalid_argument] on non-square input. *)
+
 val process_fidelity : t -> t -> float
 (** [process_fidelity u v] is |Tr(u†·v)|²/n² — the gate fidelity of Eq. 1
     between two same-dimension unitaries. *)

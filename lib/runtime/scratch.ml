@@ -1,0 +1,36 @@
+let n_slots = 8
+
+type t = { f : float array array; i : int array array }
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      { f = Array.make n_slots [||]; i = Array.make n_slots [||] })
+
+let get () = Domain.DLS.get key
+
+let floats t slot n =
+  let cur = t.f.(slot) in
+  if Array.length cur >= n then cur
+  else begin
+    let fresh = Array.make (max n (2 * Array.length cur)) 0. in
+    t.f.(slot) <- fresh;
+    fresh
+  end
+
+let floats_exact t slot n =
+  let cur = t.f.(slot) in
+  if Array.length cur = n then cur
+  else begin
+    let fresh = Array.make n 0. in
+    t.f.(slot) <- fresh;
+    fresh
+  end
+
+let ints t slot n =
+  let cur = t.i.(slot) in
+  if Array.length cur >= n then cur
+  else begin
+    let fresh = Array.make (max n (2 * Array.length cur)) 0 in
+    t.i.(slot) <- fresh;
+    fresh
+  end

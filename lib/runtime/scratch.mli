@@ -1,0 +1,38 @@
+(** Per-domain scratch arenas for hot-loop buffers.
+
+    The trajectory engine applies thousands of small kernels per second;
+    allocating gather buffers, odometer counters and damping weights per
+    call would make the hot loop allocation-bound. A [Scratch.t] is a small
+    set of growable buffers owned by one domain (via [Domain.DLS]), fetched
+    once per kernel application and reused across calls, trajectories and
+    pool jobs.
+
+    Discipline: a buffer is only valid between [floats]/[ints] and the end
+    of the current call chain — callees must not hold a slot across a call
+    that may use the same slot. Slot assignments in this codebase:
+
+    - float slots 0/1: kernel and [State.apply] gather buffers (re/im)
+    - float slots 2/3: [State.damp] populations and jump weights
+    - int slot 0: spectator-wire odometer counters
+    - int slot 1: [State.apply] subspace offsets
+
+    Buffers hold stale data from previous uses; every user must write
+    before reading. *)
+
+type t
+
+val get : unit -> t
+(** The calling domain's arena (created on first use, one per domain). *)
+
+val floats : t -> int -> int -> float array
+(** [floats t slot n] is a float buffer of length [>= n] (grown
+    geometrically on demand). [slot] must be in [0, 8). *)
+
+val floats_exact : t -> int -> int -> float array
+(** [floats_exact t slot n] is a buffer of length exactly [n] — for
+    consumers that scan the whole array (e.g. [Rng.weighted_choice]).
+    Reallocated only when the requested length changes. Shares the slot
+    space with {!floats}; do not mix the two on one slot. *)
+
+val ints : t -> int -> int -> int array
+(** Like {!floats} but for int buffers, with its own slot space. *)

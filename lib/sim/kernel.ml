@@ -1,0 +1,243 @@
+open Waltz_linalg
+module Scratch = Waltz_runtime.Scratch
+
+type body =
+  | Diagonal of { dre : float array; dim : float array }
+  | Monomial of { src : int array; pre : float array; pim : float array }
+  | Controlled of { k : int; aoff : int array; bre : float array; bim : float array }
+  | Dense of { mre : float array; mim : float array }
+
+(* How to enumerate the base indices (target digits all zero). The three
+   shapes share one invariant: bases are visited in ascending index order,
+   with no division in the loop body. *)
+type iteration =
+  | Single of { st : int; block : int }
+  | Pair of { hi_step : int; n_hi : int; mid_step : int; n_mid : int; n_inner : int }
+  | Odometer of { odims : int array; ostrides : int array; n_bases : int }
+
+type t = {
+  tgt : int array;
+  g : int;
+  n : int;
+  offsets : int array;
+  iter : iteration;
+  body : body;
+  cls : string;
+}
+
+let strides_of dims =
+  let nw = Array.length dims in
+  let strides = Array.make nw 1 in
+  for w = nw - 2 downto 0 do
+    strides.(w) <- strides.(w + 1) * dims.(w + 1)
+  done;
+  strides
+
+(* Subspace offset of each of the g target-digit combinations; identical
+   construction to State.offsets_of so kernels and the generic path index
+   the same amplitudes in the same order. *)
+let offsets_of ~dims ~strides tgt g =
+  let nt = Array.length tgt in
+  let offsets = Array.make g 0 in
+  for j = 0 to g - 1 do
+    let rem = ref j and off = ref 0 in
+    for k = nt - 1 downto 0 do
+      let w = tgt.(k) in
+      off := !off + (!rem mod dims.(w) * strides.(w));
+      rem := !rem / dims.(w)
+    done;
+    offsets.(j) <- !off
+  done;
+  offsets
+
+let compile ~dims ~targets m =
+  let nw = Array.length dims in
+  List.iter
+    (fun w -> if w < 0 || w >= nw then invalid_arg "Kernel.compile: wire out of range")
+    targets;
+  let tgt = Array.of_list targets in
+  let nt = Array.length tgt in
+  if nt = 0 then invalid_arg "Kernel.compile: no targets";
+  if List.length (List.sort_uniq compare targets) <> nt then
+    invalid_arg "Kernel.compile: duplicate targets";
+  let strides = strides_of dims in
+  let g = Array.fold_left (fun acc w -> acc * dims.(w)) 1 tgt in
+  if m.Mat.rows <> g || m.Mat.cols <> g then
+    invalid_arg "Kernel.compile: matrix dimension mismatch";
+  let n = Array.fold_left ( * ) 1 dims in
+  let offsets = offsets_of ~dims ~strides tgt g in
+  let iter =
+    if nt = 1 then begin
+      let w = tgt.(0) in
+      Single { st = strides.(w); block = dims.(w) * strides.(w) }
+    end
+    else if nt = 2 then begin
+      (* wa < wb in wire order, so strides.(wa) > strides.(wb): indices with
+         both target digits zero decompose into high / mid / inner ranges. *)
+      let wa = min tgt.(0) tgt.(1) and wb = max tgt.(0) tgt.(1) in
+      let hi_step = dims.(wa) * strides.(wa) and mid_step = dims.(wb) * strides.(wb) in
+      Pair
+        { hi_step;
+          n_hi = n / hi_step;
+          mid_step;
+          n_mid = strides.(wa) / mid_step;
+          n_inner = strides.(wb) }
+    end
+    else begin
+      let others = ref [] in
+      for w = nw - 1 downto 0 do
+        if not (Array.mem w tgt) then others := w :: !others
+      done;
+      let others = Array.of_list !others in
+      Odometer
+        { odims = Array.map (fun w -> dims.(w)) others;
+          ostrides = Array.map (fun w -> strides.(w)) others;
+          n_bases = Array.fold_left (fun acc w -> acc * dims.(w)) 1 others }
+    end
+  in
+  let body, cls =
+    match Mat.diagonal_entries m with
+    | Some (dre, dim) -> (Diagonal { dre; dim }, "diagonal")
+    | None -> begin
+      match Mat.monomial_structure m with
+      | Some (src, pre, pim) -> (Monomial { src; pre; pim }, "monomial")
+      | None ->
+        let active = Mat.active_subspace m in
+        let k = Array.length active in
+        if k < g then begin
+          let bre = Array.make (k * k) 0. and bim = Array.make (k * k) 0. in
+          for i = 0 to k - 1 do
+            for j = 0 to k - 1 do
+              bre.((i * k) + j) <- m.Mat.re.((active.(i) * g) + active.(j));
+              bim.((i * k) + j) <- m.Mat.im.((active.(i) * g) + active.(j))
+            done
+          done;
+          ( Controlled { k; aoff = Array.map (fun i -> offsets.(i)) active; bre; bim },
+            "controlled_block" )
+        end
+        else
+          ( Dense { mre = Array.copy m.Mat.re; mim = Array.copy m.Mat.im },
+            match iter with
+            | Single _ -> "single_wire"
+            | Pair _ -> "two_wire"
+            | Odometer _ -> "generic" )
+    end
+  in
+  { tgt; g; n; offsets; iter; body; cls }
+
+let class_name t = t.cls
+let targets t = Array.to_list t.tgt
+
+(* Enumerate bases in ascending order; [f] must not re-enter the same
+   scratch slots. The closure is allocated once per [apply], not per base. *)
+let iterate t f =
+  match t.iter with
+  | Single { st; block } ->
+    for blk = 0 to (t.n / block) - 1 do
+      let b0 = blk * block in
+      for inner = 0 to st - 1 do
+        f (b0 + inner)
+      done
+    done
+  | Pair { hi_step; n_hi; mid_step; n_mid; n_inner } ->
+    for h = 0 to n_hi - 1 do
+      let hb = h * hi_step in
+      for mi = 0 to n_mid - 1 do
+        let mb = hb + (mi * mid_step) in
+        for inner = 0 to n_inner - 1 do
+          f (mb + inner)
+        done
+      done
+    done
+  | Odometer { odims; ostrides; n_bases } ->
+    let no = Array.length odims in
+    let counters = Scratch.ints (Scratch.get ()) 0 (max no 1) in
+    Array.fill counters 0 (max no 1) 0;
+    let base = ref 0 in
+    for _ = 1 to n_bases do
+      f !base;
+      let k = ref (no - 1) in
+      let carried = ref true in
+      while !carried && !k >= 0 do
+        counters.(!k) <- counters.(!k) + 1;
+        base := !base + ostrides.(!k);
+        if counters.(!k) = odims.(!k) then begin
+          counters.(!k) <- 0;
+          base := !base - (odims.(!k) * ostrides.(!k));
+          decr k
+        end
+        else carried := false
+      done
+    done
+
+let apply t (v : Vec.t) =
+  if Vec.dim v <> t.n then invalid_arg "Kernel.apply: state dimension mismatch";
+  let vre = v.Vec.re and vim = v.Vec.im in
+  let offsets = t.offsets and g = t.g in
+  match t.body with
+  | Diagonal { dre; dim } ->
+    iterate t (fun base ->
+        for j = 0 to g - 1 do
+          let idx = base + offsets.(j) in
+          let re = vre.(idx) and im = vim.(idx) in
+          vre.(idx) <- (dre.(j) *. re) -. (dim.(j) *. im);
+          vim.(idx) <- (dre.(j) *. im) +. (dim.(j) *. re)
+        done)
+  | Monomial { src; pre; pim } ->
+    let scratch = Scratch.get () in
+    let gre = Scratch.floats scratch 0 g and gim = Scratch.floats scratch 1 g in
+    iterate t (fun base ->
+        for j = 0 to g - 1 do
+          let idx = base + offsets.(j) in
+          gre.(j) <- vre.(idx);
+          gim.(j) <- vim.(idx)
+        done;
+        for i = 0 to g - 1 do
+          let j = src.(i) in
+          let re = gre.(j) and im = gim.(j) in
+          let idx = base + offsets.(i) in
+          vre.(idx) <- (pre.(i) *. re) -. (pim.(i) *. im);
+          vim.(idx) <- (pre.(i) *. im) +. (pim.(i) *. re)
+        done)
+  | Controlled { k; aoff; bre; bim } ->
+    let scratch = Scratch.get () in
+    let gre = Scratch.floats scratch 0 k and gim = Scratch.floats scratch 1 k in
+    iterate t (fun base ->
+        for j = 0 to k - 1 do
+          let idx = base + aoff.(j) in
+          gre.(j) <- vre.(idx);
+          gim.(j) <- vim.(idx)
+        done;
+        for i = 0 to k - 1 do
+          let acc_re = ref 0. and acc_im = ref 0. in
+          let row = i * k in
+          for j = 0 to k - 1 do
+            let a = bre.(row + j) and b = bim.(row + j) in
+            acc_re := !acc_re +. (a *. gre.(j)) -. (b *. gim.(j));
+            acc_im := !acc_im +. (a *. gim.(j)) +. (b *. gre.(j))
+          done;
+          let idx = base + aoff.(i) in
+          vre.(idx) <- !acc_re;
+          vim.(idx) <- !acc_im
+        done)
+  | Dense { mre; mim } ->
+    let scratch = Scratch.get () in
+    let gre = Scratch.floats scratch 0 g and gim = Scratch.floats scratch 1 g in
+    iterate t (fun base ->
+        for j = 0 to g - 1 do
+          let idx = base + offsets.(j) in
+          gre.(j) <- vre.(idx);
+          gim.(j) <- vim.(idx)
+        done;
+        for i = 0 to g - 1 do
+          let acc_re = ref 0. and acc_im = ref 0. in
+          let row = i * g in
+          for j = 0 to g - 1 do
+            let a = mre.(row + j) and b = mim.(row + j) in
+            acc_re := !acc_re +. (a *. gre.(j)) -. (b *. gim.(j));
+            acc_im := !acc_im +. (a *. gim.(j)) +. (b *. gre.(j))
+          done;
+          let idx = base + offsets.(i) in
+          vre.(idx) <- !acc_re;
+          vim.(idx) <- !acc_im
+        done)

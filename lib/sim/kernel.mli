@@ -1,0 +1,57 @@
+(** Plan-time compiled gate kernels.
+
+    The trajectory executor applies the same lifted unitaries thousands of
+    times (trajectories × shots × noise points), and most gates the Waltz
+    emits are *structured*: Z-type diagonals (CZ/CCZ/Rz), permutations with
+    phases (X(+m), controlled-X, SWAP, ENC), and controlled blocks that are
+    identity outside a small control subspace. [compile] classifies a lifted
+    unitary once, against a fixed register shape, into the cheapest kernel
+    class and precomputes every index the per-trajectory application needs
+    (subspace offsets, spectator iteration structure), so the per-shot cost
+    is one dispatch and zero allocation — gather buffers come from the
+    per-domain {!Waltz_runtime.Scratch} arena.
+
+    Classes, in classification order:
+
+    - [diagonal] — phase table, one complex multiply per amplitude;
+    - [monomial] — permutation + phase, one move-and-multiply per
+      amplitude, no inner product;
+    - [controlled_block] — identity outside an active subspace; only the
+      active block of each base is gathered/multiplied/scattered;
+    - [single_wire] — dense on one wire, blocked stride loop (no odometer);
+    - [two_wire] — dense on two wires, odometer-free three-level loop (the
+      common ququart-pair case);
+    - [generic] — dense on three or more wires, spectator-wire odometer
+      (the reference gather/multiply/scatter).
+
+    Classification uses exact (zero-tolerance) structure tests on the
+    matrix entries, so a near-diagonal or near-monomial matrix can never be
+    misclassified, and every class performs the same floating-point
+    products as the generic path (terms that are exactly zero excepted) —
+    results agree with [State.apply_generic] to the last bit in practice.
+
+    A compiled kernel is immutable and safe to share read-only across
+    domains; [apply] is safe to call concurrently on distinct states. *)
+
+open Waltz_linalg
+
+type t
+
+val compile : dims:int array -> targets:int list -> Mat.t -> t
+(** [compile ~dims ~targets m] classifies [m] (a unitary over the listed
+    wires of a register with wire dimensions [dims], first target most
+    significant) and precomputes the application plan. Raises
+    [Invalid_argument] on out-of-range/duplicate targets or a dimension
+    mismatch, mirroring [State.apply]. *)
+
+val apply : t -> Vec.t -> unit
+(** In-place application to a state vector of the register the kernel was
+    compiled for. Raises [Invalid_argument] on a length mismatch. *)
+
+val class_name : t -> string
+(** One of ["diagonal"], ["monomial"], ["controlled_block"],
+    ["single_wire"], ["two_wire"], ["generic"] — stable names used by
+    telemetry counters and the bench dispatch histogram. *)
+
+val targets : t -> int list
+(** The wires the kernel acts on, in compile order. *)

@@ -1,4 +1,5 @@
 open Waltz_linalg
+module Scratch = Waltz_runtime.Scratch
 
 type t = { dims : int array; strides : int array; vec : Vec.t }
 
@@ -45,21 +46,26 @@ let random_in_levels rng ~dims ~levels =
   Vec.normalize_in_place v;
   { dims = Array.copy dims; strides; vec = v }
 
-let random_supported rng ~dims ~allowed =
-  if Array.length allowed <> Array.length dims then invalid_arg "State.random_supported";
-  let strides = strides_of dims in
-  let n = total dims in
-  let nw = Array.length dims in
-  (* Per-wire membership tables replace the List.mem scan in the O(n·w)
-     support test below. *)
-  let ok_level =
-    Array.init nw (fun w -> Array.init dims.(w) (fun l -> List.mem l allowed.(w)))
-  in
-  let v = Vec.create n in
+(* In-place refill with a Haar-random state supported on the allowed levels
+   (bool tables, wire-major). Overwrites every amplitude, so a reused buffer
+   carries nothing across trajectories; the RNG draw order (re then im per
+   supported index, ascending) matches the allocating constructors exactly. *)
+let fill_random_supported s rng ~allowed =
+  let nw = Array.length s.dims in
+  if Array.length allowed <> nw then invalid_arg "State.fill_random_supported";
+  Array.iteri
+    (fun w table ->
+      if Array.length table <> s.dims.(w) then
+        invalid_arg "State.fill_random_supported: level table size mismatch")
+    allowed;
+  let v = s.vec in
+  let n = Vec.dim v in
+  Array.fill v.Vec.re 0 n 0.;
+  Array.fill v.Vec.im 0 n 0.;
   let in_support idx =
     let ok = ref true in
     for w = 0 to nw - 1 do
-      if not ok_level.(w).(idx / strides.(w) mod dims.(w)) then ok := false
+      if not allowed.(w).(idx / s.strides.(w) mod s.dims.(w)) then ok := false
     done;
     !ok
   in
@@ -69,10 +75,28 @@ let random_supported rng ~dims ~allowed =
       v.Vec.im.(idx) <- Rng.gaussian rng
     end
   done;
-  Vec.normalize_in_place v;
-  { dims = Array.copy dims; strides; vec = v }
+  Vec.normalize_in_place v
+
+let random_supported rng ~dims ~allowed =
+  if Array.length allowed <> Array.length dims then invalid_arg "State.random_supported";
+  let nw = Array.length dims in
+  (* Per-wire membership tables replace the List.mem scan in the O(n·w)
+     support test. *)
+  let ok_level =
+    Array.init nw (fun w -> Array.init dims.(w) (fun l -> List.mem l allowed.(w)))
+  in
+  let s = { dims = Array.copy dims; strides = strides_of dims; vec = Vec.create (total dims) } in
+  fill_random_supported s rng ~allowed:ok_level;
+  s
 
 let copy s = { s with vec = Vec.copy s.vec }
+
+let assign ~dst ~src =
+  if dst.dims <> src.dims then invalid_arg "State.assign: dimension mismatch";
+  let n = Vec.dim src.vec in
+  Array.blit src.vec.Vec.re 0 dst.vec.Vec.re 0 n;
+  Array.blit src.vec.Vec.im 0 dst.vec.Vec.im 0 n
+
 let dims s = Array.copy s.dims
 let dim_total s = Vec.dim s.vec
 let amplitudes s = s.vec
@@ -88,10 +112,10 @@ let check_targets s ~targets m =
   if m.Mat.rows <> g || m.Mat.cols <> g then invalid_arg "State.apply: matrix dimension mismatch";
   (tgt, g)
 
-(* Offsets of the g target-digit combinations. *)
-let offsets_of s tgt g =
+(* Offsets of the g target-digit combinations, written into [offsets]
+   (a scratch buffer of length >= g). *)
+let offsets_into offsets s tgt g =
   let nt = Array.length tgt in
-  let offsets = Array.make g 0 in
   for j = 0 to g - 1 do
     let rem = ref j and off = ref 0 in
     for k = nt - 1 downto 0 do
@@ -100,22 +124,31 @@ let offsets_of s tgt g =
       rem := !rem / s.dims.(w)
     done;
     offsets.(j) <- !off
-  done;
-  offsets
+  done
 
-(* Odometer over the non-target wires; calls [kernel] once per base index. *)
+(* Odometer over the non-target wires; calls [kernel] once per base index.
+   Uses scratch int slots 0 (counters) and 2 (other-wire list); [kernel]
+   may use the float slots and int slot 1 but must not touch these. *)
 let iter_bases s tgt kernel =
   let nw = Array.length s.dims in
-  let others = ref [] in
-  for w = nw - 1 downto 0 do
-    if not (Array.mem w tgt) then others := w :: !others
+  let scratch = Scratch.get () in
+  let others = Scratch.ints scratch 2 nw in
+  let no = ref 0 in
+  for w = 0 to nw - 1 do
+    if not (Array.mem w tgt) then begin
+      others.(!no) <- w;
+      incr no
+    end
   done;
-  let others = Array.of_list !others in
-  let no = Array.length others in
-  let counters = Array.make (max no 1) 0 in
-  let n_bases = Array.fold_left (fun acc w -> acc * s.dims.(w)) 1 others in
+  let no = !no in
+  let counters = Scratch.ints scratch 0 (max no 1) in
+  Array.fill counters 0 (max no 1) 0;
+  let n_bases = ref 1 in
+  for k = 0 to no - 1 do
+    n_bases := !n_bases * s.dims.(others.(k))
+  done;
   let base = ref 0 in
-  for _ = 1 to n_bases do
+  for _ = 1 to !n_bases do
     kernel !base;
     let k = ref (no - 1) in
     let carried = ref true in
@@ -133,9 +166,11 @@ let iter_bases s tgt kernel =
   done
 
 let apply_generic_on s tgt g m =
-  let offsets = offsets_of s tgt g in
+  let scratch = Scratch.get () in
+  let offsets = Scratch.ints scratch 1 g in
+  offsets_into offsets s tgt g;
   let vre = s.vec.Vec.re and vim = s.vec.Vec.im in
-  let gre = Array.make g 0. and gim = Array.make g 0. in
+  let gre = Scratch.floats scratch 0 g and gim = Scratch.floats scratch 1 g in
   let mre = m.Mat.re and mim = m.Mat.im in
   iter_bases s tgt (fun base ->
       (* Gather, multiply, scatter. *)
@@ -160,9 +195,14 @@ let apply_generic_on s tgt g m =
 (* Fast path: a diagonal matrix only scales each amplitude, so the
    gather/multiply/scatter collapses to one complex product per index. *)
 let apply_diag_on s tgt g m =
-  let dre = Array.init g (fun j -> m.Mat.re.((j * g) + j)) in
-  let dim' = Array.init g (fun j -> m.Mat.im.((j * g) + j)) in
-  let offsets = offsets_of s tgt g in
+  let scratch = Scratch.get () in
+  let dre = Scratch.floats scratch 0 g and dim' = Scratch.floats scratch 1 g in
+  for j = 0 to g - 1 do
+    dre.(j) <- m.Mat.re.((j * g) + j);
+    dim'.(j) <- m.Mat.im.((j * g) + j)
+  done;
+  let offsets = Scratch.ints scratch 1 g in
+  offsets_into offsets s tgt g;
   let vre = s.vec.Vec.re and vim = s.vec.Vec.im in
   iter_bases s tgt (fun base ->
       for j = 0 to g - 1 do
@@ -179,7 +219,8 @@ let apply_single_on s w m =
   let n = Vec.dim s.vec in
   let vre = s.vec.Vec.re and vim = s.vec.Vec.im in
   let mre = m.Mat.re and mim = m.Mat.im in
-  let gre = Array.make d 0. and gim = Array.make d 0. in
+  let scratch = Scratch.get () in
+  let gre = Scratch.floats scratch 0 d and gim = Scratch.floats scratch 1 d in
   let block = d * st in
   for blk = 0 to (n / block) - 1 do
     let b0 = blk * block in
@@ -215,23 +256,50 @@ let apply s ~targets m =
   else if Array.length tgt = 1 then apply_single_on s tgt.(0) m
   else apply_generic_on s tgt g m
 
-let populations s ~wire =
-  let d = s.dims.(wire) and stride = s.strides.(wire) in
-  let pops = Array.make d 0. in
+(* Marginal populations with the block/inner loop shape of apply_single_on:
+   no per-index division, and each pops.(level) accumulates its addends in
+   the same (ascending-index) order as the old flat scan, so the sums are
+   bit-identical. [pops] must have length >= d. *)
+let populations_into pops s ~wire =
+  let d = s.dims.(wire) and st = s.strides.(wire) in
+  Array.fill pops 0 d 0.;
   let vre = s.vec.Vec.re and vim = s.vec.Vec.im in
-  for idx = 0 to Vec.dim s.vec - 1 do
-    let level = idx / stride mod d in
-    pops.(level) <- pops.(level) +. (vre.(idx) *. vre.(idx)) +. (vim.(idx) *. vim.(idx))
-  done;
+  let block = d * st in
+  let n = Vec.dim s.vec in
+  for blk = 0 to (n / block) - 1 do
+    let b0 = blk * block in
+    for level = 0 to d - 1 do
+      let lb = b0 + (level * st) in
+      let acc = ref pops.(level) in
+      for inner = 0 to st - 1 do
+        let idx = lb + inner in
+        acc := !acc +. (vre.(idx) *. vre.(idx)) +. (vim.(idx) *. vim.(idx))
+      done;
+      pops.(level) <- !acc
+    done
+  done
+
+let populations s ~wire =
+  let pops = Array.make s.dims.(wire) 0. in
+  populations_into pops s ~wire;
   pops
 
-let damp s rng ~wire ~lambdas =
+let damp_scales lambdas = Array.map (fun l -> sqrt (1. -. l)) lambdas
+
+(* One damping trajectory step with the no-jump scales precomputed (the
+   executor resolves them once per plan; [damp] below computes them fresh).
+   All scratch is per-domain, so the only RNG draw is the jump choice —
+   same draw, same weights, same bits as the allocating version. *)
+let damp_with s rng ~wire ~lambdas ~scales =
   let d = s.dims.(wire) in
   if Array.length lambdas <> d then invalid_arg "State.damp: lambda count mismatch";
-  let pops = populations s ~wire in
-  let weights = Array.make (d + 1) 0. in
-  (* weights.(0) = no-jump; weights.(m) = jump from level m - wait, level m
-     jumps are indexed 1..d-1 since λ_0 = 0. *)
+  if Array.length scales <> d then invalid_arg "State.damp: scale count mismatch";
+  let scratch = Scratch.get () in
+  let pops = Scratch.floats scratch 2 d in
+  populations_into pops s ~wire;
+  (* weights.(0) = no-jump; weights.(m) = jump from level m for m in
+     1..d-1 (λ_0 = 0). Exact length d: weighted_choice scans the array. *)
+  let weights = Scratch.floats_exact scratch 3 d in
   let p_nojump = ref 0. in
   for l = 0 to d - 1 do
     p_nojump := !p_nojump +. ((1. -. lambdas.(l)) *. pops.(l))
@@ -240,33 +308,44 @@ let damp s rng ~wire ~lambdas =
   for m = 1 to d - 1 do
     weights.(m) <- lambdas.(m) *. pops.(m)
   done;
-  let choice = Rng.weighted_choice rng (Array.sub weights 0 d) in
-  let stride = s.strides.(wire) in
+  let choice = Rng.weighted_choice rng weights in
+  let st = s.strides.(wire) in
   let vre = s.vec.Vec.re and vim = s.vec.Vec.im in
-  if choice = 0 then begin
-    let scales = Array.map (fun l -> sqrt (1. -. l)) lambdas in
-    for idx = 0 to Vec.dim s.vec - 1 do
-      let level = idx / stride mod d in
-      vre.(idx) <- vre.(idx) *. scales.(level);
-      vim.(idx) <- vim.(idx) *. scales.(level)
+  let block = d * st in
+  let n = Vec.dim s.vec in
+  if choice = 0 then
+    for blk = 0 to (n / block) - 1 do
+      let b0 = blk * block in
+      for level = 0 to d - 1 do
+        let lb = b0 + (level * st) in
+        let sc = scales.(level) in
+        for inner = 0 to st - 1 do
+          let idx = lb + inner in
+          vre.(idx) <- vre.(idx) *. sc;
+          vim.(idx) <- vim.(idx) *. sc
+        done
+      done
     done
-  end
   else begin
     let m = choice in
-    for idx = 0 to Vec.dim s.vec - 1 do
-      let level = idx / stride mod d in
-      if level = 0 then begin
-        let src = idx + (m * stride) in
+    for blk = 0 to (n / block) - 1 do
+      let b0 = blk * block in
+      for inner = 0 to st - 1 do
+        let idx = b0 + inner in
+        let src = idx + (m * st) in
         vre.(idx) <- vre.(src);
         vim.(idx) <- vim.(src)
-      end
-      else begin
-        vre.(idx) <- 0.;
-        vim.(idx) <- 0.
-      end
+      done;
+      Array.fill vre (b0 + st) (block - st) 0.;
+      Array.fill vim (b0 + st) (block - st) 0.
     done
   end;
   Vec.normalize_in_place s.vec
+
+let damp s rng ~wire ~lambdas =
+  if Array.length lambdas <> s.dims.(wire) then
+    invalid_arg "State.damp: lambda count mismatch";
+  damp_with s rng ~wire ~lambdas ~scales:(damp_scales lambdas)
 
 let overlap2 a b = Vec.overlap2 a.vec b.vec
 let norm s = Vec.norm s.vec

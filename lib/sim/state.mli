@@ -29,7 +29,18 @@ val random_supported : Rng.t -> dims:int array -> allowed:int list array -> t
 (** Haar-random state supported on an explicit list of allowed levels per
     wire (e.g. [{0; 2}] for a lone qubit stored in slot 0 of a ququart). *)
 
+val fill_random_supported : t -> Rng.t -> allowed:bool array array -> unit
+(** In-place variant of {!random_supported} taking precomputed per-wire
+    level tables ([allowed.(w).(l)] true when level [l] of wire [w] is in
+    the support). Overwrites every amplitude, so a buffer reused across
+    trajectories carries nothing over; the RNG draw order is identical to
+    {!random_supported}. *)
+
 val copy : t -> t
+
+val assign : dst:t -> src:t -> unit
+(** Copies [src]'s amplitudes into [dst] (same wire dimensions required) —
+    the reuse-friendly counterpart of {!copy}. *)
 
 val dims : t -> int array
 
@@ -59,6 +70,16 @@ val damp : t -> Rng.t -> wire:int -> lambdas:float array -> unit
 (** One stochastic amplitude-damping trajectory step on a wire: samples a
     Kraus operator from {K₀, K₁ … K_{d-1}} with K_m = √λ_m·|0⟩⟨m| and K₀
     the no-jump operator, applies it and renormalizes. *)
+
+val damp_scales : float array -> float array
+(** The no-jump Kraus diagonal [√(1 − λ_m)] per level — precompute once per
+    distinct idle window and pass to {!damp_with}. *)
+
+val damp_with :
+  t -> Rng.t -> wire:int -> lambdas:float array -> scales:float array -> unit
+(** {!damp} with the no-jump scales precomputed ([scales = damp_scales
+    lambdas]); draws the same jump choice and produces the same bits, with
+    no per-call allocation (scratch comes from the per-domain arena). *)
 
 val overlap2 : t -> t -> float
 (** |⟨a|b⟩|² — fidelity between pure states. *)

@@ -54,7 +54,25 @@ let () =
           compare "telemetry-on" (Executor.simulate_detailed ~config compiled);
           compare "telemetry-on/domains=3"
             (Executor.simulate_detailed ~config ~domains:3 compiled);
-          Waltz_telemetry.Telemetry.disable ())
+          Waltz_telemetry.Telemetry.disable ();
+          (* The plan cache must be semantically invisible: every repeat
+             above already hit it, but pin it down — one more warm call must
+             reproduce the cold-plan statistics bit-for-bit, and a changed
+             noise model (different damping tables, so a different cache key)
+             must not be served a stale plan. *)
+          compare "plan-cache-warm" (Executor.simulate_detailed ~config compiled);
+          let scaled =
+            { config with
+              Executor.model =
+                { Noise.default with
+                  Noise.ww_error_scale = 2. *. Noise.default.Noise.ww_error_scale } }
+          in
+          let cold = Executor.simulate_detailed ~config:scaled ~domains:1 compiled in
+          let warm = Executor.simulate_detailed ~config:scaled ~domains:3 compiled in
+          let l field = Printf.sprintf "%s/%s scaled-model %s" cname strategy.Strategy.name field in
+          check (l "mean_fidelity") cold.Executor.summary.Executor.mean_fidelity
+            warm.Executor.summary.Executor.mean_fidelity;
+          check (l "mean_leakage") cold.Executor.mean_leakage warm.Executor.mean_leakage)
         strategies)
     circuits;
   if !failures > 0 then begin

@@ -138,6 +138,38 @@ let test_lift_cache_matches_uncached () =
         [ Strategy.qubit_only; Strategy.mixed_radix_ccz; Strategy.full_ququart ])
     Waltz_benchmarks.Bench_circuits.all_families
 
+(* Two ops sharing a lift-table key (label, target pattern, dims) but
+   carrying different matrices — e.g. same-named parameterized rotations —
+   must be told apart by the bucket's matrix-equality fallback and counted
+   as a collision. *)
+let test_lift_collision_fallback () =
+  let module Telemetry = Waltz_telemetry.Telemetry in
+  let op_with label gate =
+    { Physical.label;
+      parts =
+        [ { Physical.device = 0; noise = Physical.P2 0; occ_before = 1; occ_after = 1 } ];
+      targets = [ (0, 0) ];
+      gate;
+      duration_ns = 10.;
+      fidelity = 0.999;
+      touches_ww = false }
+  in
+  let a = op_with "ROT" (Waltz_qudit.Gates.rz 0.3) in
+  let b = op_with "ROT" (Waltz_qudit.Gates.rz 0.7) in
+  Telemetry.reset ();
+  Telemetry.enable ();
+  let _, la = Executor.lift_gate ~device_dim:2 a in
+  let _, lb = Executor.lift_gate ~device_dim:2 b in
+  let _, la' = Executor.lift_gate ~device_dim:2 a in
+  Telemetry.disable ();
+  mat_equal ~tol:0. "collision op a lifts correctly"
+    (snd (Executor.lift_gate_uncached ~device_dim:2 a)) la;
+  mat_equal ~tol:0. "collision op b lifts correctly"
+    (snd (Executor.lift_gate_uncached ~device_dim:2 b)) lb;
+  mat_equal ~tol:0. "op a still served after the collision" la la';
+  check_bool "collision counted" true
+    (Telemetry.Metrics.counter "executor.lift_table.collision" >= 1)
+
 let test_damping_cache_matches_direct () =
   List.iter
     (fun model ->
@@ -166,4 +198,5 @@ let suite =
     case "determinism across domains" test_determinism_grid;
     case "apply fast paths agree" test_apply_fast_paths;
     case "lift cache matches uncached" test_lift_cache_matches_uncached;
+    case "lift collision falls back to matrix equality" test_lift_collision_fallback;
     case "damping cache matches direct" test_damping_cache_matches_direct ]

@@ -9,6 +9,7 @@ let () =
       ("arch", Test_arch.suite);
       ("noise", Test_noise.suite);
       ("sim", Test_sim.suite);
+      ("kernel", Test_kernel.suite);
       ("benchmarks", Test_benchmarks.suite);
       ("compiler", Test_compiler.suite);
       ("core-units", Test_core_units.suite);
