@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench-json bench-smoke trace-smoke clean
+.PHONY: all build test lint bench-json bench-smoke trace-smoke analyze-smoke clean
 
 all: build test
 
@@ -20,9 +20,10 @@ bench-json:
 bench-smoke:
 	dune exec bench/main.exe -- smoke
 
-# Type-check everything (@check), run the IR verifier over the example
-# programs, the telemetry test suite and the trace smoke. waltz_verify and
-# waltz_telemetry themselves build with warnings as errors.
+# Type-check everything (@check), run the IR verifier and the fixpoint
+# analyses over the example programs, the telemetry test suite and the
+# trace/SARIF smokes. waltz_verify, waltz_analysis and waltz_telemetry
+# themselves build with warnings as errors.
 lint:
 	dune build @lint
 
@@ -32,6 +33,14 @@ trace-smoke:
 	dune exec bin/waltz_cli.exe -- simulate -c cuccaro -n 5 --trajectories 5 \
 	  --trace /tmp/waltz_trace.json --stats
 	dune exec bin/waltz_cli.exe -- trace-check /tmp/waltz_trace.json
+
+# Analysis smoke outside the dune sandbox: compile + run the fixpoint
+# analyses, emit SARIF, then validate it with the built-in schema checker.
+analyze-smoke:
+	dune exec bin/waltz_cli.exe -- analyze -c cuccaro -n 6 -s mr-ccz \
+	  --format sarif -o /tmp/waltz_analysis.sarif
+	dune exec bin/waltz_cli.exe -- sarif-check /tmp/waltz_analysis.sarif
+	dune exec bin/waltz_cli.exe -- analyze -c cuccaro -n 6 -s full-ququart
 
 clean:
 	dune clean

@@ -556,8 +556,33 @@ let micro () =
           (Staged.stage (fun () -> Waltz_sim.Kernel.apply kernel v)))
       kernel_cases
   in
+  (* analysis/<domain>: one fixpoint pass per Test.make, over a fixed
+     compiled benchmark. The JSON report divides by the ops the pass
+     actually visited to get ns/op per abstract domain. *)
+  let module Analysis = Waltz_analysis.Analysis in
+  let analysis_circuit = Bench_circuits.by_total_qubits Bench_circuits.Cuccaro 6 in
+  let analysis_compiled = Compile.compile Strategy.mixed_radix_ccz analysis_circuit in
+  let analysis_passes =
+    [ Analysis.Stabilizer_pass; Analysis.Leakage_pass; Analysis.Cost_pass;
+      Analysis.Liveness_pass ]
+  in
+  let analysis_ops =
+    (Analysis.run (Some analysis_circuit) analysis_compiled)
+      .Waltz_verify.Diagnostic.ops_checked
+  in
+  let analysis_tests =
+    List.map
+      (fun pass ->
+        Test.make
+          ~name:("analysis/" ^ Analysis.pass_name pass)
+          (Staged.stage (fun () ->
+               ignore
+                 (Analysis.run ~passes:[ pass ] (Some analysis_circuit)
+                    analysis_compiled))))
+      analysis_passes
+  in
   let tests =
-    kernel_tests
+    kernel_tests @ analysis_tests
     @
     [ Test.make ~name:"table1/calibration-lookup"
         (Staged.stage (fun () -> ignore (Calibration.mr_cx ~control:Qubit ~target:(Slot 0))));
@@ -671,6 +696,23 @@ let micro () =
       Printf.fprintf oc "      %S: %d%s\n" cls count
         (if i = List.length kernel_dispatch - 1 then "" else ","))
     kernel_dispatch;
+  Printf.fprintf oc "    }\n";
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"analysis\": {\n";
+  Printf.fprintf oc "    \"benchmark\": \"cuccaro-6/mr-ccz\",\n";
+  Printf.fprintf oc "    \"ops_checked\": %d,\n" analysis_ops;
+  Printf.fprintf oc "    \"ns_per_op\": {\n";
+  List.iteri
+    (fun i pass ->
+      let name = Analysis.pass_name pass in
+      let ns =
+        match List.assoc_opt ("analysis/" ^ name) measured with
+        | Some ns -> ns /. float_of_int (max 1 analysis_ops)
+        | None -> 0.
+      in
+      Printf.fprintf oc "      %S: %.1f%s\n" name ns
+        (if i = List.length analysis_passes - 1 then "" else ","))
+    analysis_passes;
   Printf.fprintf oc "    }\n";
   Printf.fprintf oc "  },\n";
   Printf.fprintf oc "  \"ns_per_run\": {\n";

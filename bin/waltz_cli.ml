@@ -430,6 +430,126 @@ let verify_cmd =
       const run $ family_arg $ n_arg $ cx_fraction_arg $ strategy_arg $ all_strategies_arg
       $ topology_arg $ qasm_arg $ optimize_arg $ rules_arg $ probes_arg)
 
+(* ---- analyze ---- *)
+
+let analyze_cmd =
+  let module Analysis = Waltz_analysis.Analysis in
+  let module Sarif = Waltz_analysis.Sarif in
+  let run family n cx_fraction strategy all_strategies qasm optimize format passes output
+      stats trace =
+    let passes =
+      match String.lowercase_ascii passes with
+      | "" | "all" -> Ok Analysis.all_passes
+      | spec ->
+        List.fold_right
+          (fun name acc ->
+            match (acc, Analysis.pass_of_name (String.trim name)) with
+            | Ok ps, Some p -> Ok (p :: ps)
+            | Ok _, None ->
+              Error
+                (Printf.sprintf "unknown pass %s (stabilizer, leakage, cost, liveness)"
+                   name)
+            | (Error _ as e), _ -> e)
+          (String.split_on_char ',' spec)
+          (Ok [])
+    in
+    match (passes, format) with
+    | Error e, _ ->
+      prerr_endline e;
+      1
+    | Ok _, fmt when fmt <> "text" && fmt <> "json" && fmt <> "sarif" ->
+      Printf.eprintf "unknown format %s (text, json, sarif)\n" fmt;
+      1
+    | Ok passes, format ->
+      with_circuit ~qasm ~optimize family n cx_fraction (fun circuit ->
+          with_telemetry ~stats ~trace (fun () ->
+              let chosen = if all_strategies then strategies else [ strategy ] in
+              let rc = ref 0 in
+              let buf = Buffer.create 4096 in
+              List.iter
+                (fun strategy ->
+                  let compiled = Compile.compile strategy circuit in
+                  let report = Analysis.run ~passes (Some circuit) compiled in
+                  (match format with
+                  | "json" -> Buffer.add_string buf (Sarif.to_json report ^ "\n")
+                  | "sarif" -> Buffer.add_string buf (Sarif.to_sarif report ^ "\n")
+                  | _ ->
+                    if all_strategies then
+                      Buffer.add_string buf
+                        (Printf.sprintf "== %s ==\n" strategy.Strategy.name);
+                    Buffer.add_string buf
+                      (Format.asprintf "%a@." Analysis.pp_report report));
+                  if not (Waltz_verify.Diagnostic.is_clean report) then rc := 1)
+                chosen;
+              (match output with
+              | Some path ->
+                let oc = open_out path in
+                output_string oc (Buffer.contents buf);
+                close_out oc;
+                Printf.printf "wrote %s\n" path
+              | None -> print_string (Buffer.contents buf));
+              !rc))
+  in
+  let all_strategies_arg =
+    Arg.(
+      value & flag
+      & info [ "all-strategies" ] ~doc:"Analyze the compilation under every strategy.")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt string "text"
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output format: text (default), json, or sarif (SARIF 2.1.0; one document \
+             per line with --all-strategies).")
+  in
+  let passes_arg =
+    Arg.(
+      value
+      & opt string "all"
+      & info [ "passes" ] ~docv:"P1,P2"
+          ~doc:"Comma-separated pass subset: stabilizer, leakage, cost, liveness.")
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the report to a file.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run the fixpoint dataflow analyses (stabilizer, leakage, cost, liveness) over \
+          a compiled program")
+    Term.(
+      const run $ family_arg $ n_arg $ cx_fraction_arg $ strategy_arg $ all_strategies_arg
+      $ qasm_arg $ optimize_arg $ format_arg $ passes_arg $ output_arg $ stats_arg
+      $ trace_arg)
+
+(* ---- sarif-check ---- *)
+
+let sarif_check_cmd =
+  let run file =
+    match Waltz_analysis.Sarif.validate (read_file file) with
+    | Ok results ->
+      Printf.printf "%s: valid SARIF 2.1.0 (%d results)\n" file results;
+      0
+    | Error msg ->
+      Printf.eprintf "%s: INVALID SARIF: %s\n" file msg;
+      1
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"SARIF file written by analyze --format sarif.")
+  in
+  Cmd.v
+    (Cmd.info "sarif-check"
+       ~doc:"Validate a SARIF 2.1.0 file written by analyze --format sarif")
+    Term.(const run $ file)
+
 (* ---- report ---- *)
 
 let report_cmd =
@@ -616,4 +736,4 @@ let () =
   exit
     (Cmd.eval' (Cmd.group info
        [ compile_cmd; estimate_cmd; simulate_cmd; sweep_cmd; breakdown_cmd; verify_cmd;
-         report_cmd; trace_check_cmd; rb_cmd; pulse_cmd ]))
+         analyze_cmd; sarif_check_cmd; report_cmd; trace_check_cmd; rb_cmd; pulse_cmd ]))

@@ -1,0 +1,54 @@
+(* Lint-time gate for the static-analysis layer (companion to
+   verify_examples): the example-sized circuits must compile to programs the
+   fixpoint analyses accept with zero errors under every strategy, and the
+   SARIF serialization of every report must pass the built-in validator.
+   Attached to the @lint and @runtest aliases (see examples/dune and the
+   Makefile). *)
+open Waltz_core
+open Waltz_verify
+open Waltz_analysis
+
+let strategies =
+  [ Strategy.qubit_only; Strategy.qubit_itoffoli; Strategy.mixed_radix_basic;
+    Strategy.mixed_radix_retarget; Strategy.mixed_radix_ccz; Strategy.full_ququart;
+    Strategy.mixed_radix_cswap; Strategy.full_ququart_cswap;
+    Strategy.full_ququart_cswap_oriented ]
+
+let circuits =
+  let open Waltz_benchmarks.Bench_circuits in
+  [ ("cnu-5", by_total_qubits Cnu 5);
+    ("cuccaro-6", by_total_qubits Cuccaro 6);
+    ("qram-6", by_total_qubits Qram 6);
+    ("bv-8", bernstein_vazirani ~n:8 ~secret:0b1011001) ]
+
+let () =
+  let failures = ref 0 in
+  List.iter
+    (fun (name, circuit) ->
+      List.iter
+        (fun strategy ->
+          let compiled = Compile.compile strategy circuit in
+          let report = Analysis.run (Some circuit) compiled in
+          if not (Diagnostic.is_clean report) then begin
+            incr failures;
+            Printf.printf "%-10s %-18s FAILED:\n%s\n" name strategy.Strategy.name
+              (Format.asprintf "%a" Analysis.pp_report report)
+          end
+          else begin
+            (match Sarif.validate (Sarif.to_sarif report) with
+            | Ok _ -> ()
+            | Error msg ->
+              incr failures;
+              Printf.printf "%-10s %-18s INVALID SARIF: %s\n" name strategy.Strategy.name
+                msg);
+            Printf.printf "%-10s %-18s ok (%d ops, %d warnings)\n" name
+              strategy.Strategy.name report.Diagnostic.ops_checked
+              (Diagnostic.warning_count report)
+          end)
+        strategies)
+    circuits;
+  if !failures > 0 then begin
+    Printf.printf "analyze_examples: %d analysis failures\n" !failures;
+    exit 1
+  end;
+  print_endline "analyze_examples: every compilation analyzes clean"

@@ -1,0 +1,164 @@
+open Waltz_core
+open Waltz_noise
+module Diagnostic = Waltz_verify.Diagnostic
+
+type state = {
+  ready_lo : float array;
+  ready_hi : float array;
+  log_lo : float;
+  log_hi : float;
+  serial_ns : float;
+  budget : float;
+}
+
+let op_success (op : Physical.op) =
+  let err = 1. -. op.Physical.fidelity in
+  let err = if op.Physical.touches_ww then err *. Noise.default.Noise.ww_error_scale else err in
+  Float.max 0. (1. -. err)
+
+let domain ?(jitter = 0.) (p : Physical.t) : (Physical.op, state) Engine.domain =
+  let nd = p.Physical.device_count in
+  (module struct
+    type op = Physical.op
+    type nonrec state = state
+
+    let name = "cost"
+    let direction = Engine.Forward
+
+    let bottom =
+      { ready_lo = Array.make nd Float.infinity;
+        ready_hi = Array.make nd Float.neg_infinity;
+        log_lo = Float.infinity;
+        log_hi = Float.neg_infinity;
+        serial_ns = Float.infinity;
+        budget = Float.infinity }
+
+    let entry =
+      { ready_lo = Array.make nd 0.;
+        ready_hi = Array.make nd 0.;
+        log_lo = 0.;
+        log_hi = 0.;
+        serial_ns = 0.;
+        budget = 0. }
+
+    let join a b =
+      { ready_lo = Array.init nd (fun d -> Float.min a.ready_lo.(d) b.ready_lo.(d));
+        ready_hi = Array.init nd (fun d -> Float.max a.ready_hi.(d) b.ready_hi.(d));
+        log_lo = Float.min a.log_lo b.log_lo;
+        log_hi = Float.max a.log_hi b.log_hi;
+        serial_ns = Float.min a.serial_ns b.serial_ns;
+        budget = Float.min a.budget b.budget }
+
+    (* Containment order: [a leq b] iff every [a] interval sits inside the
+       corresponding [b] interval (the scalar sums take the bound closer to
+       bottom). *)
+    let leq a b =
+      let inside lo hi lo' hi' = lo' <= lo && hi <= hi' in
+      let ok = ref (inside a.log_lo a.log_hi b.log_lo b.log_hi) in
+      for d = 0 to nd - 1 do
+        if not (inside a.ready_lo.(d) a.ready_hi.(d) b.ready_lo.(d) b.ready_hi.(d)) then
+          ok := false
+      done;
+      !ok && b.serial_ns <= a.serial_ns && b.budget <= a.budget
+
+    let widen ~prev ~next =
+      let blow lo lo' = if lo' < lo then Float.neg_infinity else lo in
+      let grow hi hi' = if hi' > hi then Float.infinity else hi in
+      { ready_lo = Array.init nd (fun d -> blow prev.ready_lo.(d) next.ready_lo.(d));
+        ready_hi = Array.init nd (fun d -> grow prev.ready_hi.(d) next.ready_hi.(d));
+        log_lo = blow prev.log_lo next.log_lo;
+        log_hi = grow prev.log_hi next.log_hi;
+        serial_ns = grow prev.serial_ns next.serial_ns;
+        budget = grow prev.budget next.budget }
+
+    let transfer _ (op : Physical.op) s =
+      let parts = List.map (fun (pt : Physical.device_part) -> pt.Physical.device) op.Physical.parts in
+      let start_lo = List.fold_left (fun acc d -> Float.max acc s.ready_lo.(d)) 0. parts in
+      let start_hi = List.fold_left (fun acc d -> Float.max acc s.ready_hi.(d)) 0. parts in
+      let dur = op.Physical.duration_ns in
+      let dur_lo = dur *. (1. -. jitter) and dur_hi = dur *. (1. +. jitter) in
+      let ready_lo = Array.copy s.ready_lo and ready_hi = Array.copy s.ready_hi in
+      List.iter
+        (fun d ->
+          ready_lo.(d) <- start_lo +. dur_lo;
+          ready_hi.(d) <- start_hi +. dur_hi)
+        parts;
+      let log_s = Float.log (op_success op) in
+      { ready_lo;
+        ready_hi;
+        log_lo = s.log_lo +. log_s;
+        log_hi = s.log_hi +. log_s;
+        serial_ns = s.serial_ns +. dur;
+        budget = s.budget +. (1. -. op_success op) }
+  end)
+
+let solve ?jitter (p : Physical.t) =
+  Engine.solve (domain ?jitter p) (Array.of_list p.Physical.ops)
+
+let makespan s =
+  ( Array.fold_left Float.max 0. s.ready_lo,
+    Array.fold_left Float.max 0. s.ready_hi )
+
+let rel_close ~tol a b = Float.abs (a -. b) <= tol *. Float.max 1. (Float.max (Float.abs a) (Float.abs b))
+
+let check (p : Physical.t) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let ops = Array.of_list p.Physical.ops in
+  let sol = solve p in
+  let final =
+    if Array.length ops = 0 then
+      { ready_lo = Array.make p.Physical.device_count 0.;
+        ready_hi = Array.make p.Physical.device_count 0.;
+        log_lo = 0.;
+        log_hi = 0.;
+        serial_ns = 0.;
+        budget = 0. }
+    else sol.Engine.after.(Array.length ops - 1)
+  in
+  let lo, hi = makespan final in
+  (* Oracle 1: at zero jitter the makespan interval is a point equal to the
+     scheduler's critical path. *)
+  let oracle_duration = Physical.total_duration p in
+  if not (rel_close ~tol:1e-9 lo hi) then
+    add
+      (Diagnostic.error "COST02"
+         (Printf.sprintf "zero-jitter makespan interval is not a point: [%.6f, %.6f] ns" lo hi))
+  else if not (rel_close ~tol:1e-6 hi oracle_duration) then
+    add
+      (Diagnostic.error "COST02"
+         (Printf.sprintf "interval makespan %.6f ns disagrees with the scheduler's %.6f ns"
+            hi oracle_duration));
+  (* Oracle 2: the log-success interval must reproduce the gate EPS. *)
+  let eps = Eps.estimate p in
+  let gate_eps = Float.exp final.log_lo in
+  if not (rel_close ~tol:1e-9 gate_eps eps.Eps.gate_eps) then
+    add
+      (Diagnostic.error "COST01"
+         (Printf.sprintf "interval gate EPS %.12f disagrees with Eps.estimate %.12f" gate_eps
+            eps.Eps.gate_eps));
+  (* Oracle 3: serialized pulse time and error budget vs label_breakdown. *)
+  let labels = Eps.label_breakdown p in
+  let sum_ns = List.fold_left (fun acc (r : Eps.label_report) -> acc +. r.Eps.total_ns) 0. labels in
+  let sum_budget =
+    List.fold_left (fun acc (r : Eps.label_report) -> acc +. r.Eps.error_budget) 0. labels
+  in
+  if not (rel_close ~tol:1e-6 final.serial_ns sum_ns) then
+    add
+      (Diagnostic.error "COST01"
+         (Printf.sprintf "serialized pulse time %.3f ns disagrees with label_breakdown %.3f ns"
+            final.serial_ns sum_ns));
+  if not (rel_close ~tol:1e-9 final.budget sum_budget) then
+    add
+      (Diagnostic.error "COST01"
+         (Printf.sprintf "error budget %.9f disagrees with label_breakdown %.9f" final.budget
+            sum_budget));
+  add
+    (Diagnostic.info "COST03"
+       (Printf.sprintf
+          "critical path %.1f ns (serialized %.1f ns, %.2fx parallelism); gate EPS %.6f; \
+           error budget %.6f"
+          hi final.serial_ns
+          (if hi > 0. then final.serial_ns /. hi else 1.)
+          gate_eps final.budget));
+  List.rev !diags

@@ -1,0 +1,31 @@
+(** Duration / EPS interval analysis over the compiled IR.
+
+    Forward fixpoint in interval arithmetic: per-device ready-time intervals
+    (the ASAP schedule replayed with optional pulse-duration jitter) plus an
+    interval on the log of the accumulated gate-success product. At zero
+    jitter every interval is a point and the results must agree exactly with
+    the {!Waltz_core.Eps} estimators and {!Waltz_core.Physical.total_duration}
+    — the analysis uses them as consistency oracles (COST01/COST02 errors on
+    disagreement, COST03 summary). A nonzero [jitter] widens each pulse to
+    [dur·(1±jitter)], giving makespan robustness bounds. *)
+
+open Waltz_core
+module Diagnostic = Waltz_verify.Diagnostic
+
+type state = {
+  ready_lo : float array;  (** per-device earliest ready time *)
+  ready_hi : float array;
+  log_lo : float;  (** bounds on log(product of pulse success) *)
+  log_hi : float;
+  serial_ns : float;  (** summed pulse time (exact, jitter-free) *)
+  budget : float;  (** summed per-pulse error probability, as label_breakdown *)
+}
+
+val domain : ?jitter:float -> Physical.t -> (Physical.op, state) Engine.domain
+
+val solve : ?jitter:float -> Physical.t -> state Engine.solution
+
+val makespan : state -> float * float
+(** Min/max over devices of the ready-time upper envelope. *)
+
+val check : Physical.t -> Diagnostic.t list

@@ -1,0 +1,108 @@
+type direction = Forward | Backward
+
+module type DOMAIN = sig
+  type op
+  type state
+
+  val name : string
+  val direction : direction
+  val bottom : state
+  val entry : state
+  val join : state -> state -> state
+  val leq : state -> state -> bool
+  val widen : prev:state -> next:state -> state
+  val transfer : int -> op -> state -> state
+end
+
+type ('op, 's) domain = (module DOMAIN with type op = 'op and type state = 's)
+
+type 's solution = {
+  before : 's array;
+  after : 's array;
+  iterations : int;
+  widenings : int;
+}
+
+let widen_after = 8
+
+let solve (type o s) ?succs ((module D) : (o, s) domain) (ops : o array) =
+  let n = Array.length ops in
+  if n = 0 then { before = [||]; after = [||]; iterations = 0; widenings = 0 }
+  else begin
+    let program_succs =
+      match succs with
+      | Some f -> f
+      | None -> fun i -> if i + 1 < n then [ i + 1 ] else []
+    in
+    (* Dataflow orientation: forward analyses walk program edges, backward
+       analyses walk them reversed. [df_preds.(i)] feeds node [i]'s input. *)
+    let df_preds = Array.make n [] in
+    let forward = D.direction = Forward in
+    for i = 0 to n - 1 do
+      List.iter
+        (fun j ->
+          if j < 0 || j >= n then
+            invalid_arg (Printf.sprintf "Engine.solve (%s): successor %d of %d" D.name j i);
+          if forward then df_preds.(j) <- i :: df_preds.(j)
+          else df_preds.(i) <- j :: df_preds.(i))
+        (program_succs i)
+    done;
+    let df_succs = Array.make n [] in
+    Array.iteri
+      (fun i preds -> List.iter (fun p -> df_succs.(p) <- i :: df_succs.(p)) preds)
+      df_preds;
+    let entry_node = if forward then 0 else n - 1 in
+    let input = Array.make n D.bottom in
+    let output = Array.make n D.bottom in
+    let visits = Array.make n 0 in
+    let iterations = ref 0 in
+    let widenings = ref 0 in
+    let budget = 64 * (n + 1) * (widen_after + 2) in
+    let queued = Array.make n false in
+    let queue = Queue.create () in
+    let enqueue i =
+      if not queued.(i) then begin
+        queued.(i) <- true;
+        Queue.add i queue
+      end
+    in
+    (* Seed in dataflow order so the first sweep already propagates. *)
+    if forward then
+      for i = 0 to n - 1 do
+        enqueue i
+      done
+    else
+      for i = n - 1 downto 0 do
+        enqueue i
+      done;
+    while not (Queue.is_empty queue) do
+      let i = Queue.pop queue in
+      queued.(i) <- false;
+      let seed = if i = entry_node then D.entry else D.bottom in
+      let in_state =
+        List.fold_left (fun acc p -> D.join acc output.(p)) seed df_preds.(i)
+      in
+      input.(i) <- in_state;
+      incr iterations;
+      if !iterations > budget then
+        failwith (Printf.sprintf "Engine.solve (%s): fixpoint did not stabilize" D.name);
+      let raw = D.transfer i ops.(i) in_state in
+      visits.(i) <- visits.(i) + 1;
+      let next =
+        if visits.(i) > widen_after then begin
+          incr widenings;
+          D.widen ~prev:output.(i) ~next:(D.join output.(i) raw)
+        end
+        else D.join output.(i) raw
+      in
+      if not (D.leq next output.(i)) then begin
+        output.(i) <- next;
+        List.iter enqueue df_succs.(i)
+      end
+    done;
+    (* Report in program order regardless of direction: [before] is the
+       pre-state of op [i], [after] its post-state. *)
+    let before = if forward then input else output in
+    let after = if forward then output else input in
+    { before; after; iterations = !iterations; widenings = !widenings }
+  end

@@ -1,0 +1,56 @@
+(** A generic worklist fixpoint solver for dataflow analyses.
+
+    An analysis supplies a lattice of abstract states ([bottom], [join],
+    [leq], [widen]) and a [transfer] function over ops; the engine computes
+    the least fixpoint of the dataflow equations over a control-flow graph.
+    Compiled Waltz programs are straight-line, so the default graph is the
+    chain [i -> i+1]; [~succs] generalizes to graphs with joins and loops
+    (widening keeps those terminating). *)
+
+type direction = Forward | Backward
+
+module type DOMAIN = sig
+  type op
+  type state
+
+  val name : string
+  val direction : direction
+
+  val bottom : state
+  (** Least element: "unreachable / no information". *)
+
+  val entry : state
+  (** State at the program entry (exit, for backward analyses). *)
+
+  val join : state -> state -> state
+  val leq : state -> state -> bool
+
+  val widen : prev:state -> next:state -> state
+  (** Called instead of plain [join] once a node has been visited more than
+      {!widen_after} times; must guarantee eventual stabilization. For
+      finite-height domains [fun ~prev:_ ~next -> next] is fine. *)
+
+  val transfer : int -> op -> state -> state
+  (** [transfer i op s]: abstract effect of op [i] on the incoming state. *)
+end
+
+type ('op, 's) domain = (module DOMAIN with type op = 'op and type state = 's)
+
+type 's solution = {
+  before : 's array;  (** program-order state just before each op *)
+  after : 's array;  (** program-order state just after each op *)
+  iterations : int;  (** transfer applications until the fixpoint *)
+  widenings : int;
+}
+
+val widen_after : int
+(** Visits per node before the engine switches from [join] to [widen]. *)
+
+val solve : ?succs:(int -> int list) -> ('op, 's) domain -> 'op array -> 's solution
+(** Least fixpoint of the dataflow equations. [succs i] lists program-order
+    successors of op [i] (default: the straight-line chain). For a backward
+    domain the edges are reversed internally and [before]/[after] still refer
+    to program order: [before.(i)] is the solved pre-state (the analysis
+    result flowing out of [i] toward earlier ops), [after.(i)] the
+    post-state. Raises [Failure] if the fixpoint does not stabilize within a
+    generous iteration budget (a widening bug in the domain). *)

@@ -1,0 +1,32 @@
+(** Occupancy/leakage reachability over the compiled IR.
+
+    Forward fixpoint with one abstract value per device: the bitmask of
+    ququart levels (|0⟩..|3⟩) the device can hold at that program point, for
+    *any* logical input state. Transfer pushes the reachable product set
+    through each op's lifted unitary ({!Waltz_core.Executor.lift_gate}), so
+    ENC/DEC/SWAP choreography is tracked exactly — including strong updates
+    that shrink a device's set (e.g. a decode provably returning a ququart
+    to its computational levels).
+
+    This subsumes the pointwise OCC occupancy replay: OCC tracks how many
+    qubits a device holds; this proves which physical levels can actually be
+    populated. Rules: LEAK01 (a pulse not calibrated for |2⟩/|3⟩ can see an
+    encoded device), LEAK02 (provably dead ENC/DEC pair), LEAK03 (summary). *)
+
+open Waltz_core
+module Diagnostic = Waltz_verify.Diagnostic
+
+val level_mask_bits : int -> int list
+(** Levels present in a mask, ascending. *)
+
+val initial_masks : Physical.t -> int array
+(** Per-device reachable-level masks under the initial placement: empty
+    slots are provably |0⟩, occupied slots are unconstrained. *)
+
+val domain : ?threshold:float -> Physical.t -> (Physical.op, int array) Engine.domain
+(** [threshold] (default 1e-9) is the squared-amplitude floor below which a
+    unitary matrix entry counts as structurally zero. *)
+
+val solve : ?threshold:float -> Physical.t -> int array Engine.solution
+
+val check : Physical.t -> Diagnostic.t list

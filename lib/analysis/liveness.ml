@@ -1,0 +1,114 @@
+open Waltz_circuit
+module Diagnostic = Waltz_verify.Diagnostic
+
+type event = Cancel of int * int | Fuse of int * int | Dead of int
+
+(* The frontier is a list of gate indices, newest first. Invariant: each
+   member commutes with every gate the scan consumed after it, so it can be
+   moved adjacent to the current point. [sink] observes the decisions. *)
+let step ~(gates : Gate.t array) ?sink frontier i (g : Gate.t) =
+  let emit ev = match sink with Some f -> f ev | None -> () in
+  if Optimizer.is_identity_rotation g.Gate.kind then begin
+    emit (Dead i);
+    (* An identity rotation is a no-op: it blocks nothing. *)
+    frontier
+  end
+  else begin
+    let cancel_partner =
+      List.find_opt
+        (fun j ->
+          let f = gates.(j) in
+          f.Gate.qubits = g.Gate.qubits && Optimizer.cancels f.Gate.kind g.Gate.kind)
+        frontier
+    in
+    match cancel_partner with
+    | Some j ->
+      emit (Cancel (j, i));
+      List.filter (fun k -> k <> j) frontier
+    | None ->
+      (match
+         List.find_opt
+           (fun j ->
+             let f = gates.(j) in
+             f.Gate.qubits = g.Gate.qubits
+             && Option.is_some (Optimizer.fuse f.Gate.kind g.Gate.kind))
+           frontier
+       with
+      | Some j when j <> i - 1 -> emit (Fuse (j, i))
+      | _ -> ());
+      let survivors = List.filter (fun j -> Gate.commutes gates.(j) g) frontier in
+      i :: survivors
+  end
+
+let domain (gates : Gate.t array) : (Gate.t, int list) Engine.domain =
+  (module struct
+    type op = Gate.t
+    type state = int list
+
+    let name = "liveness"
+    let direction = Engine.Forward
+    let bottom = []
+    let entry = []
+
+    (* May-information must shrink at joins: only gates movable along every
+       path stay movable. *)
+    let join a b = List.filter (fun i -> List.mem i b) a
+    let leq a b = List.for_all (fun i -> List.mem i b) a
+    let widen ~prev:_ ~next = next
+    let transfer i g frontier = step ~gates frontier i g
+  end)
+
+let events (c : Circuit.t) =
+  let gates = Array.of_list c.Circuit.gates in
+  let acc = ref [] in
+  let sink ev = acc := ev :: !acc in
+  let _final =
+    Array.to_list gates
+    |> List.fold_left
+         (fun (frontier, i) g -> (step ~gates ~sink frontier i g, i + 1))
+         ([], 0)
+  in
+  List.rev !acc
+
+let cancellable_pairs c =
+  List.filter_map (function Cancel (i, j) -> Some (i, j) | _ -> None) (events c)
+
+let max_reported = 16
+
+let check (c : Circuit.t) =
+  let gates = Array.of_list c.Circuit.gates in
+  let name i = Gate.name gates.(i).Gate.kind in
+  let evs = events c in
+  let count = ref 0 in
+  List.filter_map
+    (fun ev ->
+      incr count;
+      if !count > max_reported then None
+      else
+        match ev with
+        | Cancel (i, j) when j > i + 1 ->
+          Some
+            (Diagnostic.warning ~op_index:i
+               ~fix:(Printf.sprintf "drop gates %d and %d" i j)
+               "LIVE01"
+               (Printf.sprintf
+                  "%s at gate %d cancels %s at gate %d: everything in between commutes"
+                  (name i) i (name j) j))
+        | Cancel (i, j) ->
+          (* Adjacent pairs are the peephole's job; still report, quietly. *)
+          Some
+            (Diagnostic.warning ~op_index:i
+               ~fix:(Printf.sprintf "drop gates %d and %d" i j)
+               "LIVE01" (Printf.sprintf "adjacent gates %d and %d cancel" i j))
+        | Fuse (i, j) ->
+          Some
+            (Diagnostic.info ~op_index:i
+               ~fix:(Printf.sprintf "merge gate %d into gate %d" j i)
+               "LIVE03"
+               (Printf.sprintf "rotations at gates %d and %d share an axis and can merge" i j))
+        | Dead i ->
+          Some
+            (Diagnostic.warning ~op_index:i
+               ~fix:(Printf.sprintf "drop gate %d" i)
+               "LIVE02" (Printf.sprintf "%s at gate %d is an identity rotation" (name i) i)))
+    evs

@@ -1,0 +1,34 @@
+(** Commutation-aware liveness over the logical IR.
+
+    Forward fixpoint whose abstract state is the *movable frontier*: the set
+    of earlier gates that provably commute with everything between themselves
+    and the current program point. When the current gate cancels (or fuses
+    with) a frontier member on identical operands, the pair is removable even
+    though the peephole {!Waltz_circuit.Optimizer} — which only sees DAG
+    neighbours — keeps it. Findings come with machine-applicable fixes, and
+    {!cancellable_pairs} feeds
+    {!Waltz_circuit.Optimizer.cancellable_pairs_hook} so [simplify_deep] can
+    apply them.
+
+    Rules: LIVE00 (skipped), LIVE01 (separated cancellable pair), LIVE02
+    (identity rotation), LIVE03 (separated fuseable rotation pair). *)
+
+open Waltz_circuit
+module Diagnostic = Waltz_verify.Diagnostic
+
+type event =
+  | Cancel of int * int  (** gates i < j compose to the identity *)
+  | Fuse of int * int  (** same-axis rotations i < j can merge *)
+  | Dead of int  (** gate i is an identity rotation *)
+
+val domain : Gate.t array -> (Gate.t, int list) Engine.domain
+(** The movable-frontier domain (abstract state: indices of gates that
+    commute with everything between themselves and the program point). *)
+
+val events : Circuit.t -> event list
+(** All findings, in program order of the later gate. *)
+
+val cancellable_pairs : Circuit.t -> (int * int) list
+(** Disjoint [Cancel] pairs only — safe to drop simultaneously. *)
+
+val check : Circuit.t -> Diagnostic.t list

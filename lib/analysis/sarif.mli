@@ -1,0 +1,23 @@
+(** SARIF 2.1.0 output for analysis reports, plus a self-contained validator.
+
+    The writer emits one run whose tool driver is [waltz_analysis], with the
+    STAB/LEAK/COST/LIVE rule catalog inlined and one result per diagnostic
+    (severity mapped to error/warning/note, op anchors as logical locations
+    ["op[i]"], fixes as a result property). Output is deterministic: fixed
+    key order, no timestamps.
+
+    The validator is a from-scratch JSON parser plus the schema checks CI
+    relies on (version, driver name, unique rule ids, results referencing
+    declared rules with well-formed levels and messages) — mirroring the
+    self-contained trace validator in [Waltz_telemetry.Telemetry.Trace]. *)
+
+module Diagnostic = Waltz_verify.Diagnostic
+
+val to_sarif : Diagnostic.report -> string
+
+val to_json : Diagnostic.report -> string
+(** Plain machine-readable JSON (not SARIF): passes, op count, diagnostics. *)
+
+val validate : string -> (int, string) result
+(** Parses a SARIF document and checks the envelope; returns the number of
+    results, or a message locating the first violation. *)

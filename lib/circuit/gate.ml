@@ -126,12 +126,43 @@ let targets g =
   | Cswap, [ _; t0; t1 ] -> [ t0; t1 ]
   | _ -> g.qubits
 
+(* Per-operand basis action: [`ZAxis] means the gate commutes with Z on that
+   qubit (block-diagonal in its computational basis), [`XAxis] with X.
+   [`Unknown] is the conservative default. *)
+let axis_on kind ~position =
+  match kind with
+  | Z | S | Sdg | T | Tdg | Rz _ | Phase _ -> `ZAxis
+  | X | Rx _ -> `XAxis
+  | Y | H | Ry _ | Swap | Cswap | Custom _ -> `Unknown
+  | Cz | Csdg | Ccz | Cccz -> `ZAxis
+  | Cx -> if position = 0 then `ZAxis else `XAxis
+  | Ccx -> if position < 2 then `ZAxis else `XAxis
+  | Cccx -> if position < 3 then `ZAxis else `XAxis
+
+let axis_of g q =
+  let rec find i = function
+    | [] -> `Unknown
+    | q' :: rest -> if q' = q then axis_on g.kind ~position:i else find (i + 1) rest
+  in
+  find 0 g.qubits
+
 let equal a b =
   a.qubits = b.qubits
   &&
   match (a.kind, b.kind) with
   | Custom (la, ma), Custom (lb, mb) -> la = lb && Mat.equal ma mb
   | ka, kb -> ka = kb
+
+let commutes a b =
+  let shared = List.filter (fun q -> List.mem q b.qubits) a.qubits in
+  shared = []
+  || equal a b
+  || List.for_all
+       (fun q ->
+         match (axis_of a q, axis_of b q) with
+         | `ZAxis, `ZAxis | `XAxis, `XAxis -> true
+         | _ -> false)
+       shared
 
 let pp ppf g =
   Format.fprintf ppf "%s(%s)" (name g.kind)

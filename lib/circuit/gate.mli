@@ -54,4 +54,12 @@ val targets : t -> int list
 
 val equal : t -> t -> bool
 
+val commutes : t -> t -> bool
+(** Sound, conservative syntactic commutation. [true] only when the gates
+    provably commute: disjoint operand sets, equal gates, or every shared
+    qubit is acted on along the same axis — both gates block-diagonal in that
+    qubit's computational basis (Z-like: diagonal gates, controls) or both in
+    its X basis (X-like: X/Rx, CX-family targets). A [false] answer carries
+    no information. *)
+
 val pp : Format.formatter -> t -> unit

@@ -20,3 +20,32 @@ val simplify : Circuit.t -> Circuit.t
 type stats = { removed : int; fused : int }
 
 val simplify_with_stats : Circuit.t -> Circuit.t * stats
+
+(** {1 Analysis-driven cleanup}
+
+    The peephole pass only cancels pairs whose operands share a frontier.
+    The liveness analysis in [waltz_analysis] proves cancellations across
+    commuting gates; it registers itself here so [simplify_deep] can consume
+    its facts without a dependency cycle. [simplify] is unaffected — callers
+    opt into the deeper pass explicitly. *)
+
+val cancellable_pairs_hook : (Circuit.t -> (int * int) list) option ref
+(** Returns disjoint gate-index pairs proven to cancel. Installed by
+    referencing [Waltz_analysis.Analysis]; [None] makes [simplify_deep]
+    behave exactly like [simplify]. *)
+
+val simplify_deep : Circuit.t -> Circuit.t
+(** [simplify] to convergence, then repeatedly drops hook-proven cancellable
+    pairs and re-simplifies until no more facts fire. *)
+
+val simplify_deep_with_stats : Circuit.t -> Circuit.t * stats
+
+(** {1 Exposed peephole predicates (shared with the liveness analysis)} *)
+
+val cancels : Gate.kind -> Gate.kind -> bool
+(** Do two gates on identical operands compose to the identity? *)
+
+val fuse : Gate.kind -> Gate.kind -> Gate.kind option
+(** Merge two same-axis rotations on identical operands into one kind. *)
+
+val is_identity_rotation : Gate.kind -> bool

@@ -15,6 +15,10 @@ type verifier =
    on the verifier library directly without a dependency cycle. *)
 let verifier_hook : verifier option ref = ref None
 
+(* Same shape, filled in by [Waltz_analysis.Analysis]: fixpoint static
+   analysis over the finished program ([compile ~analyze:true]). *)
+let analyzer_hook : verifier option ref = ref None
+
 let dist layout a b =
   Topology.distance (Layout.topology layout)
     (Layout.device_of layout a) (Layout.device_of layout b)
@@ -379,7 +383,7 @@ let record_op_counts ops =
       ops
   end
 
-let compile ?topology ?(verify = false) strategy circuit =
+let compile ?topology ?(verify = false) ?(analyze = false) strategy circuit =
   Telemetry.Span.with_ ~name:"compile"
     ~args:[ ("strategy", strategy.Strategy.name) ]
   @@ fun () ->
@@ -462,6 +466,22 @@ let compile ?topology ?(verify = false) strategy circuit =
       | Ok () -> ()
       | Error report ->
         failwith (Printf.sprintf "Compile.compile: verification failed\n%s" report)
+    end
+  end;
+  if analyze then begin
+    match !analyzer_hook with
+    | None ->
+      invalid_arg
+        "Compile.compile ~analyze:true: no analyzer registered (link waltz_analysis and \
+         reference Waltz_analysis.Analysis)"
+    | Some check -> begin
+      match
+        Telemetry.Span.with_ ~name:"compile/analyze" (fun () ->
+            check ~topology:topo (Some circuit) compiled)
+      with
+      | Ok () -> ()
+      | Error report ->
+        failwith (Printf.sprintf "Compile.compile: analysis found errors\n%s" report)
     end
   end;
   compiled

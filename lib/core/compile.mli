@@ -16,7 +16,12 @@ val verifier_hook : verifier option ref
     it on the finished program. The indirection breaks the dependency cycle
     between the compiler and the verifier library. *)
 
-val compile : ?topology:Topology.t -> ?verify:bool -> Strategy.t -> Circuit.t -> Physical.t
+val analyzer_hook : verifier option ref
+(** Same indirection for the fixpoint static-analysis layer; set by
+    [Waltz_analysis.Analysis] and called by [compile ~analyze:true]. *)
+
+val compile :
+  ?topology:Topology.t -> ?verify:bool -> ?analyze:bool -> Strategy.t -> Circuit.t -> Physical.t
 (** Compiles a logical circuit for the given strategy. The default topology
     is the paper's 2D mesh sized by [device_count]. Raises [Failure] when
     routing cannot make progress (pathological topologies only).
@@ -24,4 +29,6 @@ val compile : ?topology:Topology.t -> ?verify:bool -> Strategy.t -> Circuit.t ->
     With [~verify:true], runs the registered {!verifier_hook} on the result
     and raises [Failure] with the verifier's report if it finds errors, or
     [Invalid_argument] if no verifier is linked (reference
-    [Waltz_verify.Verify] to register one). *)
+    [Waltz_verify.Verify] to register one). [~analyze:true] does the same
+    through {!analyzer_hook} (reference [Waltz_analysis.Analysis]); analysis
+    warnings are allowed, errors abort. *)

@@ -5,13 +5,15 @@ type t = {
   severity : severity;
   op_index : int option;
   message : string;
+  fix : string option;
 }
 
-let make ?op_index ~rule ~severity message = { rule; severity; op_index; message }
+let make ?op_index ?fix ~rule ~severity message =
+  { rule; severity; op_index; message; fix }
 
-let error ?op_index rule message = make ?op_index ~rule ~severity:Error message
-let warning ?op_index rule message = make ?op_index ~rule ~severity:Warning message
-let info ?op_index rule message = make ?op_index ~rule ~severity:Info message
+let error ?op_index ?fix rule message = make ?op_index ?fix ~rule ~severity:Error message
+let warning ?op_index ?fix rule message = make ?op_index ?fix ~rule ~severity:Warning message
+let info ?op_index ?fix rule message = make ?op_index ?fix ~rule ~severity:Info message
 
 let severity_label = function
   | Error -> "error"
@@ -22,7 +24,10 @@ let pp ppf d =
   (match d.op_index with
   | Some i -> Format.fprintf ppf "op %d: " i
   | None -> Format.fprintf ppf "program: ");
-  Format.fprintf ppf "%s %s: %s" (severity_label d.severity) d.rule d.message
+  Format.fprintf ppf "%s %s: %s" (severity_label d.severity) d.rule d.message;
+  match d.fix with
+  | Some fix -> Format.fprintf ppf " [fix: %s]" fix
+  | None -> ()
 
 type report = {
   diagnostics : t list;

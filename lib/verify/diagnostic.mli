@@ -1,8 +1,11 @@
-(** Structured diagnostics for the Waltz IR verifier.
+(** Structured diagnostics for the Waltz IR verifier and the static-analysis
+    layer ([waltz_analysis]).
 
     Every finding carries an LLVM-style rule id (e.g. ["OCC02"]), a severity,
-    an optional op index into [Physical.ops] (program order, [None] for
-    program-level findings) and a human-readable message. *)
+    an optional op index into [Physical.ops] (program order — or a gate index
+    into the logical circuit for CIR*/STAB*/LIVE* findings; [None] only for
+    genuinely program-level findings), an optional machine-applicable fix
+    suggestion, and a human-readable message. *)
 
 type severity = Error | Warning | Info
 
@@ -11,16 +14,18 @@ type t = {
   severity : severity;
   op_index : int option;
   message : string;
+  fix : string option;
+      (** machine-applicable fix suggestion (e.g. "drop gates 3 and 7") *)
 }
 
-val make : ?op_index:int -> rule:string -> severity:severity -> string -> t
+val make : ?op_index:int -> ?fix:string -> rule:string -> severity:severity -> string -> t
 
-val error : ?op_index:int -> string -> string -> t
+val error : ?op_index:int -> ?fix:string -> string -> string -> t
 (** [error rule message]. *)
 
-val warning : ?op_index:int -> string -> string -> t
+val warning : ?op_index:int -> ?fix:string -> string -> string -> t
 
-val info : ?op_index:int -> string -> string -> t
+val info : ?op_index:int -> ?fix:string -> string -> string -> t
 
 val severity_label : severity -> string
 

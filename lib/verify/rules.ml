@@ -74,7 +74,38 @@ let all =
     r "EQ01" Diagnostic.Error "physical program is not equivalent to the circuit"
       "compilation preserves the circuit unitary up to global phase (Sec. 5)";
     r "EQ02" Diagnostic.Error "state leaks out of the computational subspace"
-      "Sec. 6.4: ideal execution keeps support on the encoded subspace" ]
+      "Sec. 6.4: ideal execution keeps support on the encoded subspace";
+    (* stabilizer propagation (waltz_analysis) *)
+    r "STAB00" Diagnostic.Info "stabilizer analysis partial or skipped"
+      "Clifford tableaux only track H/S/X/Y/Z/CX/CZ/SWAP segments exactly";
+    r "STAB01" Diagnostic.Info "optimizer output certified equivalent"
+      "tableau equality proves unitary equality up to global phase at any width";
+    r "STAB02" Diagnostic.Warning "identity-composing gate run"
+      "a Clifford run conjugating every Pauli to itself is removable dead code";
+    r "STAB03" Diagnostic.Error "optimizer output not equivalent"
+      "stabilizer images diverge: simplification changed the circuit unitary";
+    (* leakage reachability (waltz_analysis) *)
+    r "LEAK01" Diagnostic.Warning "two-qubit-only pulse reachable in an encoded state"
+      "Fig. 9b: a pulse not calibrated for |2>/|3> sees a device that can hold them";
+    r "LEAK02" Diagnostic.Warning "provably dead ENC/DEC pair"
+      "Sec. 4.1: an encode immediately undone by its decode wastes two ww pulses";
+    r "LEAK03" Diagnostic.Info "reachable-level summary"
+      "Sec. 3: the fixpoint level sets bound every state the schedule can prepare";
+    (* duration / EPS interval analysis (waltz_analysis) *)
+    r "COST01" Diagnostic.Error "cost intervals disagree with the EPS oracle"
+      "Tables 1-2: interval replay must bracket Eps.label_breakdown exactly at zero jitter";
+    r "COST02" Diagnostic.Error "makespan outside computed bounds"
+      "Sec. 5.5: total_duration is the ASAP critical path";
+    r "COST03" Diagnostic.Info "duration and EPS bounds"
+      "Sec. 6: per-program min/max duration and log-fidelity interval";
+    (* commutation-aware liveness (waltz_analysis) *)
+    r "LIVE00" Diagnostic.Info "liveness analysis skipped" "needs the source circuit";
+    r "LIVE01" Diagnostic.Warning "cancellable gate pair separated by commuting gates"
+      "gates commuting with everything between them cancel; peephole only sees neighbours";
+    r "LIVE02" Diagnostic.Warning "gate is an identity rotation"
+      "rotations by multiples of 2*pi are removable dead code";
+    r "LIVE03" Diagnostic.Info "fuseable rotation pair separated by commuting gates"
+      "same-axis rotations merge once commuting gates are moved aside" ]
 
 let find id = List.find_opt (fun x -> x.id = id) all
 

@@ -4,7 +4,12 @@
     Rule families: [WF] structural well-formedness, [CIR] logical-circuit
     checks, [OCC] occupancy dataflow, [TOP] topology legality, [SCHED]
     schedule safety, [CAL] calibration/strategy conformance, [EQ] bounded
-    semantic equivalence. See doc/VERIFIER.md for the full descriptions. *)
+    semantic equivalence. See doc/VERIFIER.md for the full descriptions.
+
+    The static-analysis layer ([waltz_analysis], doc/ANALYSIS.md) registers
+    its fixpoint-derived findings here too: [STAB] stabilizer propagation,
+    [LEAK] leakage reachability, [COST] duration/EPS intervals, [LIVE]
+    commutation-aware liveness. *)
 
 type info = {
   id : string;

@@ -154,7 +154,7 @@ let check_circuit (c : Circuit.t) =
         (fun q ->
           if q < 0 || q >= c.Circuit.n then
             add
-              (Diagnostic.error "CIR01"
+              (Diagnostic.error ~op_index:i "CIR01"
                  (Printf.sprintf "gate %d (%s): operand %d outside the %d-qubit register" i
                     label q c.Circuit.n)))
         g.Gate.qubits;
@@ -162,7 +162,7 @@ let check_circuit (c : Circuit.t) =
         List.length (List.sort_uniq compare g.Gate.qubits) <> List.length g.Gate.qubits
       then
         add
-          (Diagnostic.error "CIR02"
+          (Diagnostic.error ~op_index:i "CIR02"
              (Printf.sprintf "gate %d (%s): duplicate operands" i label));
       match g.Gate.kind with
       | Gate.Custom (name, m) ->
@@ -170,17 +170,17 @@ let check_circuit (c : Circuit.t) =
         let dim = 1 lsl arity in
         if m.Mat.rows <> m.Mat.cols || m.Mat.rows <> dim || arity = 0 then
           add
-            (Diagnostic.error "CIR03"
+            (Diagnostic.error ~op_index:i "CIR03"
                (Printf.sprintf "gate %d (%s): %dx%d matrix is not a 2^k unitary on %d operands"
                   i name m.Mat.rows m.Mat.cols (List.length g.Gate.qubits)))
         else if m.Mat.rows <> 1 lsl List.length g.Gate.qubits then
           add
-            (Diagnostic.error "CIR03"
+            (Diagnostic.error ~op_index:i "CIR03"
                (Printf.sprintf "gate %d (%s): %d-dim matrix vs %d operands" i name m.Mat.rows
                   (List.length g.Gate.qubits)))
         else if not (Mat.is_unitary ~tol:1e-6 m) then
           add
-            (Diagnostic.error "CIR03"
+            (Diagnostic.error ~op_index:i "CIR03"
                (Printf.sprintf "gate %d (%s): matrix is not unitary" i name))
       | _ -> ())
     c.Circuit.gates;

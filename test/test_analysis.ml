@@ -1,0 +1,577 @@
+(* Tests for waltz_analysis: the fixpoint engine, the four dataflow domains
+   (stabilizer, leakage, cost, liveness), the SARIF writer/validator and the
+   hooks into Compile/Optimizer. The stabilizer and leakage domains are
+   checked against exact simulation (unitaries / state-vector replay), cost
+   against the Eps and scheduler oracles, liveness against matrix
+   commutation. *)
+open Waltz_linalg
+open Waltz_qudit
+open Waltz_circuit
+open Waltz_core
+open Waltz_verify
+open Waltz_analysis
+open Test_util
+module State = Waltz_sim.State
+module Bench = Waltz_benchmarks.Bench_circuits
+
+(* ---- engine ---- *)
+
+(* Forward/backward sum domains over int "ops": the chain solution is the
+   sequence of prefix (resp. suffix) sums. *)
+let sum_domain direction : (int, int) Engine.domain =
+  (module struct
+    type op = int
+    type state = int
+
+    let name = "sum"
+    let direction = direction
+    let bottom = min_int
+    let entry = 0
+    let join a b = max a b
+    let leq a b = a <= b
+    let widen ~prev:_ ~next = next
+    let transfer _ op s = if s = min_int then s else s + op
+  end)
+
+let test_engine_chain () =
+  let ops = [| 1; 2; 3 |] in
+  let fwd = Engine.solve (sum_domain Engine.Forward) ops in
+  check_int "fwd before.(0)" 0 fwd.Engine.before.(0);
+  check_int "fwd after.(0)" 1 fwd.Engine.after.(0);
+  check_int "fwd after.(2)" 6 fwd.Engine.after.(2);
+  let bwd = Engine.solve (sum_domain Engine.Backward) ops in
+  (* Backward results are reported in program order: before.(i) is the fact
+     flowing out of op i toward earlier ops. *)
+  check_int "bwd before.(2)" 3 bwd.Engine.before.(2);
+  check_int "bwd before.(0)" 6 bwd.Engine.before.(0);
+  check_int "bwd after.(0)" 5 bwd.Engine.after.(0)
+
+(* A counting domain on a two-node loop diverges without widening; the
+   engine must fall back to widening and stabilize at +inf. *)
+let test_engine_loop_widening () =
+  let domain : (unit, float) Engine.domain =
+    (module struct
+      type op = unit
+      type state = float
+
+      let name = "loop-count"
+      let direction = Engine.Forward
+      let bottom = Float.neg_infinity
+      let entry = 0.
+      let join = Float.max
+      let leq a b = a <= b
+      let widen ~prev ~next = if next > prev then Float.infinity else prev
+      let transfer _ () s = s +. 1.
+    end)
+  in
+  let succs = function 0 -> [ 1 ] | _ -> [ 0 ] in
+  let sol = Engine.solve ~succs domain [| (); () |] in
+  check_bool "widening engaged" true (sol.Engine.widenings > 0);
+  check_bool "loop state widened to +inf" true
+    (sol.Engine.after.(0) = Float.infinity && sol.Engine.after.(1) = Float.infinity)
+
+(* ---- lattice laws ---- *)
+
+(* Randomized laws for the leakage domain (a product of powerset lattices)
+   including monotonicity of the transfer function. *)
+let test_leakage_lattice_laws () =
+  let p = Compile.compile Strategy.mixed_radix_ccz (Bench.by_total_qubits Cuccaro 6) in
+  let module D = (val Leakage.domain p) in
+  let ops = Array.of_list p.Physical.ops in
+  let nd = p.Physical.device_count in
+  let r = rng 31 in
+  let dim = p.Physical.device_dim in
+  let random_mask () = 1 + Rng.int r ((1 lsl dim) - 1) in
+  for _ = 1 to 40 do
+    let a = Array.init nd (fun _ -> random_mask ()) in
+    let b = Array.init nd (fun _ -> random_mask ()) in
+    let c = Array.init nd (fun _ -> random_mask ()) in
+    check_bool "join commutes" true (D.join a b = D.join b a);
+    check_bool "join associates" true (D.join a (D.join b c) = D.join (D.join a b) c);
+    check_bool "join idempotent" true (D.join a a = a);
+    check_bool "leq reflexive" true (D.leq a a);
+    check_bool "a leq join a b" true (D.leq a (D.join a b));
+    check_bool "bottom least" true (D.leq D.bottom a);
+    (* sub = a ∩ b ⊆ a: transfer must be monotone. *)
+    let sub = Array.map2 ( land ) a b in
+    let i = Rng.int r (Array.length ops) in
+    check_bool "transfer monotone" true
+      (D.leq (D.transfer i ops.(i) sub) (D.transfer i ops.(i) a))
+  done
+
+(* The stabilizer lattice is tiny (Bot < Tab _ < Top): check the laws on an
+   exhaustive sample of representative states. *)
+let test_stabilizer_lattice_laws () =
+  let module D = (val Stabilizer.domain 2) in
+  let tab_of gates =
+    match Stabilizer.tableau_of (Circuit.of_gates ~n:2 gates) with
+    | Some t -> Stabilizer.Tab t
+    | None -> Alcotest.fail "Clifford fixture not trackable"
+  in
+  let states =
+    [ Stabilizer.Bot;
+      tab_of [];
+      tab_of [ Gate.make Gate.H [ 0 ] ];
+      tab_of [ Gate.make Gate.Cx [ 0; 1 ] ];
+      Stabilizer.Top ]
+  in
+  List.iter
+    (fun a ->
+      check_bool "leq reflexive" true (D.leq a a);
+      check_bool "bottom least" true (D.leq D.bottom a);
+      check_bool "top greatest" true (D.leq a Stabilizer.Top);
+      check_bool "join idempotent" true (D.join a a = a);
+      List.iter
+        (fun b ->
+          check_bool "join commutes" true (D.join a b = D.join b a);
+          check_bool "a leq join a b" true (D.leq a (D.join a b));
+          List.iter
+            (fun c ->
+              check_bool "join associates" true
+                (D.join a (D.join b c) = D.join (D.join a b) c))
+            states)
+        states)
+    states
+
+(* ---- stabilizer vs exact unitaries ---- *)
+
+let clifford_1q = [| Gate.X; Gate.Y; Gate.Z; Gate.H; Gate.S; Gate.Sdg |]
+let clifford_2q = [| Gate.Cx; Gate.Cz; Gate.Swap |]
+
+let random_clifford r ~n ~len =
+  let c = ref (Circuit.empty n) in
+  for _ = 1 to len do
+    if n >= 2 && Rng.bool r then begin
+      let a = Rng.int r n in
+      let b = (a + 1 + Rng.int r (n - 1)) mod n in
+      c := Circuit.add !c clifford_2q.(Rng.int r (Array.length clifford_2q)) [ a; b ]
+    end
+    else
+      c := Circuit.add !c clifford_1q.(Rng.int r (Array.length clifford_1q)) [ Rng.int r n ]
+  done;
+  !c
+
+let test_stabilizer_exact_agreement () =
+  let r = rng 11 in
+  for _ = 1 to 30 do
+    let n = 1 + Rng.int r 3 in
+    let c1 = random_clifford r ~n ~len:(3 + Rng.int r 6) in
+    let c2 = random_clifford r ~n ~len:(3 + Rng.int r 6) in
+    let exact =
+      Mat.equal_up_to_phase ~tol:1e-12 (Circuit.to_unitary c1) (Circuit.to_unitary c2)
+    in
+    (match Stabilizer.equivalent c1 c2 with
+    | `Equal -> check_bool "tableau-equal pair has equal unitaries" true exact
+    | `Different -> check_bool "tableau-distinct pair has distinct unitaries" false exact
+    | `Unknown -> Alcotest.fail "Clifford circuit reported Unknown");
+    (* U followed by U† must be provably the identity. *)
+    let sandwich = Circuit.append c1 (Circuit.reverse c1) in
+    (match Stabilizer.tableau_of sandwich with
+    | Some tab -> check_bool "U U-dagger has the identity tableau" true (Pauli.is_identity tab)
+    | None -> Alcotest.fail "inverse sandwich left the Clifford set");
+    check_bool "sandwich equivalent to the empty circuit" true
+      (Stabilizer.equivalent sandwich (Circuit.empty n) = `Equal)
+  done
+
+let test_identity_runs () =
+  let c =
+    Circuit.of_gates ~n:2
+      [ Gate.make Gate.H [ 0 ]; Gate.make Gate.Cx [ 0; 1 ];
+        Gate.make Gate.S [ 1 ]; Gate.make Gate.Sdg [ 1 ];
+        Gate.make Gate.T [ 0 ];
+        Gate.make Gate.H [ 1 ]; Gate.make Gate.Z [ 1 ]; Gate.make Gate.H [ 1 ];
+        Gate.make Gate.X [ 1 ] ]
+  in
+  let runs = Stabilizer.identity_runs c in
+  check_int "two runs found" 2 (List.length runs);
+  let r1 = List.nth runs 0 and r2 = List.nth runs 1 in
+  check_int "run 1 start" 2 r1.Stabilizer.start;
+  check_int "run 1 stop" 3 r1.Stabilizer.stop;
+  check_int "run 2 start" 5 r2.Stabilizer.start;
+  check_int "run 2 stop" 8 r2.Stabilizer.stop;
+  (* Every reported run must really compose to the identity. *)
+  List.iter
+    (fun { Stabilizer.start; stop } ->
+      let gs = List.filteri (fun i _ -> i >= start && i <= stop) c.Circuit.gates in
+      mat_equal_phase "run composes to the identity"
+        (Circuit.to_unitary (Circuit.of_gates ~n:2 gs))
+        (Mat.identity 4))
+    runs
+
+(* Acceptance: on a 10-qubit Clifford benchmark the equivalence replay steps
+   aside (EQ00) but the tableau proof still certifies the optimizer and
+   pinpoints a planted identity-composing run. *)
+let test_stabilizer_beyond_equivalence_bound () =
+  let base = Bench.bernstein_vazirani ~n:10 ~secret:0b101101101 in
+  let planted = Circuit.gate_count base in
+  let circuit =
+    Circuit.append base
+      (Circuit.of_gates ~n:10
+         [ Gate.make Gate.H [ 3 ]; Gate.make Gate.Z [ 3 ]; Gate.make Gate.H [ 3 ];
+           Gate.make Gate.X [ 3 ] ])
+  in
+  let compiled = Compile.compile Strategy.qubit_only circuit in
+  let vreport = Verify.run (Some circuit) compiled in
+  check_bool "equivalence replay skips at 10 qubits" true
+    (Diagnostic.with_rule "EQ00" vreport <> []);
+  let areport = Analysis.run (Some circuit) compiled in
+  check_bool "STAB01 certifies the optimizer at 10 qubits" true
+    (Diagnostic.with_rule "STAB01" areport <> []);
+  check_bool "STAB02 anchors the planted dead run" true
+    (List.exists
+       (fun (d : Diagnostic.t) -> d.Diagnostic.op_index = Some planted)
+       (Diagnostic.with_rule "STAB02" areport));
+  check_bool "analysis report is clean" true (Diagnostic.is_clean areport)
+
+(* ---- leakage vs state-vector replay ---- *)
+
+let test_leakage_agreement_with_simulation () =
+  List.iter
+    (fun strategy ->
+      let p = Compile.compile strategy (Bench.by_total_qubits Cuccaro 6) in
+      let sol = Leakage.solve p in
+      let dim = p.Physical.device_dim in
+      let dims = Array.make p.Physical.device_count dim in
+      let allowed = Executor.initial_allowed p in
+      let ops = Array.of_list p.Physical.ops in
+      let r = rng 4242 in
+      for _trial = 1 to 3 do
+        let st = State.random_supported r ~dims ~allowed in
+        Array.iteri
+          (fun i (op : Physical.op) ->
+            if op.Physical.targets <> [] then begin
+              let devices, u = Executor.lift_gate ~device_dim:dim op in
+              State.apply st ~targets:devices u
+            end;
+            let mask = sol.Engine.after.(i) in
+            for d = 0 to p.Physical.device_count - 1 do
+              let pops = State.populations st ~wire:d in
+              Array.iteri
+                (fun l pr ->
+                  if mask.(d) land (1 lsl l) = 0 && pr > 1e-7 then
+                    Alcotest.failf
+                      "%s op %d (%s): device %d level %d has population %g outside \
+                       the predicted mask %d"
+                      strategy.Strategy.name i op.Physical.label d l pr mask.(d))
+                pops
+            done)
+          ops
+      done)
+    [ Strategy.mixed_radix_ccz; Strategy.full_ququart ]
+
+(* Hand-built four-level programs seeding LEAK01/LEAK02 (builders in the
+   style of test_verify_fixtures). *)
+let part2 ~device ~noise ~before ~after =
+  { Physical.device; noise; occ_before = before; occ_after = after }
+
+let mk_op ?(ww = false) ~label ~parts ~targets ~gate (entry : Calibration.entry) =
+  { Physical.label;
+    parts;
+    targets;
+    gate;
+    duration_ns = entry.Calibration.duration_ns;
+    fidelity = entry.Calibration.fidelity;
+    touches_ww = ww }
+
+let mk_program ~devices ~initial ~final ops =
+  { Physical.strategy = Strategy.mixed_radix_ccz;
+    n_logical = Array.length initial;
+    device_count = devices;
+    device_dim = 4;
+    ops;
+    initial_map = initial;
+    final_map = final }
+
+let enc_fixture_op =
+  mk_op ~ww:true ~label:"ENC"
+    ~parts:
+      [ part2 ~device:0 ~noise:Physical.Quiet ~before:1 ~after:0;
+        part2 ~device:1 ~noise:Physical.P4 ~before:1 ~after:2 ]
+    ~targets:[ (0, 1); (1, 0); (1, 1) ]
+    ~gate:(Emit.enc_gate ~incoming_slot:1)
+    Calibration.enc
+
+let dec_fixture_op =
+  mk_op ~ww:true ~label:"ENCdg"
+    ~parts:
+      [ part2 ~device:0 ~noise:Physical.Quiet ~before:0 ~after:1;
+        part2 ~device:1 ~noise:Physical.P4 ~before:2 ~after:1 ]
+    ~targets:[ (0, 1); (1, 0); (1, 1) ]
+    ~gate:(Mat.adjoint (Emit.enc_gate ~incoming_slot:1))
+    Calibration.enc
+
+let test_leak02_dead_enc_dec_pair () =
+  let initial = [| (0, 1); (1, 1) |] in
+  let p =
+    mk_program ~devices:2 ~initial ~final:(Array.copy initial)
+      [ enc_fixture_op; dec_fixture_op ]
+  in
+  let diags = Leakage.check p in
+  let leak02 =
+    List.filter (fun (d : Diagnostic.t) -> d.Diagnostic.rule = "LEAK02") diags
+  in
+  check_int "one dead pair" 1 (List.length leak02);
+  let d = List.hd leak02 in
+  check_bool "anchored at the ENC" true (d.Diagnostic.op_index = Some 0);
+  check_bool "machine-applicable fix" true (d.Diagnostic.fix = Some "drop ops 0 and 1")
+
+let test_leak01_non_ww_pulse_sees_encoded_state () =
+  let initial = [| (0, 1); (1, 1) |] in
+  let cz =
+    mk_op ~label:"CZ^{11}"
+      ~parts:
+        [ part2 ~device:0 ~noise:(Physical.P2 1) ~before:0 ~after:0;
+          part2 ~device:1 ~noise:(Physical.P2 1) ~before:2 ~after:2 ]
+      ~targets:[ (0, 1); (1, 1) ]
+      ~gate:Gates.cz
+      (Calibration.fq_cz ~slot_a:1 ~slot_b:1)
+  in
+  let p =
+    mk_program ~devices:2 ~initial ~final:(Array.copy initial) [ enc_fixture_op; cz ]
+  in
+  let diags = Leakage.check p in
+  check_bool "LEAK01 fires on the uncalibrated pulse" true
+    (List.exists
+       (fun (d : Diagnostic.t) ->
+         d.Diagnostic.rule = "LEAK01" && d.Diagnostic.op_index = Some 1)
+       diags);
+  (* The same pulse marked |2>/|3>-aware is fine. *)
+  let p_ok =
+    mk_program ~devices:2 ~initial ~final:(Array.copy initial)
+      [ enc_fixture_op; { cz with Physical.touches_ww = true } ]
+  in
+  check_bool "ww-aware pulse is not flagged" true
+    (List.for_all
+       (fun (d : Diagnostic.t) -> d.Diagnostic.rule <> "LEAK01")
+       (Leakage.check p_ok))
+
+(* ---- cost vs scheduler/EPS oracles ---- *)
+
+let test_cost_oracles_and_jitter () =
+  let circuit = Bench.by_total_qubits Cuccaro 6 in
+  List.iter
+    (fun strategy ->
+      let p = Compile.compile strategy circuit in
+      let diags = Cost.check p in
+      List.iter
+        (fun (d : Diagnostic.t) ->
+          check_bool
+            (Printf.sprintf "%s: no cost errors (%s)" strategy.Strategy.name
+               d.Diagnostic.message)
+            true
+            (d.Diagnostic.severity <> Diagnostic.Error))
+        diags;
+      check_bool "COST03 summary present" true
+        (List.exists (fun (d : Diagnostic.t) -> d.Diagnostic.rule = "COST03") diags);
+      let last = List.length p.Physical.ops - 1 in
+      let sol0 = Cost.solve p in
+      let lo0, hi0 = Cost.makespan sol0.Engine.after.(last) in
+      close ~tol:1e-6 "zero-jitter makespan is a point" lo0 hi0;
+      close ~tol:1e-6 "makespan matches the scheduler" (Physical.total_duration p) hi0;
+      let solj = Cost.solve ~jitter:0.1 p in
+      let loj, hij = Cost.makespan solj.Engine.after.(last) in
+      check_bool "jitter widens the makespan interval" true
+        (loj < lo0 && hij > hi0 && loj < hij))
+    [ Strategy.qubit_only; Strategy.mixed_radix_ccz; Strategy.full_ququart ]
+
+(* ---- liveness / commutation ---- *)
+
+let blocked_pair =
+  [ Gate.make Gate.Cx [ 0; 1 ]; Gate.make Gate.Z [ 0 ]; Gate.make Gate.X [ 1 ];
+    Gate.make Gate.Cx [ 0; 1 ] ]
+
+let test_liveness_events () =
+  let c = Circuit.of_gates ~n:2 blocked_pair in
+  check_bool "separated CX pair found" true
+    (List.mem (Liveness.Cancel (0, 3)) (Liveness.events c));
+  check_bool "cancellable pairs" true (Liveness.cancellable_pairs c = [ (0, 3) ]);
+  check_bool "LIVE01 with fix" true
+    (List.exists
+       (fun (d : Diagnostic.t) ->
+         d.Diagnostic.rule = "LIVE01"
+         && d.Diagnostic.op_index = Some 0
+         && d.Diagnostic.fix = Some "drop gates 0 and 3")
+       (Liveness.check c));
+  (* Identity rotations are dead and block nothing. *)
+  let dead = Circuit.of_gates ~n:1 [ Gate.make (Gate.Rz 0.) [ 0 ] ] in
+  check_bool "LIVE02 on identity rotation" true
+    (List.exists
+       (fun (d : Diagnostic.t) -> d.Diagnostic.rule = "LIVE02")
+       (Liveness.check dead));
+  (* Separated same-axis rotations can merge. *)
+  let fuse =
+    Circuit.of_gates ~n:2
+      [ Gate.make (Gate.Rz 0.3) [ 0 ]; Gate.make Gate.X [ 1 ];
+        Gate.make (Gate.Rz 0.4) [ 0 ] ]
+  in
+  check_bool "Fuse event across a commuting gate" true
+    (List.mem (Liveness.Fuse (0, 2)) (Liveness.events fuse));
+  check_bool "LIVE03 reported" true
+    (List.exists
+       (fun (d : Diagnostic.t) -> d.Diagnostic.rule = "LIVE03")
+       (Liveness.check fuse))
+
+(* [Gate.commutes] must be sound: whenever it says yes, the matrices agree. *)
+let test_commutes_sound () =
+  let r = rng 77 in
+  let kinds =
+    [| Gate.X; Gate.Y; Gate.Z; Gate.H; Gate.S; Gate.Sdg; Gate.T; Gate.Tdg;
+       Gate.Rx 0.7; Gate.Ry 1.1; Gate.Rz 0.4; Gate.Phase 0.9; Gate.Cx; Gate.Cz;
+       Gate.Swap; Gate.Ccx; Gate.Ccz; Gate.Cswap |]
+  in
+  let random_gate () =
+    let k = kinds.(Rng.int r (Array.length kinds)) in
+    let order = [| 0; 1; 2 |] in
+    Rng.shuffle_in_place r order;
+    Gate.make k (Array.to_list (Array.sub order 0 (Gate.arity k)))
+  in
+  let commuting = ref 0 in
+  for _ = 1 to 400 do
+    let a = random_gate () and b = random_gate () in
+    if Gate.commutes a b then begin
+      incr commuting;
+      mat_equal "commutes => matrices commute"
+        (Circuit.to_unitary (Circuit.of_gates ~n:3 [ a; b ]))
+        (Circuit.to_unitary (Circuit.of_gates ~n:3 [ b; a ]))
+    end
+  done;
+  check_bool "sample exercised commuting pairs" true (!commuting > 40)
+
+(* The liveness hook lets simplify_deep remove a pair the peephole (which
+   only sees DAG neighbours) provably cannot. *)
+let test_simplify_deep_beats_peephole () =
+  let c = Circuit.of_gates ~n:2 blocked_pair in
+  check_int "peephole keeps all four gates" 4 (Circuit.gate_count (Optimizer.simplify c));
+  let deep = Optimizer.simplify_deep c in
+  check_int "deep cleanup drops the separated pair" 2 (Circuit.gate_count deep);
+  mat_equal_phase "deep output is equivalent" (Circuit.to_unitary c)
+    (Circuit.to_unitary deep)
+
+let test_simplify_deep_on_benchmark () =
+  let base = Bench.bernstein_vazirani ~n:5 ~secret:0b1011 in
+  let c = Circuit.append base (Circuit.of_gates ~n:5 blocked_pair) in
+  let peep = Optimizer.simplify c in
+  let deep = Optimizer.simplify_deep c in
+  check_bool "deep cleanup beats the peephole on a benchmark" true
+    (Circuit.gate_count deep < Circuit.gate_count peep);
+  mat_equal_phase "benchmark unitary preserved" (Circuit.to_unitary c)
+    (Circuit.to_unitary deep)
+
+(* ---- SARIF ---- *)
+
+let golden_report =
+  { Diagnostic.diagnostics =
+      [ Diagnostic.error "STAB03"
+          "optimizer output NOT equivalent: stabilizer images diverge on the 4-qubit \
+           circuit";
+        Diagnostic.warning ~op_index:2 ~fix:"drop ops 2 and 5" "LEAK02"
+          "ENC at op 2 is decoded at op 5 with no pulse in between: the pair is dead";
+        Diagnostic.info "COST03"
+          "critical path 120.0 ns (serialized 240.0 ns, 2.00x parallelism); gate EPS \
+           0.010000; error budget 0.010000" ];
+    ops_checked = 6;
+    passes_run = [ "stabilizer"; "leakage"; "cost"; "liveness" ] }
+
+let golden_sarif =
+  {sarif|{"$schema":"https://json.schemastore.org/sarif-2.1.0.json","version":"2.1.0","runs":[{"tool":{"driver":{"name":"waltz_analysis","informationUri":"doc/ANALYSIS.md","rules":[{"id":"STAB00","shortDescription":{"text":"stabilizer analysis partial or skipped"},"help":{"text":"Clifford tableaux only track H/S/X/Y/Z/CX/CZ/SWAP segments exactly"},"defaultConfiguration":{"level":"note"}},{"id":"STAB01","shortDescription":{"text":"optimizer output certified equivalent"},"help":{"text":"tableau equality proves unitary equality up to global phase at any width"},"defaultConfiguration":{"level":"note"}},{"id":"STAB02","shortDescription":{"text":"identity-composing gate run"},"help":{"text":"a Clifford run conjugating every Pauli to itself is removable dead code"},"defaultConfiguration":{"level":"warning"}},{"id":"STAB03","shortDescription":{"text":"optimizer output not equivalent"},"help":{"text":"stabilizer images diverge: simplification changed the circuit unitary"},"defaultConfiguration":{"level":"error"}},{"id":"LEAK01","shortDescription":{"text":"two-qubit-only pulse reachable in an encoded state"},"help":{"text":"Fig. 9b: a pulse not calibrated for |2>/|3> sees a device that can hold them"},"defaultConfiguration":{"level":"warning"}},{"id":"LEAK02","shortDescription":{"text":"provably dead ENC/DEC pair"},"help":{"text":"Sec. 4.1: an encode immediately undone by its decode wastes two ww pulses"},"defaultConfiguration":{"level":"warning"}},{"id":"LEAK03","shortDescription":{"text":"reachable-level summary"},"help":{"text":"Sec. 3: the fixpoint level sets bound every state the schedule can prepare"},"defaultConfiguration":{"level":"note"}},{"id":"COST01","shortDescription":{"text":"cost intervals disagree with the EPS oracle"},"help":{"text":"Tables 1-2: interval replay must bracket Eps.label_breakdown exactly at zero jitter"},"defaultConfiguration":{"level":"error"}},{"id":"COST02","shortDescription":{"text":"makespan outside computed bounds"},"help":{"text":"Sec. 5.5: total_duration is the ASAP critical path"},"defaultConfiguration":{"level":"error"}},{"id":"COST03","shortDescription":{"text":"duration and EPS bounds"},"help":{"text":"Sec. 6: per-program min/max duration and log-fidelity interval"},"defaultConfiguration":{"level":"note"}},{"id":"LIVE00","shortDescription":{"text":"liveness analysis skipped"},"help":{"text":"needs the source circuit"},"defaultConfiguration":{"level":"note"}},{"id":"LIVE01","shortDescription":{"text":"cancellable gate pair separated by commuting gates"},"help":{"text":"gates commuting with everything between them cancel; peephole only sees neighbours"},"defaultConfiguration":{"level":"warning"}},{"id":"LIVE02","shortDescription":{"text":"gate is an identity rotation"},"help":{"text":"rotations by multiples of 2*pi are removable dead code"},"defaultConfiguration":{"level":"warning"}},{"id":"LIVE03","shortDescription":{"text":"fuseable rotation pair separated by commuting gates"},"help":{"text":"same-axis rotations merge once commuting gates are moved aside"},"defaultConfiguration":{"level":"note"}}]}},"columnKind":"utf16CodeUnits","properties":{"opsChecked":6,"passes":["stabilizer","leakage","cost","liveness"]},"results":[{"ruleId":"STAB03","ruleIndex":3,"level":"error","message":{"text":"optimizer output NOT equivalent: stabilizer images diverge on the 4-qubit circuit"}},{"ruleId":"LEAK02","ruleIndex":5,"level":"warning","message":{"text":"ENC at op 2 is decoded at op 5 with no pulse in between: the pair is dead"},"locations":[{"logicalLocations":[{"fullyQualifiedName":"op[2]","kind":"instruction"}]}],"properties":{"fix":"drop ops 2 and 5"}},{"ruleId":"COST03","ruleIndex":9,"level":"note","message":{"text":"critical path 120.0 ns (serialized 240.0 ns, 2.00x parallelism); gate EPS 0.010000; error budget 0.010000"}}]}]}|sarif}
+
+let test_sarif_golden () =
+  let s = Sarif.to_sarif golden_report in
+  (match Sarif.validate s with
+  | Ok n -> check_int "golden has three results" 3 n
+  | Error e -> Alcotest.failf "golden SARIF rejected: %s" e);
+  Alcotest.(check string) "golden SARIF byte-identical" golden_sarif s
+
+let test_sarif_validator_rejects () =
+  (match Sarif.validate "nonsense" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted");
+  (match Sarif.validate "{}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty document accepted");
+  (* The plain JSON dump is not SARIF. *)
+  (match Sarif.validate (Sarif.to_json golden_report) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-SARIF JSON accepted");
+  (* A result referencing a rule outside the declared catalog must fail. *)
+  let rogue =
+    { golden_report with
+      Diagnostic.diagnostics = [ Diagnostic.error "ZZZ99" "not a catalogued rule" ] }
+  in
+  match Sarif.validate (Sarif.to_sarif rogue) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "undeclared ruleId accepted"
+
+(* ---- Analysis.run / hooks ---- *)
+
+let test_analysis_run_report () =
+  let circuit = Bench.by_total_qubits Cuccaro 6 in
+  let p = Compile.compile Strategy.mixed_radix_ccz circuit in
+  let report = Analysis.run (Some circuit) p in
+  check_bool "passes run in order" true
+    (report.Diagnostic.passes_run = [ "stabilizer"; "leakage"; "cost"; "liveness" ]);
+  check_int "ops checked" (List.length p.Physical.ops) report.Diagnostic.ops_checked;
+  (* Every emitted rule id must be in the shared catalog, and findings that
+     point at a specific op/gate must carry the anchor. *)
+  List.iter
+    (fun (d : Diagnostic.t) ->
+      check_bool (Printf.sprintf "rule %s catalogued" d.Diagnostic.rule) true
+        (Rules.find d.Diagnostic.rule <> None);
+      match d.Diagnostic.rule with
+      | "STAB02" | "LEAK01" | "LEAK02" | "LIVE01" | "LIVE02" | "LIVE03" ->
+        check_bool (d.Diagnostic.rule ^ " carries op_index") true
+          (d.Diagnostic.op_index <> None)
+      | _ -> ())
+    report.Diagnostic.diagnostics;
+  (* Deterministic: a second run serializes bit-identically. *)
+  Alcotest.(check string) "SARIF deterministic across runs"
+    (Sarif.to_sarif report)
+    (Sarif.to_sarif (Analysis.run (Some circuit) p));
+  (match Sarif.validate (Sarif.to_sarif report) with
+  | Ok n -> check_int "result count matches" (List.length report.Diagnostic.diagnostics) n
+  | Error e -> Alcotest.failf "real report rejected by validator: %s" e);
+  let only_cost = Analysis.run ~passes:[ Analysis.Cost_pass ] (Some circuit) p in
+  check_bool "pass selection" true (only_cost.Diagnostic.passes_run = [ "cost" ]);
+  let skipped = Analysis.run None p in
+  check_bool "STAB00 skip without a circuit" true
+    (Diagnostic.with_rule "STAB00" skipped <> []);
+  check_bool "LIVE00 skip without a circuit" true
+    (Diagnostic.with_rule "LIVE00" skipped <> [])
+
+let test_pass_names_roundtrip () =
+  List.iter
+    (fun pass ->
+      check_bool (Analysis.pass_name pass) true
+        (Analysis.pass_of_name (Analysis.pass_name pass) = Some pass))
+    Analysis.all_passes;
+  check_bool "unknown pass name" true (Analysis.pass_of_name "bogus" = None)
+
+let test_compile_analyze_flag () =
+  let circuit = Bench.by_total_qubits Cnu 5 in
+  let a = Compile.compile ~analyze:true Strategy.mixed_radix_ccz circuit in
+  let b = Compile.compile Strategy.mixed_radix_ccz circuit in
+  check_int "analyze flag is observational"
+    (List.length b.Physical.ops)
+    (List.length a.Physical.ops)
+
+let suite =
+  [ case "engine chain solutions" test_engine_chain;
+    case "engine loop widening" test_engine_loop_widening;
+    case "leakage lattice laws" test_leakage_lattice_laws;
+    case "stabilizer lattice laws" test_stabilizer_lattice_laws;
+    case "stabilizer agrees with exact unitaries" test_stabilizer_exact_agreement;
+    case "identity runs" test_identity_runs;
+    case "stabilizer beyond the equivalence bound" test_stabilizer_beyond_equivalence_bound;
+    case "leakage agrees with state-vector replay" test_leakage_agreement_with_simulation;
+    case "LEAK02 dead ENC/DEC pair" test_leak02_dead_enc_dec_pair;
+    case "LEAK01 non-ww pulse sees encoded state" test_leak01_non_ww_pulse_sees_encoded_state;
+    case "cost oracles and jitter" test_cost_oracles_and_jitter;
+    case "liveness events" test_liveness_events;
+    case "commutes is sound" test_commutes_sound;
+    case "simplify_deep beats the peephole" test_simplify_deep_beats_peephole;
+    case "simplify_deep on a benchmark" test_simplify_deep_on_benchmark;
+    case "SARIF golden fixture" test_sarif_golden;
+    case "SARIF validator rejects malformed input" test_sarif_validator_rejects;
+    case "Analysis.run report" test_analysis_run_report;
+    case "pass names roundtrip" test_pass_names_roundtrip;
+    case "compile ~analyze:true" test_compile_analyze_flag ]

@@ -16,6 +16,12 @@ let check label a b =
     Printf.eprintf "MISMATCH %s: %.17g <> %.17g\n" label a b
   end
 
+let check_string label a b =
+  if not (String.equal a b) then begin
+    incr failures;
+    Printf.eprintf "MISMATCH %s: serialized reports differ\n" label
+  end
+
 let () =
   let circuits =
     [ ("toffoli", Circuit.of_gates ~n:3 [ Gate.make Gate.Ccx [ 0; 1; 2 ] ]);
@@ -72,7 +78,26 @@ let () =
           let l field = Printf.sprintf "%s/%s scaled-model %s" cname strategy.Strategy.name field in
           check (l "mean_fidelity") cold.Executor.summary.Executor.mean_fidelity
             warm.Executor.summary.Executor.mean_fidelity;
-          check (l "mean_leakage") cold.Executor.mean_leakage warm.Executor.mean_leakage)
+          check (l "mean_leakage") cold.Executor.mean_leakage warm.Executor.mean_leakage;
+          (* The static analyses must be deterministic under every
+             WALTZ_DOMAINS setting, and telemetry must stay off-path: the
+             SARIF serialization is bit-identical with the flag on. *)
+          let analysis_sarif () =
+            Waltz_analysis.Sarif.to_sarif
+              (Waltz_analysis.Analysis.run (Some circuit) compiled)
+          in
+          let sarif_off = analysis_sarif () in
+          Waltz_telemetry.Telemetry.reset ();
+          Waltz_telemetry.Telemetry.enable ();
+          let sarif_on = analysis_sarif () in
+          Waltz_telemetry.Telemetry.disable ();
+          check_string
+            (Printf.sprintf "%s/%s analysis SARIF telemetry-on" cname
+               strategy.Strategy.name)
+            sarif_off sarif_on;
+          check_string
+            (Printf.sprintf "%s/%s analysis SARIF repeat" cname strategy.Strategy.name)
+            sarif_off (analysis_sarif ()))
         strategies)
     circuits;
   if !failures > 0 then begin
