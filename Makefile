@@ -1,4 +1,5 @@
-.PHONY: all build test lint bench-json bench-smoke trace-smoke analyze-smoke clean
+.PHONY: all build test lint bench-json bench-smoke trace-smoke analyze-smoke \
+	sanitize-smoke clean
 
 all: build test
 
@@ -22,10 +23,23 @@ bench-smoke:
 
 # Type-check everything (@check), run the IR verifier and the fixpoint
 # analyses over the example programs, the telemetry test suite and the
-# trace/SARIF smokes. waltz_verify, waltz_analysis and waltz_telemetry
-# themselves build with warnings as errors.
+# trace/SARIF/sanitizer smokes. waltz_verify, waltz_analysis,
+# waltz_telemetry and waltz_sanitizer themselves build with warnings as
+# errors.
 lint:
 	dune build @lint
+
+# Concurrency-sanitizer smoke outside the dune sandbox: a clean benchmark x
+# strategy grid under the race/deadlock/ownership detectors (zero findings
+# expected), the seeded-race fixture suite (each must flag exactly its
+# rule), and a fuzzed run of the pool's seat protocol. Also runs inside
+# `make lint` via the @lint alias.
+sanitize-smoke:
+	dune exec bin/waltz_cli.exe -- sanitize -n 6 --trajectories 4 \
+	  --format sarif -o /tmp/waltz_sanitize.sarif
+	dune exec bin/waltz_cli.exe -- sarif-check /tmp/waltz_sanitize.sarif
+	dune exec bin/waltz_cli.exe -- sanitize --fixtures
+	dune exec bin/waltz_cli.exe -- sanitize --fuzz 40
 
 # Telemetry smoke outside the dune sandbox: simulate with --stats and
 # --trace, then validate the Chrome trace_event file it wrote.

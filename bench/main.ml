@@ -670,6 +670,51 @@ let micro () =
   in
   let plan_hits = Telemetry.Metrics.counter "executor.plan_cache.hit" in
   let plan_misses = Telemetry.Metrics.counter "executor.plan_cache.miss" in
+  (* Sanitizer overhead on the fig9/trajectory-sim kernel, measured outside
+     the timed section above: the disabled number prices the always-on shim
+     branches (one Atomic load per instrumented point), the enabled number
+     prices full vector-clock recording. *)
+  let module Sanitize = Waltz_sanitizer.Sanitize in
+  let measure_one test =
+    let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 0.25) ~kde:None () in
+    let results = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test in
+    let ns = ref 0. in
+    Hashtbl.iter
+      (fun _ (b : Benchmark.t) ->
+        let total_time = ref 0. and total_runs = ref 0. in
+        Array.iter
+          (fun raw ->
+            total_time := !total_time +. Measurement_raw.get ~label:"monotonic-clock" raw;
+            total_runs := !total_runs +. Measurement_raw.run raw)
+          b.Benchmark.lr;
+        ns := !total_time /. Float.max 1. !total_runs)
+      results;
+    !ns
+  in
+  let traj_test name =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           ignore
+             (Executor.simulate
+                ~config:{ Executor.default_config with Executor.trajectories = 2 }
+                toffoli_fq)))
+  in
+  Sanitize.disable ();
+  Sanitize.reset ();
+  let sanitize_off = measure_one (traj_test "sanitize/trajectory-sim-off") in
+  Sanitize.enable ();
+  let sanitize_on = measure_one (traj_test "sanitize/trajectory-sim-on") in
+  Sanitize.disable ();
+  let sanitize_accesses = (Sanitize.stats ()).Waltz_sanitizer.Sanitize.accesses in
+  let sanitize_findings = List.length (Sanitize.findings ()) in
+  Sanitize.reset ();
+  let sanitize_overhead_pct =
+    if sanitize_off > 0. then 100. *. ((sanitize_on /. sanitize_off) -. 1.) else 0.
+  in
+  Printf.printf "  %-30s %14.0f ns/run\n" "sanitize/trajectory-sim-off" sanitize_off;
+  Printf.printf "  %-30s %14.0f ns/run (%+.1f%%, %d accesses, %d findings)\n"
+    "sanitize/trajectory-sim-on" sanitize_on sanitize_overhead_pct sanitize_accesses
+    sanitize_findings;
   (* Class-dispatch histogram of the instrumented throughput run: how many
      per-trajectory gate applications each specialized path absorbed. *)
   let kernel_dispatch =
@@ -714,6 +759,14 @@ let micro () =
         (if i = List.length analysis_passes - 1 then "" else ","))
     analysis_passes;
   Printf.fprintf oc "    }\n";
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"sanitize\": {\n";
+  Printf.fprintf oc "    \"benchmark\": \"fig9/trajectory-sim\",\n";
+  Printf.fprintf oc "    \"disabled_ns_per_run\": %.1f,\n" sanitize_off;
+  Printf.fprintf oc "    \"enabled_ns_per_run\": %.1f,\n" sanitize_on;
+  Printf.fprintf oc "    \"overhead_pct\": %.2f,\n" sanitize_overhead_pct;
+  Printf.fprintf oc "    \"instrumented_accesses\": %d,\n" sanitize_accesses;
+  Printf.fprintf oc "    \"findings\": %d\n" sanitize_findings;
   Printf.fprintf oc "  },\n";
   Printf.fprintf oc "  \"ns_per_run\": {\n";
   List.iteri

@@ -550,6 +550,183 @@ let sarif_check_cmd =
        ~doc:"Validate a SARIF 2.1.0 file written by analyze --format sarif")
     Term.(const run $ file)
 
+(* ---- sanitize ---- *)
+
+let sanitize_cmd =
+  let module Sanitize = Waltz_sanitizer.Sanitize in
+  let module Fuzz = Waltz_sanitizer.Fuzz in
+  let module SReport = Waltz_sanitize_report.Report in
+  let module Fixtures = Waltz_sanitize_report.Fixtures in
+  let module Sarif = Waltz_analysis.Sarif in
+  let bug_of = function
+    | "clean" -> Ok Fuzz.Clean
+    | "unseated-join" -> Ok Fuzz.Unseated_join
+    | "torn-claim" -> Ok Fuzz.Torn_claim
+    | "early-read" -> Ok Fuzz.Early_read
+    | other ->
+      Error
+        (Printf.sprintf "unknown bug %s (clean, unseated-join, torn-claim, early-read)"
+           other)
+  in
+  let run n trajectories domains fixtures fuzz_runs fuzz_seed fuzz_bug format output
+      stats =
+    match (format, bug_of fuzz_bug) with
+    | fmt, _ when fmt <> "text" && fmt <> "json" && fmt <> "sarif" ->
+      Printf.eprintf "unknown format %s (text, json, sarif)\n" fmt;
+      1
+    | _, Error e ->
+      prerr_endline e;
+      1
+    | format, Ok bug ->
+      let rc = ref 0 in
+      let buf = Buffer.create 4096 in
+      if fixtures then begin
+        Buffer.add_string buf "seeded-race fixture suite:\n";
+        List.iter
+          (fun (fx : Fixtures.fixture) ->
+            match Fixtures.check fx with
+            | Ok () ->
+              Buffer.add_string buf
+                (Printf.sprintf "  %-24s flagged %s as expected\n" fx.Fixtures.name
+                   fx.Fixtures.expected_rule)
+            | Error msg ->
+              rc := 1;
+              Buffer.add_string buf
+                (Printf.sprintf "  %-24s FAILED: %s\n" fx.Fixtures.name msg))
+          Fixtures.all
+      end
+      else if fuzz_runs = 0 then begin
+        (* Clean grid: simulate every benchmark x strategy cell with the
+           sanitizer watching the runtime's shared state; any finding on
+           production code is a failure. *)
+        let grid_rc =
+          with_telemetry ~stats ~trace:None (fun () ->
+              Sanitize.reset ();
+              Sanitize.enable ();
+              List.iter
+                (fun family ->
+                  let circuit =
+                    Waltz_benchmarks.Bench_circuits.by_total_qubits family n
+                  in
+                  List.iter
+                    (fun (strategy : Strategy.t) ->
+                      let compiled = Compile.compile strategy circuit in
+                      if trajectories > 0 then
+                        ignore
+                          (Executor.simulate
+                             ~config:
+                               { Executor.model = Noise.default; trajectories;
+                                 base_seed = 2023 }
+                             ?domains compiled))
+                    Strategy.fig7_set)
+                Waltz_benchmarks.Bench_circuits.all_families;
+              Sanitize.disable ();
+              SReport.flush_telemetry ();
+              let report = SReport.to_report ~summary:true () in
+              (match format with
+              | "json" -> Buffer.add_string buf (Sarif.to_json report ^ "\n")
+              | "sarif" ->
+                Buffer.add_string buf
+                  (Sarif.to_sarif
+                     ~families:[ "RACE"; "LOCK"; "OWN" ]
+                     ~driver:("waltz_sanitize", "doc/SANITIZER.md")
+                     report
+                  ^ "\n")
+              | _ ->
+                Buffer.add_string buf
+                  (Format.asprintf "%a@." Waltz_verify.Diagnostic.pp_report report));
+              if report.Waltz_verify.Diagnostic.diagnostics = []
+                 || Waltz_verify.Diagnostic.is_clean report
+              then 0
+              else 1)
+        in
+        if grid_rc <> 0 then rc := 1
+      end
+      else begin
+        (* Schedule fuzzing of the pool's seat protocol. On the faithful
+           protocol any failure is a bug; with an injected bug the fuzzer
+           must find at least one failing interleaving. *)
+        let failures =
+          Fuzz.fuzz ~bug ~workers:3 ~items:8 ~seed:fuzz_seed ~runs:fuzz_runs ()
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "schedule fuzzer: %d runs of the %s protocol, %d failures\n"
+             fuzz_runs fuzz_bug (List.length failures));
+        List.iter
+          (fun (seed, (o : Fuzz.outcome)) ->
+            match o.Fuzz.failure with
+            | Some f ->
+              Buffer.add_string buf
+                (Printf.sprintf "  seed %d: %s at step %d (shrunk trace: %s)\n" seed
+                   f.Fuzz.invariant f.Fuzz.at_step
+                   (String.concat "," (List.map string_of_int o.Fuzz.trace)))
+            | None -> ())
+          failures;
+        let found = failures <> [] in
+        if (bug = Fuzz.Clean && found) || (bug <> Fuzz.Clean && not found) then begin
+          rc := 1;
+          Buffer.add_string buf
+            (if bug = Fuzz.Clean then "FAILED: the faithful protocol violated an invariant\n"
+             else "FAILED: the fuzzer missed the injected bug\n")
+        end
+      end;
+      (match output with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Buffer.contents buf);
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+      | None -> print_string (Buffer.contents buf));
+      !rc
+  in
+  let fixtures_arg =
+    Arg.(
+      value & flag
+      & info [ "fixtures" ]
+          ~doc:
+            "Run the seeded-race fixture suite instead of the clean grid: each \
+             intentionally broken harness must be flagged with exactly its expected \
+             rule id.")
+  in
+  let fuzz_runs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "fuzz" ] ~docv:"RUNS"
+          ~doc:"Fuzz the pool's seat protocol for RUNS seeded interleavings.")
+  in
+  let fuzz_seed_arg =
+    Arg.(value & opt int 2023 & info [ "fuzz-seed" ] ~docv:"SEED" ~doc:"Fuzzer base seed.")
+  in
+  let fuzz_bug_arg =
+    Arg.(
+      value & opt string "clean"
+      & info [ "fuzz-bug" ] ~docv:"BUG"
+          ~doc:
+            "Protocol variant to fuzz: clean (default; must never fail), \
+             unseated-join, torn-claim or early-read (must fail).")
+  in
+  let format_arg =
+    Arg.(
+      value & opt string "text"
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Output format for the clean grid: text (default), json, or sarif.")
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the report to a file.")
+  in
+  Cmd.v
+    (Cmd.info "sanitize"
+       ~doc:
+         "Run the concurrency sanitizer: a clean benchmark x strategy grid under the \
+          race/deadlock/ownership detectors, the seeded-race fixture suite \
+          (--fixtures), or the pool schedule fuzzer (--fuzz)")
+    Term.(
+      const run $ n_arg $ trajectories_arg $ domains_arg $ fixtures_arg $ fuzz_runs_arg
+      $ fuzz_seed_arg $ fuzz_bug_arg $ format_arg $ output_arg $ stats_arg)
+
 (* ---- report ---- *)
 
 let report_cmd =
@@ -736,4 +913,5 @@ let () =
   exit
     (Cmd.eval' (Cmd.group info
        [ compile_cmd; estimate_cmd; simulate_cmd; sweep_cmd; breakdown_cmd; verify_cmd;
-         analyze_cmd; sarif_check_cmd; report_cmd; trace_check_cmd; rb_cmd; pulse_cmd ]))
+         analyze_cmd; sarif_check_cmd; sanitize_cmd; report_cmd; trace_check_cmd; rb_cmd;
+         pulse_cmd ]))

@@ -25,10 +25,10 @@ let level_of = function
 
 let analysis_families = [ "STAB"; "LEAK"; "COST"; "LIVE" ]
 
-let owned_rules () =
+let owned_rules families =
   List.filter
     (fun (r : Rules.info) ->
-      List.exists (fun fam -> String.starts_with ~prefix:fam r.Rules.id) analysis_families)
+      List.exists (fun fam -> String.starts_with ~prefix:fam r.Rules.id) families)
     Rules.all
 
 let rule_json (r : Rules.info) =
@@ -59,8 +59,10 @@ let result_json ~rule_index (d : Diagnostic.t) =
   Buffer.add_char buf '}';
   Buffer.contents buf
 
-let to_sarif (report : Diagnostic.report) =
-  let rules = owned_rules () in
+let to_sarif ?(families = analysis_families)
+    ?(driver = ("waltz_analysis", "doc/ANALYSIS.md")) (report : Diagnostic.report) =
+  let driver_name, driver_uri = driver in
+  let rules = owned_rules families in
   let index_of =
     let tbl = Hashtbl.create 16 in
     List.iteri (fun i (r : Rules.info) -> Hashtbl.replace tbl r.Rules.id i) rules;
@@ -70,7 +72,8 @@ let to_sarif (report : Diagnostic.report) =
   Buffer.add_string buf
     "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\"version\":\"2.1.0\",\"runs\":[{";
   Buffer.add_string buf
-    "\"tool\":{\"driver\":{\"name\":\"waltz_analysis\",\"informationUri\":\"doc/ANALYSIS.md\",\"rules\":[";
+    (Printf.sprintf "\"tool\":{\"driver\":{\"name\":\"%s\",\"informationUri\":\"%s\",\"rules\":["
+       (escape driver_name) (escape driver_uri));
   Buffer.add_string buf (String.concat "," (List.map rule_json rules));
   Buffer.add_string buf "]}},\"columnKind\":\"utf16CodeUnits\",";
   Buffer.add_string buf

@@ -13,7 +13,13 @@
 
 module Diagnostic = Waltz_verify.Diagnostic
 
-val to_sarif : Diagnostic.report -> string
+val to_sarif :
+  ?families:string list -> ?driver:string * string -> Diagnostic.report -> string
+(** [to_sarif report] emits the analysis run described above. Other tools
+    reporting through the shared [Waltz_verify.Rules] catalog (e.g. the
+    concurrency sanitizer's RACE/LOCK/OWN families) pass their own
+    [?families] prefix list and [?driver] (name, informationUri) pair; the
+    defaults reproduce the waltz_analysis document byte-for-byte. *)
 
 val to_json : Diagnostic.report -> string
 (** Plain machine-readable JSON (not SARIF): passes, op count, diagnostics. *)

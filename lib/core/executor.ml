@@ -4,6 +4,7 @@ open Waltz_noise
 open Waltz_sim
 open Waltz_runtime
 module Telemetry = Waltz_telemetry.Telemetry
+module Sanitize = Waltz_sanitizer.Sanitize
 
 type config = { model : Noise.model; trajectories : int; base_seed : int }
 
@@ -95,6 +96,7 @@ let lift_gate ~device_dim (op : Physical.op) =
   let gate = op.Physical.gate in
   let key = (device_dim, pattern, op.Physical.label, gate.Mat.rows) in
   Mutex.lock lift_mutex;
+  Sanitize.Lock.acquire "executor.lift_mutex";
   let bucket =
     match Hashtbl.find_opt lift_table key with
     | Some b -> b
@@ -106,13 +108,17 @@ let lift_gate ~device_dim (op : Physical.op) =
   in
   let lifted, hit, collision =
     match List.find_opt (fun (g, _) -> g = gate) !bucket with
-    | Some (_, lifted) -> (lifted, true, false)
+    | Some (_, lifted) ->
+      Sanitize.Shared.read "executor.lift_table";
+      (lifted, true, false)
     | None ->
       let _, lifted = lift_gate_uncached ~device_dim op in
       let collision = !bucket <> [] in
+      Sanitize.Shared.write "executor.lift_table";
       bucket := (gate, lifted) :: !bucket;
       (lifted, false, collision)
   in
+  Sanitize.Lock.release "executor.lift_mutex";
   Mutex.unlock lift_mutex;
   Telemetry.Metrics.incr
     (if hit then "executor.lift_gate.hit" else "executor.lift_gate.miss");
@@ -190,28 +196,48 @@ let plan_cache : (Physical.t * Noise.model * plan) list ref = ref []
 let plan_cache_mutex = Mutex.create ()
 let plan_cache_capacity = 8
 
+let plan_cache_find ~model compiled =
+  List.find_opt (fun (c, m, _) -> c == compiled && m = model) !plan_cache
+
 let plan ~model (compiled : Physical.t) =
   Mutex.lock plan_cache_mutex;
-  let cached =
-    List.find_opt (fun (c, m, _) -> c == compiled && m = model) !plan_cache
-  in
+  Sanitize.Lock.acquire "executor.plan_cache_mutex";
+  let cached = plan_cache_find ~model compiled in
   let p =
     match cached with
     | Some ((_, _, p) as entry) ->
+      Sanitize.Shared.write "executor.plan_cache";
       plan_cache := entry :: List.filter (fun e -> not (e == entry)) !plan_cache;
+      Sanitize.Lock.release "executor.plan_cache_mutex";
       Mutex.unlock plan_cache_mutex;
       Telemetry.Metrics.incr "executor.plan_cache.hit";
       p
     | None ->
+      Sanitize.Lock.release "executor.plan_cache_mutex";
       Mutex.unlock plan_cache_mutex;
       Telemetry.Metrics.incr "executor.plan_cache.miss";
       let p = plan_uncached ~model compiled in
       Mutex.lock plan_cache_mutex;
-      plan_cache :=
-        (compiled, model, p)
-        :: (if List.length !plan_cache >= plan_cache_capacity then
-              List.filteri (fun i _ -> i < plan_cache_capacity - 1) !plan_cache
-            else !plan_cache);
+      Sanitize.Lock.acquire "executor.plan_cache_mutex";
+      (* Re-check before inserting: planning runs outside the lock, so a
+         concurrent caller may have planned and inserted the same
+         (compiled, model) in the meantime. Without this, both planners
+         insert and the duplicate silently halves the effective capacity;
+         adopting the winner also keeps [run_ideal]'s [==]-keyed reuse
+         exact. *)
+      let p =
+        match plan_cache_find ~model compiled with
+        | Some (_, _, p') -> p'
+        | None ->
+          Sanitize.Shared.write "executor.plan_cache";
+          plan_cache :=
+            (compiled, model, p)
+            :: (if List.length !plan_cache >= plan_cache_capacity then
+                  List.filteri (fun i _ -> i < plan_cache_capacity - 1) !plan_cache
+                else !plan_cache);
+          p
+      in
+      Sanitize.Lock.release "executor.plan_cache_mutex";
       Mutex.unlock plan_cache_mutex;
       p
   in
@@ -344,7 +370,13 @@ type detailed = { summary : result; mean_leakage : float; mean_error_draws : flo
    allocates no state vectors at all. One slot per domain suffices — a
    simulate call has a single register shape — keyed by the full dims array
    (dims [|2;2|] and [|4|] share a total dimension but not a shape). *)
-type workspace = { wdims : int array; input : State.t; ideal : State.t; noisy : State.t }
+type workspace = {
+  wdims : int array;
+  input : State.t;
+  ideal : State.t;
+  noisy : State.t;
+  wowner : Sanitize.Arena.token;  (* sanitizer ownership witness *)
+}
 
 let workspace_key : workspace option ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref None)
@@ -352,13 +384,16 @@ let workspace_key : workspace option ref Domain.DLS.key =
 let workspace_for dims =
   let slot = Domain.DLS.get workspace_key in
   match !slot with
-  | Some ws when ws.wdims = dims -> ws
+  | Some ws when ws.wdims = dims ->
+    Sanitize.Arena.touch ws.wowner;
+    ws
   | _ ->
     let ws =
       { wdims = Array.copy dims;
         input = State.create ~dims;
         ideal = State.create ~dims;
-        noisy = State.create ~dims }
+        noisy = State.create ~dims;
+        wowner = Sanitize.Arena.create "executor.workspace" }
     in
     slot := Some ws;
     ws

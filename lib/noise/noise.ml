@@ -1,5 +1,6 @@
 open Waltz_linalg
 open Waltz_qudit
+module Sanitize = Waltz_sanitizer.Sanitize
 
 type model = {
   t1_base_ns : float;
@@ -18,14 +19,19 @@ let pauli_mutex = Mutex.create ()
    check-and-fill must be atomic. The returned arrays are never mutated. *)
 let pauli_set ~d =
   Mutex.lock pauli_mutex;
+  Sanitize.Lock.acquire "noise.pauli_mutex";
   let set =
     match Hashtbl.find_opt pauli_table d with
-    | Some set -> set
+    | Some set ->
+      Sanitize.Shared.read "noise.pauli_table";
+      set
     | None ->
       let set = Array.init (d * d) (fun k -> Qudit_ops.pauli ~d (k / d) (k mod d)) in
+      Sanitize.Shared.write "noise.pauli_table";
       Hashtbl.add pauli_table d set;
       set
   in
+  Sanitize.Lock.release "noise.pauli_mutex";
   Mutex.unlock pauli_mutex;
   set
 
@@ -55,18 +61,34 @@ let damping_lambdas model ~d ~dt_ns =
   Array.init d (fun m ->
       if m = 0 then 0. else 1. -. exp (-.dt_ns /. t1_of_level model m))
 
+(* The closure's table is only reached from the planner today, but the
+   check-and-fill is a classic racy cache shape, so it is guarded by its
+   own mutex (one per closure; negligible, planning probes it a handful of
+   times) and instrumented — if a future caller ever shares a closure
+   across domains the sanitizer sees ordered, lock-protected accesses
+   instead of flagging a latent race. *)
 let damping_cache model ~d =
   let table : (float, float array) Hashtbl.t = Hashtbl.create 16 in
+  let table_mutex = Mutex.create () in
   fun dt_ns ->
-    match Hashtbl.find_opt table dt_ns with
-    | Some lambdas ->
-      Waltz_telemetry.Telemetry.Metrics.incr "noise.damping_cache.hit";
-      lambdas
-    | None ->
-      Waltz_telemetry.Telemetry.Metrics.incr "noise.damping_cache.miss";
-      let lambdas = damping_lambdas model ~d ~dt_ns in
-      Hashtbl.add table dt_ns lambdas;
-      lambdas
+    Mutex.lock table_mutex;
+    Sanitize.Lock.acquire "noise.damping_cache.m";
+    let lambdas, hit =
+      match Hashtbl.find_opt table dt_ns with
+      | Some lambdas ->
+        Sanitize.Shared.read "noise.damping_cache";
+        (lambdas, true)
+      | None ->
+        let lambdas = damping_lambdas model ~d ~dt_ns in
+        Sanitize.Shared.write "noise.damping_cache";
+        Hashtbl.add table dt_ns lambdas;
+        (lambdas, false)
+    in
+    Sanitize.Lock.release "noise.damping_cache.m";
+    Mutex.unlock table_mutex;
+    Waltz_telemetry.Telemetry.Metrics.incr
+      (if hit then "noise.damping_cache.hit" else "noise.damping_cache.miss");
+    lambdas
 
 let decoherence_survival model ~max_level ~dt_ns =
   if max_level <= 0 then 1. else exp (-.dt_ns /. t1_of_level model max_level)

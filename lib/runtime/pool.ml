@@ -6,6 +6,8 @@
    [job.active] when the counter is exhausted, and the caller waits on
    [done_cv] for the count to reach zero before reading the results. *)
 
+module Sanitize = Waltz_sanitizer.Sanitize
+
 type job = {
   run_item : int -> unit;
   length : int;
@@ -23,8 +25,25 @@ type t = {
   mutable current : (int * job) option;
   mutable gen : int;
   mutable stopping : bool;
-  mutable handles : unit Domain.t list;
+  mutable handles : (unit Domain.t * Sanitize.Domains.token) list;
 }
+
+(* Sanitizer shims for [m]: the acquire shim runs after [Mutex.lock]
+   returns and the release shim before [Mutex.unlock], so the recorder sees
+   handoffs in true acquisition order. [Condition.wait] atomically releases
+   and reacquires, hence the bracket. *)
+let lock_m pool =
+  Mutex.lock pool.m;
+  Sanitize.Lock.acquire "pool.m"
+
+let unlock_m pool =
+  Sanitize.Lock.release "pool.m";
+  Mutex.unlock pool.m
+
+let wait_on pool cv =
+  Sanitize.Lock.release "pool.m";
+  Condition.wait cv pool.m;
+  Sanitize.Lock.acquire "pool.m"
 
 let default_domains () =
   let recommended = max 1 (Domain.recommended_domain_count ()) in
@@ -63,31 +82,34 @@ let participate ?(stolen = false) pool job =
     Waltz_telemetry.Telemetry.Metrics.incr ~by:!claimed "pool.items";
     if stolen then Waltz_telemetry.Telemetry.Metrics.incr ~by:!claimed "pool.items.stolen"
   end;
-  Mutex.lock pool.m;
+  lock_m pool;
+  Sanitize.Shared.write "pool.job";
   job.active <- job.active - 1;
   if job.active = 0 then Condition.broadcast pool.done_cv;
-  Mutex.unlock pool.m
+  unlock_m pool
 
 let worker pool =
   let last_gen = ref 0 in
   let running = ref true in
   while !running do
-    Mutex.lock pool.m;
+    lock_m pool;
     let job = ref None in
     while !job = None && not pool.stopping do
+      Sanitize.Shared.read "pool.current";
       (match pool.current with
       | Some (g, j) when g <> !last_gen ->
         last_gen := g;
         if j.seats > 0 then begin
+          Sanitize.Shared.write "pool.job";
           j.seats <- j.seats - 1;
           j.active <- j.active + 1;
           Waltz_telemetry.Telemetry.Metrics.incr "pool.seats.joined";
           job := Some j
         end
       | _ -> ());
-      if !job = None && not pool.stopping then Condition.wait pool.work_cv pool.m
+      if !job = None && not pool.stopping then wait_on pool pool.work_cv
     done;
-    Mutex.unlock pool.m;
+    unlock_m pool;
     match !job with
     | None -> running := false
     | Some j -> participate ~stolen:true pool j
@@ -107,17 +129,27 @@ let create ?workers () =
       stopping = false;
       handles = [] }
   in
-  pool.handles <- List.init n_workers (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool.handles <-
+    List.init n_workers (fun _ ->
+        let token = Sanitize.Domains.fork () in
+        ( Domain.spawn (fun () ->
+              Sanitize.Domains.spawned token;
+              worker pool),
+          token ));
   pool
 
 let size pool = pool.n_workers + 1
 
 let shutdown pool =
-  Mutex.lock pool.m;
+  lock_m pool;
   pool.stopping <- true;
   Condition.broadcast pool.work_cv;
-  Mutex.unlock pool.m;
-  List.iter Domain.join pool.handles;
+  unlock_m pool;
+  List.iter
+    (fun (handle, token) ->
+      Domain.join handle;
+      Sanitize.Domains.join token)
+    pool.handles;
   pool.handles <- []
 
 let map_array ?domains pool ~n ~f =
@@ -137,33 +169,40 @@ let map_array ?domains pool ~n ~f =
       Waltz_telemetry.Telemetry.Metrics.incr ~by:seats "pool.seats.offered"
     end;
     let job =
-      { run_item = (fun i -> results.(i) <- Some (f i));
+      { run_item =
+          (fun i ->
+            Sanitize.Shared.write_idx "pool.results" i;
+            results.(i) <- Some (f i));
         length = n;
         next = Atomic.make 0;
         seats;
         active = 1;
         failure = Atomic.make None }
     in
-    Mutex.lock pool.m;
+    lock_m pool;
     if pool.current <> None then begin
-      Mutex.unlock pool.m;
+      unlock_m pool;
       invalid_arg "Pool.map_array: pool is already running a job"
     end;
     pool.gen <- pool.gen + 1;
+    Sanitize.Shared.write "pool.current";
     pool.current <- Some (pool.gen, job);
     Condition.broadcast pool.work_cv;
-    Mutex.unlock pool.m;
+    unlock_m pool;
     participate pool job;
-    Mutex.lock pool.m;
+    lock_m pool;
+    Sanitize.Shared.write "pool.job";
     job.seats <- 0;
     while job.active > 0 do
-      Condition.wait pool.done_cv pool.m
+      wait_on pool pool.done_cv
     done;
+    Sanitize.Shared.write "pool.current";
     pool.current <- None;
-    Mutex.unlock pool.m;
+    unlock_m pool;
     match Atomic.get job.failure with Some e -> raise e | None -> ()
   end;
   Array.init n (fun i ->
+      Sanitize.Shared.read_idx "pool.results" i;
       match results.(i) with
       | Some v -> v
       | None -> invalid_arg "Pool.map_array: item never computed")
@@ -185,23 +224,36 @@ let run ?domains ~n f =
 (* The process-wide pool. Grown (shutdown + recreate, never shrunk) to the
    largest request seen; worker domains idle on the condition variable
    between jobs, so keeping it alive for the process lifetime is free and
-   saves the domain spawn/join on every trajectory batch. *)
-let shared_state : (t * int) option ref = ref None
+   saves the domain spawn/join on every trajectory batch.
+
+   Publication is an [Atomic.t] so the common already-big-enough path is a
+   single sequentially-consistent load with no lock. Growth double-checks
+   under [shared_mutex]: two callers racing on a cold or too-small pool
+   used to be able to interleave their check-then-create (the latent
+   double-initialization race) — now one grower wins, the other re-reads
+   the published pool. The replacement is published before the old pool is
+   retired so a concurrent fast-path load never observes a stopped pool. *)
+let shared_state : (t * int) option Atomic.t = Atomic.make None
 let shared_mutex = Mutex.create ()
 
 let shared ?domains () =
   let workers =
     match domains with Some d -> max 0 (d - 1) | None -> default_domains () - 1
   in
-  Mutex.lock shared_mutex;
-  let pool =
-    match !shared_state with
-    | Some (pool, w) when w >= workers -> pool
-    | prev ->
-      (match prev with Some (pool, _) -> shutdown pool | None -> ());
-      let pool = create ~workers () in
-      shared_state := Some (pool, workers);
-      pool
-  in
-  Mutex.unlock shared_mutex;
-  pool
+  match Atomic.get shared_state with
+  | Some (pool, w) when w >= workers -> pool
+  | _ ->
+    Mutex.lock shared_mutex;
+    Sanitize.Lock.acquire "pool.shared_mutex";
+    let pool =
+      match Atomic.get shared_state with
+      | Some (pool, w) when w >= workers -> pool
+      | prev ->
+        let pool = create ~workers () in
+        Atomic.set shared_state (Some (pool, workers));
+        (match prev with Some (old, _) -> shutdown old | None -> ());
+        pool
+    in
+    Sanitize.Lock.release "pool.shared_mutex";
+    Mutex.unlock shared_mutex;
+    pool

@@ -62,4 +62,8 @@ val shared : ?domains:int -> unit -> t
     trajectory executor above all — use this to amortize domain spawning;
     idle workers sleep on a condition variable and do not block process
     exit. Combine with [map_array ~domains] to bound a single job below the
-    pool's size. *)
+    pool's size.
+
+    The pool is published through an [Atomic.t]: the common path is one
+    lock-free load, and growth is double-checked under a mutex so two
+    concurrent first callers (or growers) cannot both install a pool. *)

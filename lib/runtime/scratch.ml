@@ -1,14 +1,26 @@
+module Sanitize = Waltz_sanitizer.Sanitize
+
 let n_slots = 8
 
-type t = { f : float array array; i : int array array }
+type t = {
+  f : float array array;
+  i : int array array;
+  owner : Sanitize.Arena.token;  (* sanitizer ownership witness *)
+}
 
 let key =
   Domain.DLS.new_key (fun () ->
-      { f = Array.make n_slots [||]; i = Array.make n_slots [||] })
+      { f = Array.make n_slots [||];
+        i = Array.make n_slots [||];
+        owner = Sanitize.Arena.create "runtime.scratch" })
 
-let get () = Domain.DLS.get key
+let get () =
+  let t = Domain.DLS.get key in
+  Sanitize.Arena.touch t.owner;
+  t
 
 let floats t slot n =
+  Sanitize.Arena.touch t.owner;
   let cur = t.f.(slot) in
   if Array.length cur >= n then cur
   else begin
@@ -18,6 +30,7 @@ let floats t slot n =
   end
 
 let floats_exact t slot n =
+  Sanitize.Arena.touch t.owner;
   let cur = t.f.(slot) in
   if Array.length cur = n then cur
   else begin
@@ -27,6 +40,7 @@ let floats_exact t slot n =
   end
 
 let ints t slot n =
+  Sanitize.Arena.touch t.owner;
   let cur = t.i.(slot) in
   if Array.length cur >= n then cur
   else begin

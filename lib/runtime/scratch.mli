@@ -17,7 +17,12 @@
     - int slot 1: [State.apply] subspace offsets
 
     Buffers hold stale data from previous uses; every user must write
-    before reading. *)
+    before reading.
+
+    The single-owner contract is checked dynamically: every accessor
+    touches a [Waltz_sanitizer.Sanitize.Arena] ownership witness, so with
+    the sanitizer enabled an arena reached from a foreign domain (e.g. a
+    [t] smuggled across a pool job boundary) is an OWN01 finding. *)
 
 type t
 

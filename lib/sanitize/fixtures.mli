@@ -1,0 +1,33 @@
+(** Seeded-race fixtures: small intentionally-broken concurrency harnesses
+    the sanitizer must flag with exactly one expected rule id — the
+    concurrency mirror of the verifier's malformed-IR fixture suite.
+
+    Each fixture drives the recorder deterministically from the calling
+    domain using virtual thread ids ({!Sanitize.Tid.with_virtual}), in the
+    detection mode that isolates its rule, so a fixture run is bit-stable
+    and asserts an exact finding set. Running a fixture resets the global
+    recorder and leaves the sanitizer disabled. *)
+
+module Sanitize = Waltz_sanitizer.Sanitize
+
+type fixture = {
+  name : string;
+  expected_rule : string;  (** the one rule id the fixture must raise *)
+  detection_mode : Sanitize.mode;
+  body : unit -> unit;
+}
+
+val all : fixture list
+(** [unguarded-cache-write] (RACE01), [inconsistent-lockset] (RACE02),
+    [lock-order-inversion] (LOCK01), [unbalanced-release] (LOCK02),
+    [cross-domain-arena] (OWN01). *)
+
+val find : string -> fixture option
+
+val run : fixture -> Sanitize.finding list
+(** Reset the recorder, set the fixture's mode, enable, run the body,
+    disable, and return every finding recorded. *)
+
+val check : fixture -> (unit, string) result
+(** [Ok ()] when {!run} yields at least one finding and every finding
+    carries [expected_rule]; otherwise a message naming what was raised. *)

@@ -1,0 +1,231 @@
+(* A sequential model of Pool's seat/claim/drain protocol, stepped one
+   micro-action at a time by a deterministic scheduler. See fuzz.mli for
+   the contract. *)
+
+type bug = Clean | Unseated_join | Torn_claim | Early_read
+
+type failure = { at_step : int; invariant : string }
+
+type outcome = { trace : int list; steps : int; failure : failure option }
+
+(* Agent 0 is the caller; agents 1..workers are pool workers. The phases
+   mirror the real protocol's states between its lock/atomic operations. *)
+type phase =
+  | Publish  (* caller: install the job, take its own seat *)
+  | Observe  (* worker: wake up, try to take a seat *)
+  | Claim  (* read-and-increment the item counter (atomic when not torn) *)
+  | Torn_pending of int  (* read half of a torn claim, holding the old value *)
+  | Computing of int  (* item claimed, result slot not yet written *)
+  | Signoff  (* decrement the active count *)
+  | Close_seats  (* caller: revoke unclaimed seats before draining *)
+  | Drain  (* caller: wait for active = 0 (runnable only once drained) *)
+  | Read_results  (* caller: consume the result array *)
+  | Finished
+
+type agent = { id : int; mutable phase : phase }
+
+type model = {
+  bug : bug;
+  items : int;
+  mutable published : bool;
+  mutable next : int;
+  mutable seats : int;
+  mutable active : int;
+  claims : int array;
+  computed : bool array;
+  mutable failure : failure option;
+  mutable step_no : int;
+}
+
+let fail m invariant =
+  if m.failure = None then m.failure <- Some { at_step = m.step_no; invariant }
+
+(* Claiming and writing the result slot are separate steps (as in the real
+   pool: the atomic fetch-and-add, then [f i], then the slot store) — the
+   window between them is exactly what the caller's drain protects. *)
+let claim_item m i =
+  if i < m.items then begin
+    m.claims.(i) <- m.claims.(i) + 1;
+    if m.claims.(i) > 1 then
+      fail m (Printf.sprintf "item %d claimed %d times" i m.claims.(i));
+    true
+  end
+  else false
+
+let runnable m a =
+  m.failure = None
+  &&
+  match a.phase with
+  | Finished -> false
+  | Observe -> m.published
+  | Drain -> m.active = 0
+  | Publish | Claim | Torn_pending _ | Computing _ | Signoff | Close_seats
+  | Read_results ->
+    true
+
+let step m a =
+  match a.phase with
+  | Publish ->
+    m.published <- true;
+    m.active <- 1;
+    a.phase <- Claim
+  | Observe ->
+    if m.bug = Unseated_join || m.seats > 0 then begin
+      m.seats <- m.seats - 1;
+      if m.seats < 0 then fail m "seat count went negative";
+      m.active <- m.active + 1;
+      a.phase <- Claim
+    end
+    else a.phase <- Finished
+  | Claim ->
+    if m.bug = Torn_claim then a.phase <- Torn_pending m.next
+    else begin
+      let i = m.next in
+      m.next <- i + 1;
+      a.phase <- (if claim_item m i then Computing i else Signoff)
+    end
+  | Torn_pending i ->
+    m.next <- i + 1;
+    a.phase <- (if claim_item m i then Computing i else Signoff)
+  | Computing i ->
+    m.computed.(i) <- true;
+    a.phase <- Claim
+  | Signoff ->
+    m.active <- m.active - 1;
+    if m.active < 0 then fail m "active count went negative";
+    a.phase <- (if a.id = 0 then Close_seats else Finished)
+  | Close_seats ->
+    m.seats <- 0;
+    a.phase <- (if m.bug = Early_read then Read_results else Drain)
+  | Drain -> a.phase <- Read_results
+  | Read_results ->
+    for i = 0 to m.items - 1 do
+      if not m.computed.(i) then
+        fail m (Printf.sprintf "result %d read before it was computed" i)
+    done;
+    a.phase <- Finished
+  | Finished -> ()
+
+(* End-of-run checks, once every agent has finished without a mid-run
+   failure. *)
+let postcondition m =
+  if m.failure = None then begin
+    if m.active <> 0 then fail m (Printf.sprintf "active count ended at %d" m.active);
+    Array.iteri
+      (fun i c -> if c <> 1 && m.failure = None then
+          fail m (Printf.sprintf "item %d claimed %d times in total" i c))
+      m.claims
+  end
+
+(* A 48-bit linear-congruential PRNG (java.util.Random constants): fits the
+   native int on every 64-bit platform, deterministic across runs, and no
+   dependency on any in-tree Rng. *)
+let rng_next s =
+  let s = ((s * 0x5DEECE66D) + 0xB) land 0xFFFFFFFFFFFF in
+  (s lsr 17, s)
+
+let max_steps = 100_000
+
+let execute ?(bug = Clean) ~workers ~items ~pick () =
+  (* The published seat budget is one below the worker count, mirroring a
+     real job bounded under the pool's size ([map_array ~domains] with
+     [domains - 1 < workers]): the seat check is load-bearing, so a variant
+     that skips it ([Unseated_join]) oversubscribes and drives the seat
+     count negative. *)
+  let m =
+    { bug;
+      items;
+      published = false;
+      next = 0;
+      seats = max 0 (workers - 1);
+      active = 0;
+      claims = Array.make (max items 1) 0;
+      computed = Array.make (max items 1) false;
+      failure = None;
+      step_no = 0 }
+  in
+  let agents =
+    Array.init (workers + 1) (fun id ->
+        { id; phase = (if id = 0 then Publish else Observe) })
+  in
+  let trace = ref [] in
+  let continue = ref true in
+  while !continue do
+    let ready = Array.to_list agents |> List.filter (runnable m) in
+    match ready with
+    | [] -> continue := false
+    | _ ->
+      let a = pick ready in
+      trace := a.id :: !trace;
+      step m a;
+      m.step_no <- m.step_no + 1;
+      if m.step_no > max_steps then begin
+        fail m "model wedged: step budget exhausted";
+        continue := false
+      end
+  done;
+  if Array.for_all (fun a -> a.phase = Finished) agents then postcondition m
+  else if m.failure = None then fail m "model wedged: runnable set drained early";
+  { trace = List.rev !trace; steps = m.step_no; failure = m.failure }
+
+let run ?(bug = Clean) ~workers ~items ~seed () =
+  let state = ref seed in
+  let pick ready =
+    let r, s = rng_next !state in
+    state := s;
+    List.nth ready (r mod List.length ready)
+  in
+  execute ~bug ~workers ~items ~pick ()
+
+let replay ?(bug = Clean) ~workers ~items ~choices () =
+  let remaining = ref choices in
+  let pick ready =
+    let rec go () =
+      match !remaining with
+      | [] -> List.hd ready
+      | c :: rest -> begin
+        remaining := rest;
+        match List.find_opt (fun a -> a.id = c) ready with
+        | Some a -> a
+        | None -> go ()
+      end
+    in
+    go ()
+  in
+  execute ~bug ~workers ~items ~pick ()
+
+let fails ?(bug = Clean) ~workers ~items choices =
+  (replay ~bug ~workers ~items ~choices ()).failure <> None
+
+let shrink ?(bug = Clean) ~workers ~items choices =
+  if not (fails ~bug ~workers ~items choices) then choices
+  else begin
+    (* Greedy delta: drop one choice at a time, keep the drop whenever the
+       replay still fails, iterate to a fixpoint. *)
+    let drop_at l k = List.filteri (fun i _ -> i <> k) l in
+    let rec pass cur k =
+      if k >= List.length cur then cur
+      else begin
+        let cand = drop_at cur k in
+        if fails ~bug ~workers ~items cand then pass cand k else pass cur (k + 1)
+      end
+    in
+    let rec fix cur =
+      let next = pass cur 0 in
+      if List.length next < List.length cur then fix next else next
+    in
+    fix choices
+  end
+
+let fuzz ?(bug = Clean) ~workers ~items ~seed ~runs () =
+  let failures = ref [] in
+  for k = runs - 1 downto 0 do
+    let seed_k = seed + (7919 * k) in
+    let o = run ~bug ~workers ~items ~seed:seed_k () in
+    match o.failure with
+    | None -> ()
+    | Some _ ->
+      let minimized = shrink ~bug ~workers ~items o.trace in
+      failures := (seed_k, replay ~bug ~workers ~items ~choices:minimized ()) :: !failures
+  done;
+  !failures

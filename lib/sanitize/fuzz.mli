@@ -1,0 +1,57 @@
+(** Deterministic schedule fuzzer for the Domain pool's seat protocol.
+
+    The pool's scheduling discipline ([Waltz_runtime.Pool]) is a small
+    protocol: a caller publishes a job with a seat budget, workers race to
+    join while seats remain, everyone claims items from an atomic counter,
+    participants sign off, and the caller waits for the active count to
+    drain before reading the results. This module replays that protocol as
+    a sequential model under seeded perturbed interleavings: one agent per
+    virtual participant, a scheduler that picks the next runnable agent
+    from a deterministic PRNG stream, and invariant checks (each item
+    computed exactly once, seats never negative, results never read before
+    they are written, the active count drains to zero).
+
+    The model is parametric in an injectable [bug] so the tests can prove
+    the fuzzer finds real protocol mistakes — e.g. splitting the atomic
+    claim into a read and a write ([Torn_claim]) lets two agents claim one
+    item, and the fuzzer's job is to find the interleaving that shows it.
+
+    Everything is deterministic: same seed, same trace, same verdict. On a
+    failure the shrinker minimizes the interleaving prefix that still
+    reproduces it. *)
+
+type bug =
+  | Clean  (** the faithful protocol; no interleaving violates invariants *)
+  | Unseated_join  (** workers skip the seat check when joining *)
+  | Torn_claim  (** the claim counter's fetch-and-add split in two steps *)
+  | Early_read  (** the caller reads results without draining [active] *)
+
+type failure = { at_step : int; invariant : string }
+
+type outcome = {
+  trace : int list;  (** the agent id chosen at each step, in order *)
+  steps : int;
+  failure : failure option;
+}
+
+val run : ?bug:bug -> workers:int -> items:int -> seed:int -> unit -> outcome
+(** One fuzzed execution: interleaving choices drawn from a seeded PRNG. *)
+
+val replay : ?bug:bug -> workers:int -> items:int -> choices:int list -> unit -> outcome
+(** Re-execute under a forced interleaving: each choice steps that agent if
+    it is runnable (skipped otherwise); after the choices run out the
+    lowest-id runnable agent is stepped. [replay ~choices:o.trace] of a
+    {!run} outcome reproduces it exactly. *)
+
+val shrink : ?bug:bug -> workers:int -> items:int -> int list -> int list
+(** Greedy trace minimization: repeatedly drop choices while {!replay}
+    still fails, to a fixpoint. Returns the original list when it does not
+    fail under replay. *)
+
+val fuzz :
+  ?bug:bug -> workers:int -> items:int -> seed:int -> runs:int -> unit ->
+  (int * outcome) list
+(** [fuzz ~seed ~runs] runs [runs] executions on split seeds
+    [seed + 7919*k] (the executor's split-stream idiom) and returns, per
+    failing seed, the outcome replayed from its shrunken trace. Empty on
+    the [Clean] protocol. *)

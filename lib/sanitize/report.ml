@@ -1,0 +1,53 @@
+module Sanitize = Waltz_sanitizer.Sanitize
+module Diagnostic = Waltz_verify.Diagnostic
+module Rules = Waltz_verify.Rules
+module Telemetry = Waltz_telemetry.Telemetry
+
+let passes = [ "happens-before"; "lockset"; "lock-order"; "ownership" ]
+
+let severity_of rule =
+  match Rules.find rule with
+  | Some r -> r.Rules.severity
+  | None -> Diagnostic.Error
+
+let diagnostic_of (f : Sanitize.finding) =
+  let message =
+    match f.Sanitize.anchors with
+    | [] -> f.Sanitize.message
+    | anchors ->
+      Printf.sprintf "%s; anchored at: %s" f.Sanitize.message
+        (String.concat " | " anchors)
+  in
+  Diagnostic.make ~rule:f.Sanitize.rule ~severity:(severity_of f.Sanitize.rule) message
+
+let race_rules = [ "RACE01"; "RACE02" ]
+
+let to_report ?(summary = false) () =
+  let findings = Sanitize.findings () in
+  let stats = Sanitize.stats () in
+  let diagnostics = List.map diagnostic_of findings in
+  let diagnostics =
+    if summary then
+      diagnostics
+      @ [ Diagnostic.info "RACE00"
+            (Printf.sprintf
+               "sanitizer observed %d accesses over %d sites and %d locks: %d finding%s"
+               stats.Sanitize.accesses stats.Sanitize.sites_tracked
+               stats.Sanitize.locks_tracked stats.Sanitize.reports
+               (if stats.Sanitize.reports = 1 then "" else "s")) ]
+    else diagnostics
+  in
+  { Diagnostic.diagnostics;
+    ops_checked = stats.Sanitize.accesses;
+    passes_run = passes }
+
+let flush_telemetry () =
+  let stats = Sanitize.stats () in
+  let races =
+    List.length
+      (List.filter
+         (fun (f : Sanitize.finding) -> List.mem f.Sanitize.rule race_rules)
+         (Sanitize.findings ()))
+  in
+  Telemetry.Metrics.incr ~by:stats.Sanitize.accesses "sanitize.access.instrumented";
+  Telemetry.Metrics.incr ~by:races "sanitize.race.reported"

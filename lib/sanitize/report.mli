@@ -1,0 +1,24 @@
+(** Bridge from recorder findings to the shared diagnostics machinery.
+
+    The sanitizer core ([Sanitize]) sits below every other library and so
+    cannot name [Waltz_verify] or [Waltz_telemetry]; this module closes the
+    loop from above: findings become [Waltz_verify.Diagnostic] values under
+    the RACE/LOCK/OWN rules, and recorder statistics are flushed into
+    telemetry counters after an instrumented run. *)
+
+module Sanitize = Waltz_sanitizer.Sanitize
+
+val passes : string list
+(** The detector passes a report claims: happens-before, lockset,
+    lock-order, ownership. *)
+
+val to_report : ?summary:bool -> unit -> Waltz_verify.Diagnostic.report
+(** Snapshot the recorder's findings as a diagnostic report. [ops_checked]
+    is the number of instrumented accesses observed. With [~summary:true] a
+    RACE00 note describing the run (accesses, locks, sites) is appended
+    even when the run is clean. *)
+
+val flush_telemetry : unit -> unit
+(** Record [sanitize.access.instrumented] and [sanitize.race.reported]
+    telemetry counters from the recorder's current statistics. No-op when
+    telemetry is disabled (counters drop writes when off). *)

@@ -8,6 +8,8 @@
    most once per coarse unit of work — a pipeline phase, a trajectory, a
    cache probe during planning — so contention is negligible). *)
 
+module Sanitize = Waltz_sanitizer.Sanitize
+
 let enabled_flag = Atomic.make false
 let enabled () = Atomic.get enabled_flag
 let enable () = Atomic.set enabled_flag true
@@ -53,6 +55,17 @@ let bin_upper i = Float.ldexp 1. (i - bin_offset)
 
 let state_mutex = Mutex.create ()
 
+(* Sanitizer shims wrap every state_mutex section; the shared-site marks at
+   each mutation/read let the race detector check that all traffic on the
+   span list, counter table and histogram table is ordered by this lock. *)
+let lock_state () =
+  Mutex.lock state_mutex;
+  Sanitize.Lock.acquire "telemetry.state_mutex"
+
+let unlock_state () =
+  Sanitize.Lock.release "telemetry.state_mutex";
+  Mutex.unlock state_mutex
+
 module Span = struct
   type t = {
     name : string;
@@ -86,16 +99,18 @@ module Span = struct
           let span =
             { name; track = (Domain.self () :> int); start_us; dur_us; depth; parent; args }
           in
-          Mutex.lock state_mutex;
+          lock_state ();
+          Sanitize.Shared.write "telemetry.spans";
           completed := span :: !completed;
-          Mutex.unlock state_mutex)
+          unlock_state ())
         f
     end
 
   let all () =
-    Mutex.lock state_mutex;
+    lock_state ();
+    Sanitize.Shared.read "telemetry.spans";
     let spans = List.rev !completed in
-    Mutex.unlock state_mutex;
+    unlock_state ();
     spans
 
   type aggregate = { agg_name : string; count : int; total_us : float; max_us : float }
@@ -125,15 +140,17 @@ module Metrics = struct
 
   let incr ?(by = 1) name =
     if Atomic.get enabled_flag then begin
-      Mutex.lock state_mutex;
+      lock_state ();
+      Sanitize.Shared.write "telemetry.counters";
       let cur = Option.value ~default:0 (Hashtbl.find_opt counters_tbl name) in
       Hashtbl.replace counters_tbl name (cur + by);
-      Mutex.unlock state_mutex
+      unlock_state ()
     end
 
   let observe name v =
     if Atomic.get enabled_flag then begin
-      Mutex.lock state_mutex;
+      lock_state ();
+      Sanitize.Shared.write "telemetry.hists";
       let h =
         match Hashtbl.find_opt hists_tbl name with
         | Some h -> h
@@ -150,19 +167,21 @@ module Metrics = struct
       h.min_v <- Float.min h.min_v v;
       h.max_v <- Float.max h.max_v v;
       h.bins.(bin_of v) <- h.bins.(bin_of v) + 1;
-      Mutex.unlock state_mutex
+      unlock_state ()
     end
 
   let counter name =
-    Mutex.lock state_mutex;
+    lock_state ();
+    Sanitize.Shared.read "telemetry.counters";
     let v = Option.value ~default:0 (Hashtbl.find_opt counters_tbl name) in
-    Mutex.unlock state_mutex;
+    unlock_state ();
     v
 
   let counters () =
-    Mutex.lock state_mutex;
+    lock_state ();
+    Sanitize.Shared.read "telemetry.counters";
     let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) counters_tbl [] in
-    Mutex.unlock state_mutex;
+    unlock_state ();
     List.sort compare l
 
   type histogram = {
@@ -181,15 +200,17 @@ module Metrics = struct
     { count = h.count; sum = h.sum; min = h.min_v; max = h.max_v; buckets = !buckets }
 
   let histogram name =
-    Mutex.lock state_mutex;
+    lock_state ();
+    Sanitize.Shared.read "telemetry.hists";
     let h = Option.map snapshot (Hashtbl.find_opt hists_tbl name) in
-    Mutex.unlock state_mutex;
+    unlock_state ();
     h
 
   let histograms () =
-    Mutex.lock state_mutex;
+    lock_state ();
+    Sanitize.Shared.read "telemetry.hists";
     let l = Hashtbl.fold (fun k h acc -> (k, snapshot h) :: acc) hists_tbl [] in
-    Mutex.unlock state_mutex;
+    unlock_state ();
     List.sort (fun (a, _) (b, _) -> compare a b) l
 
   let hit_rate ~hit ~miss =
@@ -198,11 +219,14 @@ module Metrics = struct
 end
 
 let reset () =
-  Mutex.lock state_mutex;
+  lock_state ();
+  Sanitize.Shared.write "telemetry.spans";
+  Sanitize.Shared.write "telemetry.counters";
+  Sanitize.Shared.write "telemetry.hists";
   Span.completed := [];
   Hashtbl.reset Metrics.counters_tbl;
   Hashtbl.reset Metrics.hists_tbl;
-  Mutex.unlock state_mutex
+  unlock_state ()
 
 module Report = struct
   let to_string () =

@@ -105,7 +105,26 @@ let all =
     r "LIVE02" Diagnostic.Warning "gate is an identity rotation"
       "rotations by multiples of 2*pi are removable dead code";
     r "LIVE03" Diagnostic.Info "fuseable rotation pair separated by commuting gates"
-      "same-axis rotations merge once commuting gates are moved aside" ]
+      "same-axis rotations merge once commuting gates are moved aside";
+    (* concurrency sanitizer (waltz_sanitize) *)
+    r "RACE00" Diagnostic.Info "sanitizer run summary"
+      "instrumented accesses, locks and sites observed by the enabled recorder";
+    r "RACE01" Diagnostic.Error "happens-before data race"
+      "two accesses to one shared location, at least one a write, with no \
+       vector-clock ordering between them: the deterministic trajectory \
+       statistics the executor promises are void under a data race";
+    r "RACE02" Diagnostic.Warning "lockset discipline violation"
+      "Eraser's weaker, schedule-independent claim: no single lock protects \
+       every access to the location, so some interleaving can race";
+    r "LOCK01" Diagnostic.Error "lock-order cycle"
+      "two threads acquiring the same locks in opposite nesting orders can \
+       deadlock; the acquisition graph must stay acyclic";
+    r "LOCK02" Diagnostic.Error "lock misuse"
+      "recursive acquisition or release of an unheld lock: stdlib Mutex is \
+       non-reentrant and raises or deadlocks on both";
+    r "OWN01" Diagnostic.Error "arena ownership violation"
+      "per-domain scratch arenas (Domain.DLS) are single-owner by contract; \
+       a foreign domain touching one corrupts hot-loop buffers" ]
 
 let find id = List.find_opt (fun x -> x.id = id) all
 

@@ -61,6 +61,29 @@ let () =
           compare "telemetry-on/domains=3"
             (Executor.simulate_detailed ~config ~domains:3 compiled);
           Waltz_telemetry.Telemetry.disable ();
+          (* The sanitizer must be observationally invisible in both states:
+             with the flag off every shim is one atomic branch, so the
+             statistics stay bit-identical at every domain count; with the
+             flag on the recorder may observe but not perturb — same
+             bit-identity, and a clean production run must yield zero
+             findings. *)
+          let module Sanitize = Waltz_sanitizer.Sanitize in
+          Sanitize.reset ();
+          Sanitize.enable ();
+          compare "sanitizer-on" (Executor.simulate_detailed ~config compiled);
+          compare "sanitizer-on/domains=1"
+            (Executor.simulate_detailed ~config ~domains:1 compiled);
+          compare "sanitizer-on/domains=3"
+            (Executor.simulate_detailed ~config ~domains:3 compiled);
+          Sanitize.disable ();
+          (match Sanitize.findings () with
+          | [] -> ()
+          | f :: _ ->
+            incr failures;
+            Printf.eprintf "SANITIZER finding on clean run %s/%s: %s %s: %s\n" cname
+              strategy.Strategy.name f.Sanitize.rule f.Sanitize.site f.Sanitize.message);
+          Sanitize.reset ();
+          compare "sanitizer-off" (Executor.simulate_detailed ~config compiled);
           (* The plan cache must be semantically invisible: every repeat
              above already hit it, but pin it down — one more warm call must
              reproduce the cold-plan statistics bit-for-bit, and a changed

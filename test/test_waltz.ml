@@ -26,4 +26,5 @@ let () =
       ("verify-fixtures", Test_verify_fixtures.suite);
       ("analysis", Test_analysis.suite);
       ("runtime", Test_runtime.suite);
-      ("telemetry", Test_telemetry.suite) ]
+      ("telemetry", Test_telemetry.suite);
+      ("sanitize", Test_sanitize.suite) ]
