@@ -496,6 +496,80 @@ let resynth () =
    report divides by the measured time to get trajectories/sec. *)
 let throughput_trajectories = 8
 
+(* A hand-built three-ququart program whose ops cover all six kernel
+   classes. The compiled benchmark circuits are dominated by diagonal /
+   monomial / single-wire pulses, so the two slowest classes — [two_wire]
+   and [controlled_block] — previously showed zero dispatches in the
+   trajectory-sim telemetry and were only measured in isolation. Every op
+   is a unitary (so the state norm survives bechamel's repetition loop) and
+   all three devices carry two qubits, giving full 4-level supports. *)
+let kernel_mix_program =
+  lazy
+    begin
+      let hh = Mat.kron Gates.h Gates.h in
+      let ctrl16 =
+        let m = Mat.identity 16 in
+        for i = 0 to 3 do
+          for j = 0 to 3 do
+            Mat.set m (12 + i) (12 + j) (Mat.get hh i j)
+          done
+        done;
+        m
+      in
+      let part d =
+        { Physical.device = d; noise = Physical.P4; occ_before = 2; occ_after = 2 }
+      in
+      let op label devices targets gate =
+        { Physical.label;
+          parts = List.map part devices;
+          targets;
+          gate;
+          duration_ns = 50.;
+          fidelity = 0.999;
+          touches_ww = true }
+      in
+      let ops =
+        [ op "mix-single" [ 2 ] [ (2, 0); (2, 1) ] hh;
+          op "mix-diag" [ 0; 1 ]
+            [ (0, 0); (0, 1); (1, 0); (1, 1) ]
+            (Mat.diag (Array.init 16 (fun i -> Cplx.exp_i (0.1 *. float_of_int i))));
+          op "mix-dense" [ 0; 2 ] [ (0, 0); (0, 1); (2, 0); (2, 1) ] (Mat.kron hh hh);
+          op "mix-cblock" [ 1; 2 ] [ (1, 0); (1, 1); (2, 0); (2, 1) ] ctrl16;
+          op "mix-perm" [ 0; 1 ]
+            [ (0, 0); (0, 1); (1, 0); (1, 1) ]
+            (Mat.permutation 16 (fun i -> (i + 5) mod 16));
+          op "mix-gen" [ 0; 1; 2 ] [ (0, 0); (1, 0); (2, 0) ] (Mat.kron hh Gates.h) ]
+      in
+      let map = [| (0, 0); (0, 1); (1, 0); (1, 1); (2, 0); (2, 1) |] in
+      let program =
+        { Physical.strategy = Strategy.full_ququart;
+          n_logical = 6;
+          device_count = 3;
+          device_dim = 4;
+          ops;
+          initial_map = map;
+          final_map = map }
+      in
+      (* Guard against classifier drift: the mix must keep covering every
+         class, or the benchmark silently stops measuring what it names. *)
+      let classes =
+        List.map
+          (fun (o : Physical.op) ->
+            let devices, lifted = Executor.lift_gate ~device_dim:4 o in
+            Waltz_sim.Kernel.class_name
+              (Waltz_sim.Kernel.compile ~dims:[| 4; 4; 4 |] ~targets:devices lifted))
+          ops
+      in
+      List.iter
+        (fun cls ->
+          if not (List.mem cls classes) then
+            failwith
+              (Printf.sprintf "kernel-mix program no longer exercises class %s" cls))
+        [ "diagonal"; "monomial"; "controlled_block"; "single_wire"; "two_wire";
+          "generic" ];
+      program
+    end
+
 let micro () =
   header "Bechamel micro-benchmarks (one Test.make per table/figure kernel)";
   let open Bechamel in
@@ -556,6 +630,27 @@ let micro () =
           (Staged.stage (fun () -> Waltz_sim.Kernel.apply kernel v)))
       kernel_cases
   in
+  (* The same kernels in lockstep over a full-width SoA block: one run does
+     [batch_width] lanes of work, so the per-lane cost is ns/run divided by
+     the width (the JSON report and doc/PERF.md record both). *)
+  let batch_width = Executor.default_batch () in
+  let kernel_batched_tests =
+    List.map
+      (fun (cls, dims, kernel) ->
+        let r = Rng.make ~seed:32 in
+        let n = Array.fold_left ( * ) 1 dims in
+        let blk = Waltz_sim.State_block.create ~dims ~cap:batch_width in
+        for k = 0 to batch_width - 1 do
+          let v = Vec.gaussian (fun () -> Rng.gaussian r) n in
+          Vec.normalize_in_place v;
+          Waltz_sim.State_block.write_lane blk k v
+        done;
+        Test.make
+          ~name:("fig9/kernel-classes-batched/" ^ cls)
+          (Staged.stage (fun () -> Waltz_sim.State_block.apply_kernel blk kernel)))
+      kernel_cases
+  in
+  let mix_program = Lazy.force kernel_mix_program in
   (* analysis/<domain>: one fixpoint pass per Test.make, over a fixed
      compiled benchmark. The JSON report divides by the ops the pass
      actually visited to get ns/op per abstract domain. *)
@@ -582,7 +677,7 @@ let micro () =
       analysis_passes
   in
   let tests =
-    kernel_tests @ analysis_tests
+    kernel_tests @ kernel_batched_tests @ analysis_tests
     @
     [ Test.make ~name:"table1/calibration-lookup"
         (Staged.stage (fun () -> ignore (Calibration.mr_cx ~control:Qubit ~target:(Slot 0))));
@@ -606,6 +701,12 @@ let micro () =
                (Executor.simulate
                   ~config:{ Executor.default_config with Executor.trajectories = 2 }
                   toffoli_fq)));
+      Test.make ~name:"fig9/trajectory-mix"
+        (Staged.stage (fun () ->
+             ignore
+               (Executor.simulate
+                  ~config:{ Executor.default_config with Executor.trajectories = 2 }
+                  mix_program)));
       Test.make ~name:"fig9/trajectory-throughput"
         (Staged.stage (fun () ->
              ignore
@@ -653,6 +754,25 @@ let micro () =
        ~config:
          { Executor.default_config with Executor.trajectories = throughput_trajectories }
        cnu7_fq);
+  (* The mix program puts two_wire and controlled_block dispatches on the
+     fig9 path, so the histogram below measures every class where it
+     matters. *)
+  ignore
+    (Executor.simulate
+       ~config:
+         { Executor.default_config with Executor.trajectories = throughput_trajectories }
+       mix_program);
+  (* The lift and damping caches only run at *plan* time, and the reruns
+     above hit the plan cache — with zero lookups their hit rates read 0/0
+     and were reported as 0.0. A freshly recompiled program misses the plan
+     cache, so replanning it exercises the process-warm lift table and the
+     per-plan damping-dt memo at steady state, which is what the reported
+     rates should reflect. *)
+  ignore
+    (Executor.simulate
+       ~config:
+         { Executor.default_config with Executor.trajectories = 2 }
+       (Compile.compile Strategy.full_ququart cnu7));
   Telemetry.disable ();
   let lift_hit =
     Telemetry.Metrics.hit_rate ~hit:"executor.lift_gate.hit"
@@ -670,6 +790,13 @@ let micro () =
   in
   let plan_hits = Telemetry.Metrics.counter "executor.plan_cache.hit" in
   let plan_misses = Telemetry.Metrics.counter "executor.plan_cache.miss" in
+  let batch_blocks = Telemetry.Metrics.counter "executor.batch.blocks" in
+  let batch_lane_windows = Telemetry.Metrics.counter "executor.batch.lane_windows" in
+  let batch_mask_divergence = Telemetry.Metrics.counter "executor.batch.mask_divergence" in
+  let mask_divergence_rate =
+    if batch_lane_windows = 0 then 0.
+    else float_of_int batch_mask_divergence /. float_of_int batch_lane_windows
+  in
   (* Sanitizer overhead on the fig9/trajectory-sim kernel, measured outside
      the timed section above: the disabled number prices the always-on shim
      branches (one Atomic load per instrumented point), the enabled number
@@ -726,6 +853,12 @@ let micro () =
   Printf.fprintf oc "{\n  \"domains\": %d,\n" domains;
   Printf.fprintf oc "  \"throughput_trajectories\": %d,\n" throughput_trajectories;
   Printf.fprintf oc "  \"trajectories_per_sec\": %.1f,\n" traj_per_sec;
+  Printf.fprintf oc "  \"batch\": {\n";
+  Printf.fprintf oc "    \"width\": %d,\n" batch_width;
+  Printf.fprintf oc "    \"blocks\": %d,\n" batch_blocks;
+  Printf.fprintf oc "    \"lane_windows\": %d,\n" batch_lane_windows;
+  Printf.fprintf oc "    \"mask_divergence_rate\": %.4f\n" mask_divergence_rate;
+  Printf.fprintf oc "  },\n";
   Printf.fprintf oc "  \"telemetry\": {\n";
   Printf.fprintf oc "    \"lift_gate_hit_rate\": %.4f,\n" lift_hit;
   Printf.fprintf oc "    \"damping_cache_hit_rate\": %.4f,\n" damping_hit;
@@ -783,10 +916,11 @@ let micro () =
 
 (* Fast correctness gate for `make bench-smoke` and the lint alias: every
    kernel the planner would compile for a spread of benchmark programs must
-   agree with the reference generic path on a random state, and a tiny
-   simulate must be bit-identical at 1 and 2 domains. Exits non-zero on the
-   first discrepancy, so a broken specialization fails `make lint` before
-   any timed run can record nonsense. *)
+   agree with the reference generic path on a random state (scalar and
+   batched), and a tiny simulate must be bit-identical across the
+   domains x batch grid. Exits non-zero on the first discrepancy, so a
+   broken specialization fails `make lint` before any timed run can record
+   nonsense. *)
 let smoke () =
   header "Kernel smoke checks (lint gate)";
   let failures = ref 0 in
@@ -795,7 +929,8 @@ let smoke () =
   let programs =
     [ Compile.compile Strategy.full_ququart toffoli;
       Compile.compile Strategy.mixed_radix_ccz cnu5;
-      Compile.compile Strategy.qubit_only toffoli ]
+      Compile.compile Strategy.qubit_only toffoli;
+      Lazy.force kernel_mix_program ]
   in
   let r = Rng.make ~seed:97 in
   let checked = ref 0 in
@@ -827,23 +962,53 @@ let smoke () =
               op.Physical.label
               (Waltz_sim.Kernel.class_name kernel)
               !diff
+          end;
+          (* The batched SoA path must not just agree — it must be
+             bit-identical to the scalar kernel on every lane, including a
+             partial trailing block (live < cap). *)
+          let blk = Waltz_sim.State_block.create ~dims ~cap:3 in
+          Waltz_sim.State_block.set_live blk 2;
+          for k = 0 to 1 do
+            Waltz_sim.State_block.write_lane blk k (Waltz_sim.State.amplitudes state)
+          done;
+          Waltz_sim.State_block.apply_kernel blk kernel;
+          let exact = ref true in
+          for k = 0 to 1 do
+            let lane = Waltz_sim.State_block.read_lane blk k in
+            for i = 0 to Vec.dim v - 1 do
+              if
+                (not (Float.equal lane.Vec.re.(i) v.Vec.re.(i)))
+                || not (Float.equal lane.Vec.im.(i) v.Vec.im.(i))
+              then exact := false
+            done
+          done;
+          if not !exact then begin
+            incr failures;
+            Printf.printf "  FAIL %s (%s): batched kernel is not bit-identical\n"
+              op.Physical.label
+              (Waltz_sim.Kernel.class_name kernel)
           end)
         compiled.Physical.ops)
     programs;
-  Printf.printf "  kernel-vs-generic: %d plan ops checked\n" !checked;
+  Printf.printf "  kernel-vs-generic: %d plan ops checked (scalar + batched)\n" !checked;
   let config = { Executor.model = Noise.default; trajectories = 4; base_seed = 5 } in
   let compiled = Compile.compile Strategy.full_ququart toffoli in
-  let a = Executor.simulate_detailed ~config ~domains:1 compiled in
-  let b = Executor.simulate_detailed ~config ~domains:2 compiled in
-  if
+  let a = Executor.simulate_detailed ~config ~domains:1 ~batch:1 compiled in
+  let same (b : Executor.detailed) =
     Float.equal a.Executor.summary.Executor.mean_fidelity
       b.Executor.summary.Executor.mean_fidelity
     && Float.equal a.Executor.mean_leakage b.Executor.mean_leakage
-  then Printf.printf "  domains 1 vs 2: bit-identical\n"
-  else begin
-    incr failures;
-    Printf.printf "  FAIL: domains 1 vs 2 statistics differ\n"
-  end;
+  in
+  List.iter
+    (fun (domains, batch) ->
+      if same (Executor.simulate_detailed ~config ~domains ~batch compiled) then
+        Printf.printf "  scalar vs domains=%d/batch=%d: bit-identical\n" domains batch
+      else begin
+        incr failures;
+        Printf.printf "  FAIL: domains=%d/batch=%d diverges from the scalar engine\n"
+          domains batch
+      end)
+    [ (2, 1); (1, 2); (2, 3); (2, 4) ];
   if !failures > 0 then begin
     Printf.printf "smoke: %d failures\n" !failures;
     exit 1

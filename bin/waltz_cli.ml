@@ -133,6 +133,16 @@ let domains_arg =
            machine's recommended count; 1 = sequential). Results are identical at \
            every setting.")
 
+let batch_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "batch" ] ~docv:"B"
+        ~doc:
+          "Lockstep trajectory batch width for the SoA engine (default: \
+           \\$(b,WALTZ_BATCH) or 8; 1 = scalar engine). Results are identical at \
+           every setting.")
+
 let stats_arg =
   Arg.(
     value & flag
@@ -273,14 +283,15 @@ let estimate_cmd =
 (* ---- simulate ---- *)
 
 let simulate_cmd =
-  let run family n cx_fraction strategy trajectories seed qasm optimize domains stats trace =
+  let run family n cx_fraction strategy trajectories seed qasm optimize domains batch
+      stats trace =
     with_circuit ~qasm ~optimize family n cx_fraction (fun circuit ->
         with_telemetry ~stats ~trace (fun () ->
             let compiled = Compile.compile strategy circuit in
             let d =
               Executor.simulate_detailed
                 ~config:{ Executor.model = Noise.default; trajectories; base_seed = seed }
-                ?domains compiled
+                ?domains ?batch compiled
             in
             let result = d.Executor.summary in
             Printf.printf "%s\n" (Physical.summary compiled);
@@ -295,12 +306,12 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Trajectory-method fidelity of a compiled circuit")
     Term.(
       const run $ family_arg $ n_arg $ cx_fraction_arg $ strategy_arg $ trajectories_arg
-      $ seed $ qasm_arg $ optimize_arg $ domains_arg $ stats_arg $ trace_arg)
+      $ seed $ qasm_arg $ optimize_arg $ domains_arg $ batch_arg $ stats_arg $ trace_arg)
 
 (* ---- sweep ---- *)
 
 let sweep_cmd =
-  let run family n cx_fraction knob values trajectories domains =
+  let run family n cx_fraction knob values trajectories domains batch =
     with_circuit family n cx_fraction (fun circuit ->
         let strategies =
           [ Strategy.qubit_only; Strategy.qubit_itoffoli; Strategy.mixed_radix_ccz;
@@ -331,7 +342,7 @@ let sweep_cmd =
                   let result =
                     Executor.simulate
                       ~config:{ Executor.model; trajectories; base_seed = 2023 }
-                      ?domains compiled
+                      ?domains ?batch compiled
                   in
                   Printf.printf " %-16.4f" result.Executor.mean_fidelity)
                 strategies;
@@ -355,7 +366,7 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Sensitivity sweeps (the Fig. 9 studies)")
     Term.(
       const run $ family_arg $ n_arg $ cx_fraction_arg $ knob $ values $ trajectories_arg
-      $ domains_arg)
+      $ domains_arg $ batch_arg)
 
 (* ---- breakdown ---- *)
 

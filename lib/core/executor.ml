@@ -32,6 +32,20 @@ type plan_op = {
   pre_damp : damp_spec list;  (** idle windows closing when this op starts *)
 }
 
+(* Population outside the computational subspace defined by a placement map:
+   a device's allowed levels depend on how many qubits it holds. The tables
+   and strides depend only on the compiled program, so they are resolved
+   once per plan and shared by every trajectory. *)
+type leakage_tables = {
+  l_allowed : bool array array;
+  l_strides : int array;
+  l_dim : int;  (** device_dim *)
+  l_ok : bool array;
+      (** per-index membership, [l_ok.(idx)] = every device digit allowed —
+          folds the per-device digit chain into one table lookup at plan
+          time so the per-trajectory sweep is branch + multiply only *)
+}
+
 (* The per-trajectory schedule: idle-window bookkeeping is identical for
    every trajectory, so start times, damping lambdas and Pauli radices are
    all resolved once per plan and only read from the worker domains. *)
@@ -39,6 +53,12 @@ type plan = {
   plan_dims : int array;  (** register shape the kernels were compiled for *)
   plan_ops : plan_op list;
   final_damp : damp_spec list;  (** windows closing at the end *)
+  plan_allowed : bool array array;  (** initial-map support tables *)
+  plan_support : int array;
+      (** ascending amplitude indices inside the initial-map support — the
+          flattened form of [plan_allowed], fed to the Haar refill so no
+          trajectory re-runs the per-index support test *)
+  plan_leak : leakage_tables;  (** final-map leakage tables *)
 }
 
 (* Devices in order of first appearance among the targets. Reversed-cons
@@ -125,6 +145,76 @@ let lift_gate ~device_dim (op : Physical.op) =
   if collision then Telemetry.Metrics.incr "executor.lift_table.collision";
   (devices, lifted)
 
+(* Allowed levels per device under a placement map: a device's computational
+   subspace depends on how many qubits it holds and in which slots. *)
+let allowed_of_map ~device_dim ~device_count map =
+  let allowed = Array.make device_count [ 0 ] in
+  if device_dim = 2 then Array.iter (fun (d, _) -> allowed.(d) <- [ 0; 1 ]) map
+  else begin
+    let slots = Array.make device_count [] in
+    Array.iter (fun (d, s) -> slots.(d) <- s :: slots.(d)) map;
+    Array.iteri
+      (fun d occupied ->
+        allowed.(d) <-
+          (match List.sort_uniq compare occupied with
+          | [] -> [ 0 ]
+          | [ 1 ] -> [ 0; 1 ]
+          | [ 0 ] -> [ 0; 2 ]
+          | _ -> [ 0; 1; 2; 3 ]))
+      slots
+  end;
+  allowed
+
+(* Per-device bool lookup tables (level -> allowed), replacing List.mem in
+   the O(dim_total · devices) scans. *)
+let allowed_table ~device_dim allowed =
+  Array.map (fun levels -> Array.init device_dim (fun l -> List.mem l levels)) allowed
+
+(* Flatten wire-major level tables into the ascending list of amplitude
+   indices whose every wire digit is allowed — one O(n * wires) sweep at
+   plan time replacing the same sweep per trajectory. *)
+let support_indices ~dims allowed =
+  let nw = Array.length dims in
+  let strides = Array.make nw 1 in
+  for w = nw - 2 downto 0 do
+    strides.(w) <- strides.(w + 1) * dims.(w + 1)
+  done;
+  let n = Array.fold_left ( * ) 1 dims in
+  let out = ref [] in
+  for idx = n - 1 downto 0 do
+    let ok = ref true in
+    for w = 0 to nw - 1 do
+      if not allowed.(w).(idx / strides.(w) mod dims.(w)) then ok := false
+    done;
+    if !ok then out := idx :: !out
+  done;
+  Array.of_list !out
+
+let initial_allowed (compiled : Physical.t) =
+  allowed_of_map ~device_dim:compiled.Physical.device_dim
+    ~device_count:compiled.Physical.device_count compiled.Physical.initial_map
+
+let leakage_tables_of ~map (compiled : Physical.t) =
+  let device_dim = compiled.Physical.device_dim in
+  let device_count = compiled.Physical.device_count in
+  let strides = Array.make device_count 1 in
+  for d = device_count - 2 downto 0 do
+    strides.(d) <- strides.(d + 1) * device_dim
+  done;
+  let l_allowed =
+    allowed_table ~device_dim (allowed_of_map ~device_dim ~device_count map)
+  in
+  let n = if device_count = 0 then 1 else strides.(0) * device_dim in
+  let l_ok =
+    Array.init n (fun idx ->
+        let ok = ref true in
+        for d = 0 to device_count - 1 do
+          if not l_allowed.(d).(idx / strides.(d) mod device_dim) then ok := false
+        done;
+        !ok)
+  in
+  { l_allowed; l_strides = strides; l_dim = device_dim; l_ok }
+
 let plan_uncached ~model (compiled : Physical.t) =
   Telemetry.Span.with_ ~name:"executor/plan" @@ fun () ->
   let device_dim = compiled.Physical.device_dim in
@@ -183,7 +273,17 @@ let plan_uncached ~model (compiled : Physical.t) =
       (fun d -> window d total_duration)
       (List.init compiled.Physical.device_count Fun.id)
   in
-  { plan_dims; plan_ops; final_damp }
+  (* Warm the shared Pauli tables once at plan time (they are mutex-guarded
+     globals, so pre-filling here keeps every later trajectory, on every
+     domain, contention-free without a per-simulate warm pass). *)
+  List.iter (fun d -> ignore (Noise.pauli_set ~d)) [ 2; device_dim ];
+  let plan_allowed = allowed_table ~device_dim (initial_allowed compiled) in
+  { plan_dims;
+    plan_ops;
+    final_damp;
+    plan_allowed;
+    plan_support = support_indices ~dims:plan_dims plan_allowed;
+    plan_leak = leakage_tables_of ~map:compiled.Physical.final_map compiled }
 
 (* Cross-call plan cache. Repeated [simulate] calls on one compiled program
    (benchmark reps, parameter sweeps over trajectories/seeds) replan from
@@ -199,7 +299,15 @@ let plan_cache_capacity = 8
 let plan_cache_find ~model compiled =
   List.find_opt (fun (c, m, _) -> c == compiled && m = model) !plan_cache
 
-let plan ~model (compiled : Physical.t) =
+(* Domain-local fast path over the shared cache: repeated simulate calls on
+   one (compiled, model) — benchmark reps, trajectory sweeps — skip the
+   mutex and the MRU walk entirely. Holding a plan here is safe because
+   plans are immutable and never invalidated, only evicted from the shared
+   MRU list. *)
+let plan_memo : (Physical.t * Noise.model * plan) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let plan_shared ~model (compiled : Physical.t) =
   Mutex.lock plan_cache_mutex;
   Sanitize.Lock.acquire "executor.plan_cache_mutex";
   let cached = plan_cache_find ~model compiled in
@@ -243,34 +351,16 @@ let plan ~model (compiled : Physical.t) =
   in
   p
 
-(* Allowed levels per device under a placement map: a device's computational
-   subspace depends on how many qubits it holds and in which slots. *)
-let allowed_of_map ~device_dim ~device_count map =
-  let allowed = Array.make device_count [ 0 ] in
-  if device_dim = 2 then Array.iter (fun (d, _) -> allowed.(d) <- [ 0; 1 ]) map
-  else begin
-    let slots = Array.make device_count [] in
-    Array.iter (fun (d, s) -> slots.(d) <- s :: slots.(d)) map;
-    Array.iteri
-      (fun d occupied ->
-        allowed.(d) <-
-          (match List.sort_uniq compare occupied with
-          | [] -> [ 0 ]
-          | [ 1 ] -> [ 0; 1 ]
-          | [ 0 ] -> [ 0; 2 ]
-          | _ -> [ 0; 1; 2; 3 ]))
-      slots
-  end;
-  allowed
-
-(* Per-device bool lookup tables (level -> allowed), replacing List.mem in
-   the O(dim_total · devices) scans. *)
-let allowed_table ~device_dim allowed =
-  Array.map (fun levels -> Array.init device_dim (fun l -> List.mem l levels)) allowed
-
-let initial_allowed (compiled : Physical.t) =
-  allowed_of_map ~device_dim:compiled.Physical.device_dim
-    ~device_count:compiled.Physical.device_count compiled.Physical.initial_map
+let plan ~model (compiled : Physical.t) =
+  let memo = Domain.DLS.get plan_memo in
+  match !memo with
+  | Some (c, m, p) when c == compiled && m = model ->
+    Telemetry.Metrics.incr "executor.plan_cache.hit";
+    p
+  | _ ->
+    let p = plan_shared ~model compiled in
+    memo := Some (compiled, model, p);
+    p
 
 (* The whole point of the kernel stage: per-op, per-trajectory cost is one
    dispatch on the precompiled class, no re-validation or re-classification. *)
@@ -323,45 +413,37 @@ let run_ideal (compiled : Physical.t) state =
   List.iter (fun p -> apply_plan_op out p) plan.plan_ops;
   out
 
-(* Population outside the computational subspace defined by a placement map:
-   a device's allowed levels depend on how many qubits it holds. The tables
-   and strides depend only on the map, so they are built once per simulate
-   call and shared by every trajectory. *)
-type leakage_tables = {
-  l_allowed : bool array array;
-  l_strides : int array;
-  l_dim : int;  (** device_dim *)
-}
-
-let leakage_tables_of ~map (compiled : Physical.t) =
-  let device_dim = compiled.Physical.device_dim in
-  let device_count = compiled.Physical.device_count in
-  let strides = Array.make device_count 1 in
-  for d = device_count - 2 downto 0 do
-    strides.(d) <- strides.(d + 1) * device_dim
-  done;
-  { l_allowed =
-      allowed_table ~device_dim (allowed_of_map ~device_dim ~device_count map);
-    l_strides = strides;
-    l_dim = device_dim }
-
 let leakage_with tables state =
-  let allowed = tables.l_allowed and strides = tables.l_strides in
-  let device_count = Array.length strides and device_dim = tables.l_dim in
+  let ok = tables.l_ok in
   let amps = State.amplitudes state in
+  let re = amps.Waltz_linalg.Vec.re and im = amps.Waltz_linalg.Vec.im in
   let inside = ref 0. in
   for idx = 0 to Waltz_linalg.Vec.dim amps - 1 do
-    let ok = ref true in
-    for d = 0 to device_count - 1 do
-      if not allowed.(d).(idx / strides.(d) mod device_dim) then ok := false
-    done;
-    if !ok then
-      inside :=
-        !inside
-        +. (amps.Waltz_linalg.Vec.re.(idx) *. amps.Waltz_linalg.Vec.re.(idx))
-        +. (amps.Waltz_linalg.Vec.im.(idx) *. amps.Waltz_linalg.Vec.im.(idx))
+    if ok.(idx) then inside := !inside +. (re.(idx) *. re.(idx)) +. (im.(idx) *. im.(idx))
   done;
   1. -. !inside
+
+(* Per-lane leakage, the SoA counterpart of [leakage_with]: the support
+   test per index is shared across lanes, and each lane accumulates its
+   inside-subspace weight in the same ascending-index order as the scalar
+   sweep — bit-identical per lane. *)
+let leakage_block_with tables blk ~inside out =
+  let ok = tables.l_ok in
+  let cap = State_block.capacity blk and live = State_block.live blk in
+  let re = State_block.re blk and im = State_block.im blk in
+  Array.fill inside 0 live 0.;
+  for idx = 0 to State_block.dim_total blk - 1 do
+    if ok.(idx) then begin
+      let p = idx * cap in
+      for k = 0 to live - 1 do
+        inside.(k) <-
+          inside.(k) +. (re.(p + k) *. re.(p + k)) +. (im.(p + k) *. im.(p + k))
+      done
+    end
+  done;
+  for k = 0 to live - 1 do
+    out.(k) <- 1. -. inside.(k)
+  done
 
 type detailed = { summary : result; mean_leakage : float; mean_error_draws : float }
 
@@ -398,12 +480,76 @@ let workspace_for dims =
     slot := Some ws;
     ws
 
-let simulate_detailed ?(config = default_config) ?domains (compiled : Physical.t) =
-  Telemetry.Span.with_ ~name:"executor/simulate"
-    ~args:
-      [ ("strategy", compiled.Physical.strategy.Strategy.name);
-        ("trajectories", string_of_int config.trajectories) ]
-  @@ fun () ->
+(* Per-domain batched workspace: the input/ideal/noisy block triple plus
+   the per-lane reduction buffers, reused across every block a domain runs
+   (one register shape and one batch width per simulate call). The arena
+   token makes a block smuggled across a pool job boundary an OWN01
+   sanitizer finding, exactly like the scalar workspace. *)
+type block_workspace = {
+  bdims : int array;
+  bcap : int;
+  binput : State_block.t;
+  bideal : State_block.t;
+  bnoisy : State_block.t;
+  bover : float array;  (* per-lane |⟨ideal|noisy⟩|² *)
+  bleak : float array;  (* per-lane leakage *)
+  binside : float array;  (* leakage accumulator *)
+  bowner : Sanitize.Arena.token;  (* sanitizer ownership witness *)
+}
+
+let block_workspace_key : block_workspace option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let block_workspace_for dims ~cap =
+  let slot = Domain.DLS.get block_workspace_key in
+  match !slot with
+  | Some ws when ws.bdims = dims && ws.bcap = cap ->
+    Sanitize.Arena.touch ws.bowner;
+    ws
+  | _ ->
+    let ws =
+      { bdims = Array.copy dims;
+        bcap = cap;
+        binput = State_block.create ~dims ~cap;
+        bideal = State_block.create ~dims ~cap;
+        bnoisy = State_block.create ~dims ~cap;
+        bover = Array.make cap 0.;
+        bleak = Array.make cap 0.;
+        binside = Array.make cap 0.;
+        bowner = Sanitize.Arena.create "executor.block_workspace" }
+    in
+    slot := Some ws;
+    ws
+
+(* Default lockstep batch width: the [--batch] / [WALTZ_BATCH] knob, else 8
+   — wide enough to amortize index arithmetic over the lanes, small enough
+   that a block of three state triples stays cache-resident for the fig9
+   register sizes. Results are bit-identical at every width. The env read
+   is memoized — the environment is fixed for the process lifetime, and the
+   getenv scan otherwise shows up in short simulate calls. A racing first
+   call recomputes the same value, so the bare Atomic is safe. *)
+let default_batch_memo = Atomic.make 0
+
+let default_batch () =
+  match Atomic.get default_batch_memo with
+  | 0 ->
+    let b =
+      match Sys.getenv_opt "WALTZ_BATCH" with
+      | Some s ->
+        (match int_of_string_opt (String.trim s) with
+        | Some b when b >= 1 -> min b 1024
+        | _ -> 8)
+      | None -> 8
+    in
+    Atomic.set default_batch_memo b;
+    b
+  | b -> b
+
+let apply_plan_op_block blk p =
+  Telemetry.Metrics.incr ~by:(State_block.live blk) p.dispatch_counter;
+  State_block.apply_kernel blk p.kernel
+
+let simulate_detailed_body ~config ?domains ?batch (compiled : Physical.t) =
   let device_dim = compiled.Physical.device_dim in
   if compiled.Physical.device_count > max_devices ~device_dim then
     invalid_arg
@@ -412,17 +558,14 @@ let simulate_detailed ?(config = default_config) ?domains (compiled : Physical.t
   let model = config.model in
   let plan = plan ~model compiled in
   let dims = plan.plan_dims in
-  let allowed = allowed_table ~device_dim (initial_allowed compiled) in
-  let leak_tables = leakage_tables_of ~map:compiled.Physical.final_map compiled in
-  (* Warm the shared Pauli table before fanning out (it is mutex-guarded,
-     but pre-filling keeps the hot path contention-free). *)
-  List.iter (fun d -> ignore (Noise.pauli_set ~d)) [ 2; device_dim ];
+  let support = plan.plan_support in
+  let leak_tables = plan.plan_leak in
   let run_trajectory_raw k =
     (* Split-stream seeding: trajectory k's stream depends only on k, so the
        result is bit-identical at every domain count. *)
     let rng = Rng.make ~seed:(config.base_seed + (7919 * k)) in
     let ws = workspace_for dims in
-    State.fill_random_supported ws.input rng ~allowed;
+    State.fill_random_on ws.input rng ~support;
     State.assign ~dst:ws.ideal ~src:ws.input;
     List.iter (fun p -> apply_plan_op ws.ideal p) plan.plan_ops;
     State.assign ~dst:ws.noisy ~src:ws.input;
@@ -444,15 +587,112 @@ let simulate_detailed ?(config = default_config) ?domains (compiled : Physical.t
       r
     end
   in
+  (* One block of [batch] trajectories in lockstep over the SoA planes.
+     Lane k of block j is trajectory j*batch + k, with its own split-stream
+     RNG, so the per-lane draw order (input gaussians, per-window jump
+     choices, per-op error draws) is exactly the scalar trajectory's — the
+     flattened samples are bit-identical to the scalar engine at every
+     batch width and domain count. Returns (per-lane samples, lanes that
+     diverged from lockstep, per-lane stochastic windows). *)
+  let run_block_raw j ~batch =
+    let b0 = j * batch in
+    let live = min batch (config.trajectories - b0) in
+    let ws = block_workspace_for dims ~cap:batch in
+    State_block.set_live ws.binput live;
+    State_block.set_live ws.bideal live;
+    State_block.set_live ws.bnoisy live;
+    let rngs =
+      Array.init live (fun i -> Rng.make ~seed:(config.base_seed + (7919 * (b0 + i))))
+    in
+    State_block.fill_random_on ws.binput rngs ~support;
+    State_block.assign ~dst:ws.bideal ~src:ws.binput;
+    List.iter (fun p -> apply_plan_op_block ws.bideal p) plan.plan_ops;
+    State_block.assign ~dst:ws.bnoisy ~src:ws.binput;
+    let draws = Array.make live 0 in
+    let windows = ref 0 and diverged = ref 0 in
+    let damp_block specs =
+      List.iter
+        (fun { dwire; lambdas; scales } ->
+          windows := !windows + live;
+          diverged :=
+            !diverged + State_block.damp_with ws.bnoisy rngs ~wire:dwire ~lambdas ~scales)
+        specs
+    in
+    List.iter
+      (fun p ->
+        damp_block p.pre_damp;
+        apply_plan_op_block ws.bnoisy p;
+        if p.error_parts <> [] then begin
+          windows := !windows + live;
+          for k = 0 to live - 1 do
+            match Noise.draw_error rngs.(k) ~dims:p.error_dims ~p:p.error_p with
+            | None -> ()
+            | Some factors ->
+              incr diverged;
+              List.iter2
+                (fun (device, role) pauli ->
+                  State_block.apply_lane ws.bnoisy k ~targets:[ device ]
+                    (embed_error ~device_dim role pauli))
+                p.error_parts factors;
+              draws.(k) <- draws.(k) + 1
+          done
+        end)
+      plan.plan_ops;
+    damp_block plan.final_damp;
+    State_block.overlap2_into ws.bover ws.bideal ws.bnoisy;
+    leakage_block_with leak_tables ws.bnoisy ~inside:ws.binside ws.bleak;
+    (Array.init live (fun k -> (ws.bover.(k), ws.bleak.(k), draws.(k))), !diverged, !windows)
+  in
+  let run_block j ~batch =
+    if not (Telemetry.enabled ()) then
+      let samples, _, _ = run_block_raw j ~batch in
+      samples
+    else begin
+      Telemetry.Metrics.incr "executor.batch.blocks";
+      let t0 = Telemetry.now_us () in
+      let samples, diverged, windows =
+        Telemetry.Span.with_ ~name:"trajectory-block" (fun () -> run_block_raw j ~batch)
+      in
+      Telemetry.Metrics.observe "executor.block_us" (Telemetry.now_us () -. t0);
+      Telemetry.Metrics.incr ~by:(Array.length samples) "executor.trajectories";
+      Telemetry.Metrics.incr ~by:(Array.length samples)
+        (Printf.sprintf "executor.domain.%d.trajectories" (Domain.self () :> int));
+      Telemetry.Metrics.incr ~by:windows "executor.batch.lane_windows";
+      Telemetry.Metrics.incr ~by:diverged "executor.batch.mask_divergence";
+      samples
+    end
+  in
   let domains =
     match domains with Some d -> max 1 d | None -> Pool.default_domains ()
   in
+  (* Never allocate wider planes than there are trajectories: a 2-trajectory
+     run with the default width would otherwise sweep 8-lane-stride planes
+     with 6 dead lanes. Lane k's stream depends only on its trajectory
+     index, so clamping changes no statistics. *)
+  let batch = match batch with Some b -> max 1 b | None -> default_batch () in
+  let batch = min batch config.trajectories in
   let samples =
-    if domains <= 1 || config.trajectories <= 1 then
-      Array.init config.trajectories run_trajectory
-    else
-      Pool.map_array ~domains (Pool.shared ~domains ()) ~n:config.trajectories
-        ~f:run_trajectory
+    if batch <= 1 || config.trajectories <= 1 then begin
+      if domains <= 1 || config.trajectories <= 1 then
+        Array.init config.trajectories run_trajectory
+      else
+        Pool.map_array ~domains (Pool.shared ~domains ()) ~n:config.trajectories
+          ~f:run_trajectory
+    end
+    else begin
+      let nblocks = (config.trajectories + batch - 1) / batch in
+      let blocks =
+        if domains <= 1 || nblocks <= 1 then Array.init nblocks (run_block ~batch)
+        else
+          Pool.map_array ~domains (Pool.shared ~domains ()) ~n:nblocks
+            ~f:(run_block ~batch)
+      in
+      let samples = Array.make config.trajectories (0., 0., 0) in
+      Array.iteri
+        (fun j arr -> Array.blit arr 0 samples (j * batch) (Array.length arr))
+        blocks;
+      samples
+    end
   in
   let n = float_of_int config.trajectories in
   let mean = Array.fold_left (fun a (f, _, _) -> a +. f) 0. samples /. n in
@@ -469,8 +709,19 @@ let simulate_detailed ?(config = default_config) ?domains (compiled : Physical.t
   in
   { summary; mean_leakage; mean_error_draws }
 
-let simulate ?config ?domains compiled =
+let simulate_detailed ?(config = default_config) ?domains ?batch (compiled : Physical.t) =
+  (* The span args (string building included) are only worth constructing
+     when telemetry is recording; with it off this is the whole overhead. *)
+  if not (Telemetry.enabled ()) then simulate_detailed_body ~config ?domains ?batch compiled
+  else
+    Telemetry.Span.with_ ~name:"executor/simulate"
+      ~args:
+        [ ("strategy", compiled.Physical.strategy.Strategy.name);
+          ("trajectories", string_of_int config.trajectories) ]
+      (fun () -> simulate_detailed_body ~config ?domains ?batch compiled)
+
+let simulate ?config ?domains ?batch compiled =
   (match config with
-  | Some c -> simulate_detailed ~config:c ?domains compiled
-  | None -> simulate_detailed ?domains compiled)
+  | Some c -> simulate_detailed ~config:c ?domains ?batch compiled
+  | None -> simulate_detailed ?domains ?batch compiled)
     .summary

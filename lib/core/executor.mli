@@ -22,7 +22,7 @@ val max_devices : device_dim:int -> int
 (** Memory guard: the largest register the executor will simulate
     (11 four-level or 22 two-level devices). *)
 
-val simulate : ?config:config -> ?domains:int -> Physical.t -> result
+val simulate : ?config:config -> ?domains:int -> ?batch:int -> Physical.t -> result
 (** Raises [Invalid_argument] if the compiled circuit exceeds
     [max_devices].
 
@@ -31,7 +31,19 @@ val simulate : ?config:config -> ?domains:int -> Physical.t -> result
     count; [1] runs the exact legacy sequential path). Each trajectory owns
     an independent seed stream ([base_seed + 7919·k]) and results are
     reduced in trajectory order, so every statistic is bit-identical at
-    every domain count. *)
+    every domain count.
+
+    Within a domain, [batch] trajectories run in lockstep over a
+    structure-of-arrays state block (default: the [WALTZ_BATCH] environment
+    knob, else {!default_batch}; [1] runs the scalar engine). Each lane
+    keeps its own RNG stream and every batched sweep performs the scalar
+    engine's floating-point operations in the same per-lane order, so the
+    statistics are also bit-identical at every batch width — the
+    determinism suite enforces the full [batch] × [domains] grid. *)
+
+val default_batch : unit -> int
+(** The lockstep batch width used when [?batch] is not given: the
+    [WALTZ_BATCH] environment knob (clamped to [1, 1024]), else 8. *)
 
 type detailed = {
   summary : result;
@@ -41,8 +53,10 @@ type detailed = {
   mean_error_draws : float;  (** average depolarizing events per trajectory *)
 }
 
-val simulate_detailed : ?config:config -> ?domains:int -> Physical.t -> detailed
-(** See {!simulate} for the [domains] knob and the determinism guarantee. *)
+val simulate_detailed :
+  ?config:config -> ?domains:int -> ?batch:int -> Physical.t -> detailed
+(** See {!simulate} for the [domains]/[batch] knobs and the determinism
+    guarantee. *)
 
 val run_ideal : Physical.t -> Waltz_sim.State.t -> Waltz_sim.State.t
 (** Applies the compiled ops without noise to a copy of the given physical

@@ -1,6 +1,26 @@
 type t = { state : Random.State.t; mutable cached_gauss : float option }
 
-let make ~seed = { state = Random.State.make [| seed; 0x9e3779b9 |]; cached_gauss = None }
+(* [Random.State.make] hashes the seed array through the stdlib's full
+   initialization (~0.6 us) — the trajectory engine pays it once per
+   trajectory under split-stream seeding. The initial state for a given
+   seed never changes, so memoize masters per domain and hand out copies:
+   same seed, same stream, a fraction of the cost. The masters are never
+   advanced — [make] only ever copies them. *)
+let seed_masters : (int, Random.State.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let make ~seed =
+  let masters = Domain.DLS.get seed_masters in
+  let master =
+    match Hashtbl.find_opt masters seed with
+    | Some s -> s
+    | None ->
+      if Hashtbl.length masters > 4096 then Hashtbl.reset masters;
+      let s = Random.State.make [| seed; 0x9e3779b9 |] in
+      Hashtbl.add masters seed s;
+      s
+  in
+  { state = Random.State.copy master; cached_gauss = None }
 
 let split t =
   { state = Random.State.make [| Random.State.bits t.state; Random.State.bits t.state |];

@@ -45,18 +45,32 @@ let wait_on pool cv =
   Condition.wait cv pool.m;
   Sanitize.Lock.acquire "pool.m"
 
+(* Memoized: the environment and the hardware's recommendation are fixed
+   for the process lifetime, and the getenv + topology probe (~0.3 us)
+   otherwise taxes every short simulate call. A racing first call computes
+   the same value twice, so the bare Atomic is safe. *)
+let default_domains_memo = Atomic.make 0
+
 let default_domains () =
-  let recommended = max 1 (Domain.recommended_domain_count ()) in
-  match Sys.getenv_opt "WALTZ_DOMAINS" with
-  | Some s -> begin
-    match int_of_string_opt (String.trim s) with
-    (* Oversubscribing physical cores can only add scheduling overhead, and
-       determinism makes the setting observationally equivalent anyway, so
-       the env knob is capped at the hardware's recommendation. *)
-    | Some d when d >= 1 -> min (min d 64) recommended
-    | _ -> recommended
-  end
-  | None -> recommended
+  match Atomic.get default_domains_memo with
+  | 0 ->
+    let recommended = max 1 (Domain.recommended_domain_count ()) in
+    let d =
+      match Sys.getenv_opt "WALTZ_DOMAINS" with
+      | Some s -> begin
+        match int_of_string_opt (String.trim s) with
+        (* Oversubscribing physical cores can only add scheduling overhead,
+           and determinism makes the setting observationally equivalent
+           anyway, so the env knob is capped at the hardware's
+           recommendation. *)
+        | Some d when d >= 1 -> min (min d 64) recommended
+        | _ -> recommended
+      end
+      | None -> recommended
+    in
+    Atomic.set default_domains_memo d;
+    d
+  | d -> d
 
 (* Claim items until the counter runs dry, then sign off. On an exception the
    job is aborted (the counter is pushed past the end) and the first failure

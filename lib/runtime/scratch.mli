@@ -13,8 +13,14 @@
 
     - float slots 0/1: kernel and [State.apply] gather buffers (re/im)
     - float slots 2/3: [State.damp] populations and jump weights
+      ([State_block.damp_with] reuses slot 3 for its per-lane weights)
+    - float slots 4/5: batched-kernel gather buffers (re/im, lane-major)
+    - float slot 6: [State_block.damp_with] per-lane populations
     - int slot 0: spectator-wire odometer counters
     - int slot 1: [State.apply] subspace offsets
+    - int slot 2: spectator-wire list for base enumeration
+    - int slot 3: [State_block.fill_random_supported] support table
+    - int slot 4: [State_block.damp_with] per-lane jump choices
 
     Buffers hold stale data from previous uses; every user must write
     before reading.

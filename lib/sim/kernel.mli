@@ -48,6 +48,16 @@ val apply : t -> Vec.t -> unit
 (** In-place application to a state vector of the register the kernel was
     compiled for. Raises [Invalid_argument] on a length mismatch. *)
 
+val apply_block : t -> float array -> float array -> cap:int -> live:int -> unit
+(** [apply_block t re im ~cap ~live] applies the kernel in lockstep to the
+    first [live] lanes of a structure-of-arrays state block: amplitude [idx]
+    of lane [k] lives at [idx * cap + k] of the [re]/[im] planes (see
+    {!State_block}). Each index pattern is computed once and swept across
+    all lanes in a dense inner float loop; per lane the floating-point
+    operations match {!apply} exactly, so every lane's result is
+    bit-identical to a scalar application. Raises [Invalid_argument] on a
+    plane-length mismatch or [live] outside [1, cap]. *)
+
 val class_name : t -> string
 (** One of ["diagonal"], ["monomial"], ["controlled_block"],
     ["single_wire"], ["two_wire"], ["generic"] — stable names used by

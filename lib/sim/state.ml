@@ -77,6 +77,24 @@ let fill_random_supported s rng ~allowed =
   done;
   Vec.normalize_in_place v
 
+(* Refill on a precomputed ascending support-index list. The draw order (re
+   then im per listed index) is exactly [fill_random_supported]'s when
+   [support] enumerates that call's supported indices in ascending order, so
+   the RNG stream — and hence the state — is bit-identical; the support test
+   itself is hoisted to whoever built the list (once per plan, not once per
+   trajectory). *)
+let fill_random_on s rng ~support =
+  let v = s.vec in
+  let n = Vec.dim v in
+  Array.fill v.Vec.re 0 n 0.;
+  Array.fill v.Vec.im 0 n 0.;
+  for i = 0 to Array.length support - 1 do
+    let idx = support.(i) in
+    v.Vec.re.(idx) <- Rng.gaussian rng;
+    v.Vec.im.(idx) <- Rng.gaussian rng
+  done;
+  Vec.normalize_in_place v
+
 let random_supported rng ~dims ~allowed =
   if Array.length allowed <> Array.length dims then invalid_arg "State.random_supported";
   let nw = Array.length dims in

@@ -36,6 +36,13 @@ val fill_random_supported : t -> Rng.t -> allowed:bool array array -> unit
     trajectories carries nothing over; the RNG draw order is identical to
     {!random_supported}. *)
 
+val fill_random_on : t -> Rng.t -> support:int array -> unit
+(** Like {!fill_random_supported}, but over a precomputed ascending list of
+    supported amplitude indices — the per-index support test is paid once by
+    whoever builds the list instead of once per trajectory. Bit-identical to
+    {!fill_random_supported} when [support] enumerates its supported
+    indices. *)
+
 val copy : t -> t
 
 val assign : dst:t -> src:t -> unit

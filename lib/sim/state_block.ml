@@ -1,0 +1,474 @@
+open Waltz_linalg
+module Scratch = Waltz_runtime.Scratch
+
+(* Structure-of-arrays block of up to [cap] trajectory states over one
+   register. Amplitude [idx] of lane [k] lives at [idx * cap + k] of the
+   re/im planes, so a kernel sweeping one amplitude index touches all lanes
+   contiguously — the inner loops over [k] are dense, branch-free and
+   vectorizable. [live <= cap] lanes are in use; the trailing partial block
+   of a trajectory run reuses the same planes without reallocating. *)
+type t = {
+  dims : int array;
+  strides : int array;
+  n : int;  (* amplitudes per lane *)
+  cap : int;  (* lane capacity (layout stride) *)
+  mutable live : int;  (* lanes in use, in [1, cap] *)
+  re : float array;
+  im : float array;
+}
+
+let strides_of dims =
+  let n = Array.length dims in
+  let strides = Array.make n 1 in
+  for w = n - 2 downto 0 do
+    strides.(w) <- strides.(w + 1) * dims.(w + 1)
+  done;
+  strides
+
+let create ~dims ~cap =
+  if Array.length dims = 0 then invalid_arg "State_block.create";
+  Array.iter
+    (fun d -> if d < 2 then invalid_arg "State_block.create: wire dimension < 2")
+    dims;
+  if cap < 1 then invalid_arg "State_block.create: capacity < 1";
+  let n = Array.fold_left ( * ) 1 dims in
+  { dims = Array.copy dims;
+    strides = strides_of dims;
+    n;
+    cap;
+    live = cap;
+    re = Array.make (n * cap) 0.;
+    im = Array.make (n * cap) 0. }
+
+let dims t = Array.copy t.dims
+let dim_total t = t.n
+let capacity t = t.cap
+let live t = t.live
+let re t = t.re
+let im t = t.im
+
+let set_live t l =
+  if l < 1 || l > t.cap then invalid_arg "State_block.set_live";
+  t.live <- l
+
+let assign ~dst ~src =
+  if dst.dims <> src.dims || dst.cap <> src.cap then
+    invalid_arg "State_block.assign: shape mismatch";
+  let len = src.n * src.cap in
+  Array.blit src.re 0 dst.re 0 len;
+  Array.blit src.im 0 dst.im 0 len;
+  dst.live <- src.live
+
+let read_lane t k =
+  if k < 0 || k >= t.live then invalid_arg "State_block.read_lane";
+  let v = Vec.create t.n in
+  for idx = 0 to t.n - 1 do
+    let p = (idx * t.cap) + k in
+    v.Vec.re.(idx) <- t.re.(p);
+    v.Vec.im.(idx) <- t.im.(p)
+  done;
+  v
+
+let write_lane t k v =
+  if k < 0 || k >= t.live then invalid_arg "State_block.write_lane";
+  if Vec.dim v <> t.n then invalid_arg "State_block.write_lane: dimension mismatch";
+  for idx = 0 to t.n - 1 do
+    let p = (idx * t.cap) + k in
+    t.re.(p) <- v.Vec.re.(idx);
+    t.im.(p) <- v.Vec.im.(idx)
+  done
+
+(* Norm² of one lane, accumulated in ascending amplitude order — the same
+   addend sequence as [Vec.normalize_in_place] on a scalar state, so the
+   normalization scale (and everything downstream) is bit-identical. *)
+let lane_norm2 t k =
+  let acc = ref 0. in
+  for idx = 0 to t.n - 1 do
+    let p = (idx * t.cap) + k in
+    let re = t.re.(p) and im = t.im.(p) in
+    acc := !acc +. (re *. re) +. (im *. im)
+  done;
+  !acc
+
+let normalize_lane t k =
+  let nrm = sqrt (lane_norm2 t k) in
+  if nrm = 0. then invalid_arg "State_block.normalize_lane: zero vector";
+  let s = 1. /. nrm in
+  for idx = 0 to t.n - 1 do
+    let p = (idx * t.cap) + k in
+    t.re.(p) <- t.re.(p) *. s;
+    t.im.(p) <- t.im.(p) *. s
+  done
+
+(* Per-lane Haar-random refill on the allowed support. The support test is
+   hoisted out of the lane loop into a shared table (it depends only on the
+   index), but each lane draws from its own RNG in the exact scalar order:
+   re then im per supported index, ascending — so lane [k] sees the same
+   gaussian sequence as a scalar [State.fill_random_supported] with
+   [rngs.(k)]. *)
+let fill_random_supported t rngs ~allowed =
+  let nw = Array.length t.dims in
+  if Array.length allowed <> nw then invalid_arg "State_block.fill_random_supported";
+  Array.iteri
+    (fun w table ->
+      if Array.length table <> t.dims.(w) then
+        invalid_arg "State_block.fill_random_supported: level table size mismatch")
+    allowed;
+  if Array.length rngs < t.live then
+    invalid_arg "State_block.fill_random_supported: rng count mismatch";
+  let len = t.n * t.cap in
+  Array.fill t.re 0 len 0.;
+  Array.fill t.im 0 len 0.;
+  let scratch = Scratch.get () in
+  let support = Scratch.ints scratch 3 t.n in
+  for idx = 0 to t.n - 1 do
+    let ok = ref true in
+    for w = 0 to nw - 1 do
+      if not allowed.(w).(idx / t.strides.(w) mod t.dims.(w)) then ok := false
+    done;
+    support.(idx) <- (if !ok then 1 else 0)
+  done;
+  for k = 0 to t.live - 1 do
+    let rng = rngs.(k) in
+    for idx = 0 to t.n - 1 do
+      if support.(idx) = 1 then begin
+        let p = (idx * t.cap) + k in
+        t.re.(p) <- Rng.gaussian rng;
+        t.im.(p) <- Rng.gaussian rng
+      end
+    done;
+    normalize_lane t k
+  done
+
+(* Refill on a precomputed ascending support-index list — the SoA
+   counterpart of [State.fill_random_on]. Per lane the draws happen in the
+   same order as [fill_random_supported] with that lane's RNG, so the
+   streams are bit-identical; the support sweep itself is gone from the
+   per-block cost. *)
+let fill_random_on t rngs ~support =
+  if Array.length rngs < t.live then
+    invalid_arg "State_block.fill_random_on: rng count mismatch";
+  let len = t.n * t.cap in
+  Array.fill t.re 0 len 0.;
+  Array.fill t.im 0 len 0.;
+  let ns = Array.length support in
+  for k = 0 to t.live - 1 do
+    let rng = rngs.(k) in
+    for i = 0 to ns - 1 do
+      let p = (support.(i) * t.cap) + k in
+      t.re.(p) <- Rng.gaussian rng;
+      t.im.(p) <- Rng.gaussian rng
+    done;
+    normalize_lane t k
+  done
+
+(* Marginal level populations of one wire for every lane: [pops] has layout
+   [level * cap + k]. Per lane the addends accumulate in the same ascending
+   (block, inner) order as [State.populations_into]. *)
+let populations_into pops t ~wire =
+  let d = t.dims.(wire) and st = t.strides.(wire) in
+  let cap = t.cap and live = t.live in
+  if Array.length pops < d * cap then invalid_arg "State_block.populations_into";
+  Array.fill pops 0 (d * cap) 0.;
+  let re = t.re and im = t.im in
+  let block = d * st in
+  for blk = 0 to (t.n / block) - 1 do
+    let b0 = blk * block in
+    for level = 0 to d - 1 do
+      let lb = b0 + (level * st) in
+      let prow = level * cap in
+      for inner = 0 to st - 1 do
+        let p = (lb + inner) * cap in
+        for k = 0 to live - 1 do
+          let a = re.(p + k) and b = im.(p + k) in
+          pops.(prow + k) <- pops.(prow + k) +. (a *. a) +. (b *. b)
+        done
+      done
+    done
+  done
+
+(* One amplitude-damping trajectory step on a wire, for every live lane in
+   lockstep. Populations and the jump choice are computed per lane with
+   exactly the scalar arithmetic and the lane's own RNG (one weighted draw,
+   same weights, same bits as [State.damp_with]). When no lane jumps — the
+   overwhelmingly common case at physical λ — a single shared sweep scales
+   all lanes; otherwise a combined masked sweep applies each lane's own
+   branch (scale vs jump-copy vs zero) per position. Reading the jump source
+   [idx + m*st] is safe inside the combined sweep because levels are
+   processed in ascending order: level 0 of a block is rewritten before any
+   source level m >= 1 of that block. Returns the number of lanes that
+   jumped (the mask-divergence count for telemetry). *)
+let damp_with t rngs ~wire ~lambdas ~scales =
+  let d = t.dims.(wire) in
+  if Array.length lambdas <> d then invalid_arg "State_block.damp: lambda count mismatch";
+  if Array.length scales <> d then invalid_arg "State_block.damp: scale count mismatch";
+  if Array.length rngs < t.live then invalid_arg "State_block.damp: rng count mismatch";
+  let cap = t.cap and live = t.live in
+  let scratch = Scratch.get () in
+  let pops = Scratch.floats scratch 6 (d * cap) in
+  populations_into pops t ~wire;
+  let weights = Scratch.floats_exact scratch 3 d in
+  let choices = Scratch.ints scratch 4 cap in
+  let jumps = ref 0 in
+  for k = 0 to live - 1 do
+    let p_nojump = ref 0. in
+    for l = 0 to d - 1 do
+      p_nojump := !p_nojump +. ((1. -. lambdas.(l)) *. pops.((l * cap) + k))
+    done;
+    weights.(0) <- !p_nojump;
+    for m = 1 to d - 1 do
+      weights.(m) <- lambdas.(m) *. pops.((m * cap) + k)
+    done;
+    let c = Rng.weighted_choice rngs.(k) weights in
+    choices.(k) <- c;
+    if c > 0 then incr jumps
+  done;
+  let st = t.strides.(wire) in
+  let re = t.re and im = t.im in
+  let block = d * st in
+  (* Both rewrite sweeps visit amplitude indices in ascending order
+     (blocks ascend, and [level * st + inner] covers [0, d*st) ascending
+     within a block), so accumulating each lane's norm² from the values
+     being written reproduces [lane_norm2]'s addend sequence exactly — the
+     separate read-back sweep of a per-lane normalize is saved. Zeroed
+     positions contribute an exact [+. 0.], which is skipped: it cannot
+     change a non-negative partial sum. [pops] is dead once the choices
+     are drawn, so its first [live] slots double as the accumulator row. *)
+  let norm2 = pops in
+  Array.fill norm2 0 live 0.;
+  if !jumps = 0 then
+    (* Lockstep fast path: every lane takes the no-jump branch, so the
+       per-level scale sweeps all lanes with no mask test. *)
+    for blk = 0 to (t.n / block) - 1 do
+      let b0 = blk * block in
+      for level = 0 to d - 1 do
+        let lb = b0 + (level * st) in
+        let sc = scales.(level) in
+        for inner = 0 to st - 1 do
+          let p = (lb + inner) * cap in
+          for k = 0 to live - 1 do
+            let r = re.(p + k) *. sc and m = im.(p + k) *. sc in
+            re.(p + k) <- r;
+            im.(p + k) <- m;
+            norm2.(k) <- norm2.(k) +. (r *. r) +. (m *. m)
+          done
+        done
+      done
+    done
+  else
+    (* Divergent lanes: one combined sweep, branching per lane on its own
+       choice. *)
+    for blk = 0 to (t.n / block) - 1 do
+      let b0 = blk * block in
+      for level = 0 to d - 1 do
+        let lb = b0 + (level * st) in
+        let sc = scales.(level) in
+        for inner = 0 to st - 1 do
+          let idx = lb + inner in
+          let p = idx * cap in
+          for k = 0 to live - 1 do
+            let c = choices.(k) in
+            if c = 0 then begin
+              let r = re.(p + k) *. sc and m = im.(p + k) *. sc in
+              re.(p + k) <- r;
+              im.(p + k) <- m;
+              norm2.(k) <- norm2.(k) +. (r *. r) +. (m *. m)
+            end
+            else if level = 0 then begin
+              let src = (idx + (c * st)) * cap in
+              let r = re.(src + k) and m = im.(src + k) in
+              re.(p + k) <- r;
+              im.(p + k) <- m;
+              norm2.(k) <- norm2.(k) +. (r *. r) +. (m *. m)
+            end
+            else begin
+              re.(p + k) <- 0.;
+              im.(p + k) <- 0.
+            end
+          done
+        done
+      done
+    done;
+  (* The per-lane inverse norms overwrite the accumulator row, then one
+     idx-major sweep rescales every lane — same per-lane scale factor (and
+     bits) as [normalize_lane], with contiguous instead of strided writes. *)
+  for k = 0 to live - 1 do
+    let nrm = sqrt norm2.(k) in
+    if nrm = 0. then invalid_arg "State_block.damp: zero vector";
+    norm2.(k) <- 1. /. nrm
+  done;
+  for idx = 0 to t.n - 1 do
+    let p = idx * cap in
+    for k = 0 to live - 1 do
+      re.(p + k) <- re.(p + k) *. norm2.(k);
+      im.(p + k) <- im.(p + k) *. norm2.(k)
+    done
+  done;
+  !jumps
+
+let apply_kernel t kern = Kernel.apply_block kern t.re t.im ~cap:t.cap ~live:t.live
+
+(* Odometer over the non-target wires, shared with [apply_lane] below —
+   same shape and scratch slots (ints 0/2) as [State.iter_bases]. *)
+let iter_bases t tgt kernel =
+  let nw = Array.length t.dims in
+  let scratch = Scratch.get () in
+  let others = Scratch.ints scratch 2 nw in
+  let no = ref 0 in
+  for w = 0 to nw - 1 do
+    if not (Array.mem w tgt) then begin
+      others.(!no) <- w;
+      incr no
+    end
+  done;
+  let no = !no in
+  let counters = Scratch.ints scratch 0 (max no 1) in
+  Array.fill counters 0 (max no 1) 0;
+  let n_bases = ref 1 in
+  for l = 0 to no - 1 do
+    n_bases := !n_bases * t.dims.(others.(l))
+  done;
+  let base = ref 0 in
+  for _ = 1 to !n_bases do
+    kernel !base;
+    let l = ref (no - 1) in
+    let carried = ref true in
+    while !carried && !l >= 0 do
+      let w = others.(!l) in
+      counters.(!l) <- counters.(!l) + 1;
+      base := !base + t.strides.(w);
+      if counters.(!l) = t.dims.(w) then begin
+        counters.(!l) <- 0;
+        base := !base - (t.dims.(w) * t.strides.(w));
+        decr l
+      end
+      else carried := false
+    done
+  done
+
+(* Scalar gate application to one lane, mirroring [State.apply]'s dispatch
+   and floating-point order exactly (diagonal / single-wire / generic) at
+   lane positions [idx * cap + k]. Used for the rare divergent branches —
+   per-lane error injections — where lanes apply different operators and
+   lockstep would be wrong. Reuses the scalar scratch slots (floats 0/1,
+   ints 0/1/2); never nested inside a batched kernel sweep. *)
+let apply_lane t k ~targets m =
+  if k < 0 || k >= t.live then invalid_arg "State_block.apply_lane";
+  let nw = Array.length t.dims in
+  List.iter
+    (fun w -> if w < 0 || w >= nw then invalid_arg "State_block.apply_lane: wire out of range")
+    targets;
+  let tgt = Array.of_list targets in
+  let nt = Array.length tgt in
+  if List.length (List.sort_uniq compare targets) <> nt then
+    invalid_arg "State_block.apply_lane: duplicate targets";
+  let g = Array.fold_left (fun acc w -> acc * t.dims.(w)) 1 tgt in
+  if m.Mat.rows <> g || m.Mat.cols <> g then
+    invalid_arg "State_block.apply_lane: matrix dimension mismatch";
+  let cap = t.cap in
+  let vre = t.re and vim = t.im in
+  let mre = m.Mat.re and mim = m.Mat.im in
+  let scratch = Scratch.get () in
+  if Mat.is_diagonal m then begin
+    let dre = Scratch.floats scratch 0 g and dim' = Scratch.floats scratch 1 g in
+    for j = 0 to g - 1 do
+      dre.(j) <- mre.((j * g) + j);
+      dim'.(j) <- mim.((j * g) + j)
+    done;
+    let offsets = Scratch.ints scratch 1 g in
+    for j = 0 to g - 1 do
+      let rem = ref j and off = ref 0 in
+      for l = nt - 1 downto 0 do
+        let w = tgt.(l) in
+        off := !off + (!rem mod t.dims.(w) * t.strides.(w));
+        rem := !rem / t.dims.(w)
+      done;
+      offsets.(j) <- !off
+    done;
+    iter_bases t tgt (fun base ->
+        for j = 0 to g - 1 do
+          let p = ((base + offsets.(j)) * cap) + k in
+          let re = vre.(p) and im = vim.(p) in
+          vre.(p) <- (dre.(j) *. re) -. (dim'.(j) *. im);
+          vim.(p) <- (dre.(j) *. im) +. (dim'.(j) *. re)
+        done)
+  end
+  else if nt = 1 then begin
+    let w = tgt.(0) in
+    let d = t.dims.(w) and st = t.strides.(w) in
+    let gre = Scratch.floats scratch 0 d and gim = Scratch.floats scratch 1 d in
+    let block = d * st in
+    for blk = 0 to (t.n / block) - 1 do
+      let b0 = blk * block in
+      for inner = 0 to st - 1 do
+        let base = b0 + inner in
+        for j = 0 to d - 1 do
+          let p = ((base + (j * st)) * cap) + k in
+          gre.(j) <- vre.(p);
+          gim.(j) <- vim.(p)
+        done;
+        for i = 0 to d - 1 do
+          let acc_re = ref 0. and acc_im = ref 0. in
+          let row = i * d in
+          for j = 0 to d - 1 do
+            let a = mre.(row + j) and b = mim.(row + j) in
+            acc_re := !acc_re +. (a *. gre.(j)) -. (b *. gim.(j));
+            acc_im := !acc_im +. (a *. gim.(j)) +. (b *. gre.(j))
+          done;
+          let p = ((base + (i * st)) * cap) + k in
+          vre.(p) <- !acc_re;
+          vim.(p) <- !acc_im
+        done
+      done
+    done
+  end
+  else begin
+    let offsets = Scratch.ints scratch 1 g in
+    for j = 0 to g - 1 do
+      let rem = ref j and off = ref 0 in
+      for l = nt - 1 downto 0 do
+        let w = tgt.(l) in
+        off := !off + (!rem mod t.dims.(w) * t.strides.(w));
+        rem := !rem / t.dims.(w)
+      done;
+      offsets.(j) <- !off
+    done;
+    let gre = Scratch.floats scratch 0 g and gim = Scratch.floats scratch 1 g in
+    iter_bases t tgt (fun base ->
+        for j = 0 to g - 1 do
+          let p = ((base + offsets.(j)) * cap) + k in
+          gre.(j) <- vre.(p);
+          gim.(j) <- vim.(p)
+        done;
+        for i = 0 to g - 1 do
+          let acc_re = ref 0. and acc_im = ref 0. in
+          let row = i * g in
+          for j = 0 to g - 1 do
+            let a = mre.(row + j) and b = mim.(row + j) in
+            acc_re := !acc_re +. (a *. gre.(j)) -. (b *. gim.(j));
+            acc_im := !acc_im +. (a *. gim.(j)) +. (b *. gre.(j))
+          done;
+          let p = ((base + offsets.(i)) * cap) + k in
+          vre.(p) <- !acc_re;
+          vim.(p) <- !acc_im
+        done)
+  end
+
+(* |⟨a_k|b_k⟩|² per lane, into [out]. Per lane the accumulation matches
+   [Vec.overlap2]'s ascending-index order. *)
+let overlap2_into out a b =
+  if a.dims <> b.dims || a.cap <> b.cap || a.live <> b.live then
+    invalid_arg "State_block.overlap2_into: shape mismatch";
+  if Array.length out < a.live then invalid_arg "State_block.overlap2_into";
+  let cap = a.cap in
+  for k = 0 to a.live - 1 do
+    let racc = ref 0. and iacc = ref 0. in
+    for idx = 0 to a.n - 1 do
+      let p = (idx * cap) + k in
+      let are = a.re.(p) and aim = a.im.(p) in
+      let bre = b.re.(p) and bim = b.im.(p) in
+      racc := !racc +. (are *. bre) +. (aim *. bim);
+      iacc := !iacc +. (are *. bim) -. (aim *. bre)
+    done;
+    out.(k) <- (!racc *. !racc) +. (!iacc *. !iacc)
+  done

@@ -1,0 +1,105 @@
+(** Structure-of-arrays blocks of trajectory states for lockstep batching.
+
+    The trajectory engine's cost is dominated by per-amplitude index
+    arithmetic, not float work (see doc/PERF.md). A [State_block.t] stores
+    up to [cap] states of one register side by side in flat unboxed float
+    planes — amplitude [idx] of lane [k] at [idx * cap + k] — so every
+    batched kernel ({!Kernel.apply_block}) computes each index pattern once
+    and sweeps all lanes in a dense, vectorizable inner loop.
+
+    The lockstep contract: per lane, every operation here performs the same
+    floating-point operations in the same order as the scalar {!State}
+    counterpart, and every random draw comes from that lane's own RNG in
+    scalar order. A block run is therefore bit-identical to running its
+    lanes one at a time — the determinism suite enforces this at every
+    batch width and [--domains] setting.
+
+    Divergent branches (a damping jump on some lanes, a sampled Pauli error
+    on others) are handled with a per-lane mask: the common all-no-jump
+    case stays a single shared sweep, and divergent windows fall back to a
+    masked combined sweep ({!damp_with}) or a per-lane scalar application
+    ({!apply_lane}) without breaking the surrounding lockstep.
+
+    Blocks are mutable workspaces; like {!State}, a block must not be
+    shared across domains (the per-domain scratch arena it uses is
+    sanitizer-owned). *)
+
+open Waltz_linalg
+
+type t
+
+val create : dims:int array -> cap:int -> t
+(** A block of [cap] all-zero lanes over a register with the given wire
+    dimensions; [live] starts at [cap]. *)
+
+val dims : t -> int array
+val dim_total : t -> int
+
+val capacity : t -> int
+(** Lane capacity — the layout stride, fixed at creation. *)
+
+val live : t -> int
+(** Lanes currently in use; operations touch lanes [0, live). *)
+
+val re : t -> float array
+val im : t -> float array
+(** The underlying planes (not copied — amplitude [idx] of lane [k] at
+    [idx * capacity + k]). For read-only sweeps like the executor's
+    per-lane leakage; do not resize. *)
+
+val set_live : t -> int -> unit
+(** Shrink/grow the live lane count (within [1, capacity]) — the trailing
+    partial block of a trajectory run reuses full-capacity planes. *)
+
+val assign : dst:t -> src:t -> unit
+(** Copies all planes and the live count ([dst] must share [src]'s shape
+    and capacity). *)
+
+val read_lane : t -> int -> Vec.t
+(** Lane [k] as a freshly allocated state vector (tests and bench only —
+    the hot path never de-interleaves). *)
+
+val write_lane : t -> int -> Vec.t -> unit
+(** Overwrites lane [k] with a state vector of matching dimension. *)
+
+val fill_random_supported : t -> Rng.t array -> allowed:bool array array -> unit
+(** Haar-random refill of every live lane on the allowed support, lane [k]
+    drawing from [rngs.(k)] in exactly the scalar
+    {!State.fill_random_supported} order. *)
+
+val fill_random_on : t -> Rng.t array -> support:int array -> unit
+(** Like {!fill_random_supported}, over a precomputed ascending list of
+    supported amplitude indices (see {!State.fill_random_on}) — bit-identical
+    streams, no per-block support sweep. *)
+
+val apply_kernel : t -> Kernel.t -> unit
+(** Lockstep application of a compiled kernel to all live lanes
+    ({!Kernel.apply_block}). *)
+
+val apply_lane : t -> int -> targets:int list -> Mat.t -> unit
+(** Scalar application of a unitary to one lane, mirroring {!State.apply}'s
+    dispatch and floating-point order bit-exactly. For divergent per-lane
+    branches (error injection); never lockstep. *)
+
+val populations_into : float array -> t -> wire:int -> unit
+(** Marginal level populations of one wire for every live lane, into a
+    buffer of length [>= d * capacity] with layout [level * capacity + k]. *)
+
+val damp_with :
+  t -> Rng.t array -> wire:int -> lambdas:float array -> scales:float array -> int
+(** One stochastic amplitude-damping step on a wire for every live lane,
+    lane [k] drawing its jump choice from [rngs.(k)] — same weights, same
+    draw, same bits as {!State.damp_with} per lane. Returns the number of
+    lanes that took a jump branch (0 means the fast lockstep scale sweep
+    ran; > 0 means the masked divergent sweep ran). *)
+
+val overlap2_into : float array -> t -> t -> unit
+(** Per-lane fidelity |⟨a_k|b_k⟩|² into a buffer of length [>= live]; both
+    blocks must share shape, capacity and live count. *)
+
+val lane_norm2 : t -> int -> float
+(** Norm² of one lane (ascending-index accumulation, as {!Vec.norm}²). *)
+
+val normalize_lane : t -> int -> unit
+(** Normalizes one lane in place; raises [Invalid_argument] on a zero
+    lane. *)

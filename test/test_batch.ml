@@ -1,0 +1,284 @@
+(* The batched SoA trajectory engine: every batched kernel class must agree
+   with the scalar reference, and the lockstep executor must be
+   *bit-identical* to the scalar engine at every batch width × domain count
+   — including windows where part of the batch diverges into the error
+   branch. The lockstep contract is per-lane: lane k of any block performs
+   the scalar trajectory k's floating-point operations in the same order,
+   drawing from the same split RNG stream. *)
+open Waltz_linalg
+open Waltz_circuit
+open Waltz_noise
+open Waltz_sim
+open Waltz_core
+open Test_util
+
+let rand_cplx r = Cplx.c (Rng.gaussian r) (Rng.gaussian r)
+
+let random_dense r g = Mat.init g g (fun _ _ -> rand_cplx r)
+
+let random_diag r g = Mat.diag (Array.init g (fun _ -> Cplx.exp_i (Rng.float r 6.28)))
+
+let random_monomial r g =
+  let perm = Array.init g Fun.id in
+  Rng.shuffle_in_place r perm;
+  let m = Mat.zeros g g in
+  for j = 0 to g - 1 do
+    Mat.set m perm.(j) j (Cplx.exp_i (Rng.float r 6.28))
+  done;
+  m
+
+let random_controlled r g =
+  if g <= 2 then random_dense r g
+  else begin
+  let k = 2 + Rng.int r (g - 2) in
+  let idx = Array.init g Fun.id in
+  Rng.shuffle_in_place r idx;
+  let active = Array.sub idx 0 k in
+  let m = Mat.identity g in
+  Array.iter (fun i -> Array.iter (fun j -> Mat.set m i j (rand_cplx r)) active) active;
+  m
+  end
+
+let gate_dim dims targets = List.fold_left (fun acc w -> acc * dims.(w)) 1 targets
+
+(* Fill [live] lanes of a fresh block with independent random states and
+   return the matching scalar states. *)
+let random_block r ~dims ~cap ~live =
+  let blk = State_block.create ~dims ~cap in
+  State_block.set_live blk live;
+  let lanes =
+    Array.init live (fun k ->
+        let s = State.random r ~dims in
+        State_block.write_lane blk k (State.amplitudes s);
+        s)
+  in
+  (blk, lanes)
+
+(* One batched application vs per-lane scalar references: bit-identical to
+   the scalar kernel path, and within 1e-12 of the generic path. *)
+let check_block_agrees r ~dims ~targets m =
+  let kernel = Kernel.compile ~dims ~targets m in
+  let cls = Kernel.class_name kernel in
+  (* cap > live exercises the partial-trailing-block layout. *)
+  let cap = 5 and live = 3 in
+  let blk, lanes = random_block r ~dims ~cap ~live in
+  State_block.apply_kernel blk kernel;
+  Array.iteri
+    (fun k s ->
+      let scalar = Vec.copy (State.amplitudes s) in
+      Kernel.apply kernel scalar;
+      let generic = State.of_vec ~dims (State.amplitudes s) in
+      State.apply_generic generic ~targets m;
+      let got = State_block.read_lane blk k in
+      let gen = State.amplitudes generic in
+      for idx = 0 to Vec.dim got - 1 do
+        if
+          not
+            (Float.equal got.Vec.re.(idx) scalar.re.(idx)
+            && Float.equal got.Vec.im.(idx) scalar.im.(idx))
+        then
+          Alcotest.failf "batched %s lane %d not bit-identical to scalar kernel at %d"
+            cls k idx;
+        if
+          Float.abs (got.Vec.re.(idx) -. gen.Vec.re.(idx)) > 1e-12
+          || Float.abs (got.Vec.im.(idx) -. gen.Vec.im.(idx)) > 1e-12
+        then Alcotest.failf "batched %s lane %d off generic path at %d" cls k idx
+      done)
+    lanes
+
+let shapes =
+  [ ([| 2; 2; 2 |], [ 1 ]);
+    ([| 2; 2; 2 |], [ 2; 0 ]);
+    ([| 2; 2; 2; 2 |], [ 1; 3; 0 ]);
+    ([| 4; 4 |], [ 0 ]);
+    ([| 4; 4 |], [ 1; 0 ]);
+    ([| 4; 4; 4 |], [ 0; 2 ]);
+    ([| 2; 4; 2 |], [ 2; 1; 0 ]) ]
+
+let test_kernel_classes () =
+  let r = rng 811 in
+  List.iter
+    (fun (dims, targets) ->
+      let g = gate_dim dims targets in
+      for _ = 1 to 3 do
+        check_block_agrees r ~dims ~targets (random_diag r g);
+        check_block_agrees r ~dims ~targets (random_monomial r g);
+        check_block_agrees r ~dims ~targets (random_controlled r g);
+        check_block_agrees r ~dims ~targets (random_dense r g)
+      done)
+    shapes
+
+(* Every class name must actually be covered by the generators above — a
+   classifier change that silently reroutes a class would otherwise leave a
+   batched path untested. *)
+let test_class_coverage () =
+  let r = rng 812 in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (dims, targets) ->
+      let g = gate_dim dims targets in
+      List.iter
+        (fun m -> Hashtbl.replace seen (Kernel.class_name (Kernel.compile ~dims ~targets m)) ())
+        [ random_diag r g; random_monomial r g; random_controlled r g; random_dense r g ])
+    shapes;
+  List.iter
+    (fun cls ->
+      check_bool (Printf.sprintf "class %s covered" cls) true (Hashtbl.mem seen cls))
+    [ "diagonal"; "monomial"; "controlled_block"; "single_wire"; "two_wire"; "generic" ]
+
+(* State_block.fill_random_supported: lane k must see exactly the gaussian
+   stream a scalar State.fill_random_supported sees with the same seed. *)
+let test_fill_bit_identity () =
+  let dims = [| 4; 4; 2 |] in
+  let allowed = [| [| true; true; true; false |]; [| true; false; true; false |]; [| true; true |] |] in
+  let live = 4 in
+  let blk = State_block.create ~dims ~cap:live in
+  let rngs = Array.init live (fun k -> Rng.make ~seed:(100 + (13 * k))) in
+  State_block.fill_random_supported blk rngs ~allowed;
+  for k = 0 to live - 1 do
+    let s = State.create ~dims in
+    State.fill_random_supported s (Rng.make ~seed:(100 + (13 * k))) ~allowed;
+    let got = State_block.read_lane blk k and want = State.amplitudes s in
+    for idx = 0 to Vec.dim want - 1 do
+      if
+        not
+          (Float.equal got.Vec.re.(idx) want.Vec.re.(idx)
+          && Float.equal got.Vec.im.(idx) want.Vec.im.(idx))
+      then Alcotest.failf "fill_random lane %d differs at %d" k idx
+    done
+  done
+
+(* State_block.damp_with with lambdas large enough that roughly half the
+   lanes jump: the divergent masked sweep must still match the scalar step
+   lane-by-lane, bit for bit, and report the jump count. *)
+let test_damp_divergence () =
+  let dims = [| 4; 2 |] in
+  let live = 8 in
+  let r = rng 977 in
+  let blk, lanes = random_block r ~dims ~cap:live ~live in
+  let lambdas = [| 0.; 0.9; 0.9; 0.9 |] in
+  let scales = State.damp_scales lambdas in
+  let rngs = Array.init live (fun k -> Rng.make ~seed:(500 + (31 * k))) in
+  let jumps = State_block.damp_with blk rngs ~wire:0 ~lambdas ~scales in
+  let scalar_jumps = ref 0 in
+  Array.iteri
+    (fun k s ->
+      let rng = Rng.make ~seed:(500 + (31 * k)) in
+      let before = State.populations s ~wire:0 in
+      State.damp_with s rng ~wire:0 ~lambdas ~scales;
+      let after = State.populations s ~wire:0 in
+      (* A jump empties every level > 0; detect it to cross-check the
+         reported divergence count. *)
+      if after.(1) +. after.(2) +. after.(3) < 1e-12 && before.(1) > 1e-6 then
+        incr scalar_jumps;
+      let got = State_block.read_lane blk k and want = State.amplitudes s in
+      for idx = 0 to Vec.dim want - 1 do
+        if
+          not
+            (Float.equal got.Vec.re.(idx) want.Vec.re.(idx)
+            && Float.equal got.Vec.im.(idx) want.Vec.im.(idx))
+        then Alcotest.failf "damp lane %d differs at %d" k idx
+      done)
+    lanes;
+  check_int "reported jump count" !scalar_jumps jumps;
+  check_bool "divergence actually exercised" true (jumps > 0 && jumps < live)
+
+(* apply_lane (the divergent error-branch path) must mirror State.apply's
+   dispatch bit-exactly on diagonal, single-wire-dense and generic
+   matrices, while leaving the other lanes untouched. *)
+let test_apply_lane () =
+  let dims = [| 4; 2; 4 |] in
+  let r = rng 644 in
+  let live = 3 in
+  List.iter
+    (fun (targets, m) ->
+      let blk, lanes = random_block r ~dims ~cap:live ~live in
+      let k = 1 in
+      State_block.apply_lane blk k ~targets m;
+      Array.iteri
+        (fun k' s ->
+          if k' = k then State.apply s ~targets m;
+          let got = State_block.read_lane blk k' and want = State.amplitudes s in
+          for idx = 0 to Vec.dim want - 1 do
+            if
+              not
+                (Float.equal got.Vec.re.(idx) want.Vec.re.(idx)
+                && Float.equal got.Vec.im.(idx) want.Vec.im.(idx))
+            then Alcotest.failf "apply_lane lane %d differs at %d" k' idx
+          done)
+        lanes)
+    [ ([ 0 ], random_diag r 4);
+      ([ 1 ], random_dense r 2);
+      ([ 0; 2 ], random_dense r 16);
+      ([ 2; 1 ], random_diag r 8) ]
+
+(* The acceptance bar: simulation statistics bit-identical across the full
+   batch × domains grid, on circuits exercising both engines end to end. *)
+let grid_circuits =
+  lazy
+    [ ("toffoli", Circuit.of_gates ~n:3 [ Gate.make Gate.Ccx [ 0; 1; 2 ] ]);
+      ("cuccaro5", Waltz_benchmarks.Bench_circuits.by_total_qubits Cuccaro 5) ]
+
+let check_grid ~model ~trajectories () =
+  let config = { Executor.model; trajectories; base_seed = 17 } in
+  List.iter
+    (fun (cname, circuit) ->
+      List.iter
+        (fun (strategy : Strategy.t) ->
+          let compiled = Compile.compile strategy circuit in
+          let scalar = Executor.simulate_detailed ~config ~domains:1 ~batch:1 compiled in
+          List.iter
+            (fun batch ->
+              List.iter
+                (fun domains ->
+                  let got = Executor.simulate_detailed ~config ~domains ~batch compiled in
+                  let eq label a b =
+                    if not (Float.equal a b) then
+                      Alcotest.failf "%s/%s batch=%d domains=%d %s: %.17g <> %.17g" cname
+                        strategy.Strategy.name batch domains label a b
+                  in
+                  eq "mean_fidelity" scalar.Executor.summary.Executor.mean_fidelity
+                    got.Executor.summary.Executor.mean_fidelity;
+                  eq "sem" scalar.Executor.summary.Executor.sem
+                    got.Executor.summary.Executor.sem;
+                  eq "mean_leakage" scalar.Executor.mean_leakage got.Executor.mean_leakage;
+                  eq "mean_error_draws" scalar.Executor.mean_error_draws
+                    got.Executor.mean_error_draws)
+                [ 1; 2 ])
+            [ 1; 2; 7; 32 ])
+        [ Strategy.mixed_radix_ccz; Strategy.full_ququart ])
+    (Lazy.force grid_circuits)
+
+let test_grid_default_model () = check_grid ~model:Noise.default ~trajectories:9 ()
+
+(* A hot noise model — gate errors scaled 30× and T1 cut 300× — makes
+   roughly half of each batch take a jump or error branch per window, so
+   the masked divergent sweeps and per-lane injections carry the
+   statistics. The grid must stay bit-identical, and errors must actually
+   fire. *)
+let test_grid_divergent_model () =
+  let model =
+    { Noise.default with
+      Noise.ww_error_scale = 30.;
+      Noise.t1_base_ns = Noise.default.Noise.t1_base_ns /. 300. }
+  in
+  check_grid ~model ~trajectories:9 ();
+  let compiled =
+    Compile.compile Strategy.full_ququart
+      (Circuit.of_gates ~n:3 [ Gate.make Gate.Ccx [ 0; 1; 2 ] ])
+  in
+  let d =
+    Executor.simulate_detailed
+      ~config:{ Executor.model; trajectories = 16; base_seed = 17 }
+      ~domains:1 ~batch:8 compiled
+  in
+  check_bool "error branch exercised" true (d.Executor.mean_error_draws > 0.)
+
+let suite =
+  [ case "every batched kernel class agrees with the scalar paths" test_kernel_classes;
+    case "generators cover all six kernel classes" test_class_coverage;
+    case "block random fill is bit-identical per lane" test_fill_bit_identity;
+    case "divergent damping matches scalar lane-by-lane" test_damp_divergence;
+    case "apply_lane mirrors State.apply bit-exactly" test_apply_lane;
+    case "batch×domains grid bit-identical (default model)" test_grid_default_model;
+    case "batch×domains grid bit-identical (divergent model)" test_grid_divergent_model ]

@@ -52,6 +52,21 @@ let () =
           in
           compare "domains=1" (Executor.simulate_detailed ~config ~domains:1 compiled);
           compare "domains=3" (Executor.simulate_detailed ~config ~domains:3 compiled);
+          (* The lockstep SoA engine must be bit-identical to the scalar
+             engine at every batch width × domain count (the env default
+             above already ran at WALTZ_BATCH or width 8). *)
+          List.iter
+            (fun batch ->
+              compare
+                (Printf.sprintf "batch=%d" batch)
+                (Executor.simulate_detailed ~config ~batch compiled);
+              compare
+                (Printf.sprintf "batch=%d/domains=1" batch)
+                (Executor.simulate_detailed ~config ~domains:1 ~batch compiled);
+              compare
+                (Printf.sprintf "batch=%d/domains=3" batch)
+                (Executor.simulate_detailed ~config ~domains:3 ~batch compiled))
+            [ 1; 2; 7; 32 ];
           (* Telemetry must be observationally invisible: recording spans and
              counters may not perturb the RNG streams or the reduction order,
              so the statistics stay bit-identical with the flag on. *)
@@ -128,7 +143,10 @@ let () =
     exit 1
   end;
   Printf.printf
-    "determinism: OK (%d circuits x %d strategies, WALTZ_DOMAINS=%s, default=%d domains)\n"
+    "determinism: OK (%d circuits x %d strategies, WALTZ_DOMAINS=%s, default=%d domains, \
+     WALTZ_BATCH=%s, default=%d lanes)\n"
     (List.length circuits) (List.length strategies)
     (Option.value ~default:"unset" (Sys.getenv_opt "WALTZ_DOMAINS"))
     (Waltz_runtime.Pool.default_domains ())
+    (Option.value ~default:"unset" (Sys.getenv_opt "WALTZ_BATCH"))
+    (Executor.default_batch ())

@@ -29,11 +29,11 @@ let disabled_no_op () =
   check_int "no histograms recorded" 0 (List.length (Telemetry.Metrics.histograms ()));
   check_int "counter reads 0" 0 (Telemetry.Metrics.counter "ghost.counter")
 
-let simulate ~domains circuit =
+let simulate ?batch ~domains circuit =
   let compiled = Compile.compile Strategy.full_ququart circuit in
   Executor.simulate_detailed
     ~config:{ Executor.model = Noise.default; trajectories = 6; base_seed = 11 }
-    ~domains compiled
+    ~domains ?batch compiled
 
 (* The acceptance bar: telemetry on vs off is bit-identical, sequentially and
    under a multi-domain fan-out. *)
@@ -112,6 +112,9 @@ let metrics_basics () =
         (Telemetry.Metrics.hit_rate ~hit:"no.hit" ~miss:"no.miss"))
 
 let executor_counters () =
+  (* Default (batched) engine: 6 trajectories at the default width fit one
+     lockstep block — per-trajectory counters still count trajectories, and
+     durations land in the block histogram. *)
   with_telemetry (fun () ->
       ignore (simulate ~domains:1 toffoli);
       check_int "trajectory count" 6 (Telemetry.Metrics.counter "executor.trajectories");
@@ -123,6 +126,17 @@ let executor_counters () =
         (Telemetry.Metrics.counter "noise.damping_cache.hit"
          + Telemetry.Metrics.counter "noise.damping_cache.miss"
          > 0);
+      check_int "one lockstep block" 1 (Telemetry.Metrics.counter "executor.batch.blocks");
+      check_bool "lane windows counted" true
+        (Telemetry.Metrics.counter "executor.batch.lane_windows" > 0);
+      match Telemetry.Metrics.histogram "executor.block_us" with
+      | None -> Alcotest.fail "block duration histogram missing"
+      | Some h -> check_int "one duration sample per block" 1 h.Telemetry.Metrics.count);
+  (* Scalar engine (batch=1): the per-trajectory histogram remains. *)
+  with_telemetry (fun () ->
+      ignore (simulate ~batch:1 ~domains:1 toffoli);
+      check_int "trajectory count (scalar)" 6
+        (Telemetry.Metrics.counter "executor.trajectories");
       match Telemetry.Metrics.histogram "executor.trajectory_us" with
       | None -> Alcotest.fail "trajectory duration histogram missing"
       | Some h -> check_int "one duration sample per trajectory" 6 h.Telemetry.Metrics.count)

@@ -10,6 +10,7 @@ let () =
       ("noise", Test_noise.suite);
       ("sim", Test_sim.suite);
       ("kernel", Test_kernel.suite);
+      ("batch", Test_batch.suite);
       ("benchmarks", Test_benchmarks.suite);
       ("compiler", Test_compiler.suite);
       ("core-units", Test_core_units.suite);
