@@ -1,5 +1,5 @@
 .PHONY: all build test lint bench-json bench-smoke trace-smoke analyze-smoke \
-	sanitize-smoke clean
+	sanitize-smoke metrics-smoke flight-smoke regress-check clean
 
 all: build test
 
@@ -10,7 +10,9 @@ test:
 	dune runtest
 
 # Machine-readable micro-benchmark record (BENCH_micro.json in the working
-# directory): name -> ns/run plus domains used and trajectories/sec. Honors
+# directory): name -> ns/run plus domains used, trajectories/sec and the
+# observability overhead measurement. Each run also appends the record to
+# BENCH_history.jsonl (timestamped) so the trend is kept. Honors
 # WALTZ_DOMAINS, e.g. `WALTZ_DOMAINS=4 make bench-json`.
 bench-json:
 	dune exec bench/main.exe -- micro
@@ -18,8 +20,19 @@ bench-json:
 # Fast correctness gate over the benchmark kernels: every planned gate's
 # specialized kernel must agree with the generic path, and a tiny simulate
 # must be bit-identical at 1 and 2 domains. Also runs as part of `make lint`.
-bench-smoke:
+# Finishes with the regression gate's self-check against the committed
+# baseline.
+bench-smoke: regress-check
 	dune exec bench/main.exe -- smoke
+
+# Regression gate (also inside `make lint`): compare a bench record against
+# the committed baseline. By default both sides are BENCH_micro.json (a
+# plumbing self-check); after `make bench-json` run e.g.
+#   dune exec bin/waltz_cli.exe -- report --baseline BENCH_micro.json.orig
+# to judge the fresh record. Exits 1 when a metric moved past its threshold.
+regress-check:
+	dune exec bin/waltz_cli.exe -- report --baseline BENCH_micro.json \
+	  --current BENCH_micro.json
 
 # Type-check everything (@check), run the IR verifier and the fixpoint
 # analyses over the example programs, the telemetry test suite and the
@@ -47,6 +60,22 @@ trace-smoke:
 	dune exec bin/waltz_cli.exe -- simulate -c cuccaro -n 5 --trajectories 5 \
 	  --trace /tmp/waltz_trace.json --stats
 	dune exec bin/waltz_cli.exe -- trace-check /tmp/waltz_trace.json
+
+# Metrics smoke outside the dune sandbox: run an instrumented compile +
+# simulate, export the telemetry catalog as OpenMetrics text, then validate
+# the exposition with the built-in checker. Also runs inside `make lint`.
+metrics-smoke:
+	dune exec bin/waltz_cli.exe -- metrics -c cuccaro -n 5 --trajectories 5 \
+	  -o /tmp/waltz_metrics.txt
+	dune exec bin/waltz_cli.exe -- metrics-check /tmp/waltz_metrics.txt
+
+# Flight-recorder smoke: run with the recorder armed, dump the per-domain
+# rings on demand, then validate the Chrome trace side of the dump.
+flight-smoke:
+	dune exec bin/waltz_cli.exe -- flight-dump -c cuccaro -n 5 \
+	  --trajectories 16 --batch 4 --domains 2 -o /tmp/waltz_flight
+	dune exec bin/waltz_cli.exe -- trace-check \
+	  $$(ls -t /tmp/waltz_flight/waltz-flight-*.trace.json | head -1)
 
 # Analysis smoke outside the dune sandbox: compile + run the fixpoint
 # analyses, emit SARIF, then validate it with the built-in schema checker.

@@ -13,6 +13,10 @@ open Waltz_circuit
 open Waltz_core
 open Waltz_noise
 module Telemetry = Waltz_telemetry.Telemetry
+module Recorder = Waltz_telemetry.Recorder
+module Profiler = Waltz_telemetry.Profiler
+module Openmetrics = Waltz_telemetry.Openmetrics
+module Regress = Waltz_telemetry.Regress
 
 (* ---- shared arguments ---- *)
 
@@ -741,7 +745,32 @@ let sanitize_cmd =
 (* ---- report ---- *)
 
 let report_cmd =
-  let run n trajectories domains trace =
+  (* With --baseline the subcommand is a regression gate instead of a grid:
+     compare a current BENCH_micro.json-shaped record against the committed
+     baseline and exit nonzero when a tracked metric moved past threshold
+     (`make regress-check` / `make bench-smoke`). *)
+  let regress baseline current threshold =
+    let thresholds =
+      match threshold with
+      | Some pct -> { Regress.default_thresholds with Regress.ns_pct = pct }
+      | None -> Regress.default_thresholds
+    in
+    match Regress.compare_files ~thresholds ~baseline ~current () with
+    | Error e ->
+      prerr_endline ("report --baseline: " ^ e);
+      2
+    | Ok [] ->
+      Printf.printf "no regressions: %s vs baseline %s (ns/run +%.0f%% allowed)\n" current
+        baseline thresholds.Regress.ns_pct;
+      0
+    | Ok findings ->
+      List.iter (fun f -> print_endline (Regress.pp_finding f)) findings;
+      Printf.printf "%d regression%s vs baseline %s\n" (List.length findings)
+        (if List.length findings = 1 then "" else "s")
+        baseline;
+      1
+  in
+  let grid n trajectories domains trace =
     Telemetry.reset ();
     Telemetry.enable ();
     let strategies = Strategy.fig7_set in
@@ -804,12 +833,43 @@ let report_cmd =
     | None -> ());
     0
   in
+  let run n trajectories domains trace baseline current threshold =
+    match baseline with
+    | Some baseline -> regress baseline current threshold
+    | None -> grid n trajectories domains trace
+  in
+  let baseline_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Regression mode: compare $(b,--current) against this committed bench \
+             record (ns/run, cache hit-rates, mask-divergence rate) and exit nonzero \
+             on regression. Skips the grid.")
+  in
+  let current_arg =
+    Arg.(
+      value
+      & opt string "BENCH_micro.json"
+      & info [ "current" ] ~docv:"FILE"
+          ~doc:"Bench record to judge in regression mode (default: BENCH_micro.json).")
+  in
+  let threshold_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "threshold" ] ~docv:"PCT"
+          ~doc:"Allowed ns/run increase in percent (default 25).")
+  in
   Cmd.v
     (Cmd.info "report"
        ~doc:
          "Compile (and simulate) a benchmark x strategy grid and print a telemetry \
-          phase-time / cache-hit table")
-    Term.(const run $ n_arg $ trajectories_arg $ domains_arg $ trace_arg)
+          phase-time / cache-hit table; with --baseline, gate on bench regressions")
+    Term.(
+      const run $ n_arg $ trajectories_arg $ domains_arg $ trace_arg $ baseline_arg
+      $ current_arg $ threshold_arg)
 
 (* ---- trace-check ---- *)
 
@@ -833,6 +893,180 @@ let trace_check_cmd =
     (Cmd.info "trace-check"
        ~doc:"Validate a Chrome trace_event JSON file written by --trace")
     Term.(const run $ file)
+
+(* ---- metrics ---- *)
+
+let output_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
+
+let metrics_cmd =
+  let run family n cx_fraction strategy trajectories domains batch format out =
+    with_circuit family n cx_fraction (fun circuit ->
+        let render =
+          match String.lowercase_ascii format with
+          | "openmetrics" | "prometheus" -> Ok Telemetry.export_openmetrics
+          | "json" -> Ok Telemetry.export_json
+          | other ->
+            Error (Printf.sprintf "unknown metrics format %s (openmetrics, json)" other)
+        in
+        match render with
+        | Error e ->
+          prerr_endline e;
+          1
+        | Ok render ->
+          Telemetry.reset ();
+          Telemetry.enable ();
+          let compiled = Compile.compile strategy circuit in
+          ignore
+            (Executor.simulate_detailed
+               ~config:{ Executor.model = Noise.default; trajectories; base_seed = 2023 }
+               ?domains ?batch compiled);
+          Telemetry.disable ();
+          let text = render () in
+          (match out with
+          | Some path ->
+            let oc = open_out path in
+            output_string oc text;
+            close_out oc;
+            Printf.printf "wrote metrics %s\n" path
+          | None -> print_string text);
+          0)
+  in
+  let format =
+    Arg.(
+      value
+      & opt string "openmetrics"
+      & info [ "format" ] ~docv:"FMT" ~doc:"openmetrics (default) or json.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run an instrumented compile + simulate and export the full telemetry \
+          catalog (counters, gauges, histogram sketch quantiles) as OpenMetrics \
+          text or JSON — the scrape surface a future serve mode exposes")
+    Term.(
+      const run $ family_arg $ n_arg $ cx_fraction_arg $ strategy_arg $ trajectories_arg
+      $ domains_arg $ batch_arg $ format $ output_file_arg)
+
+let metrics_check_cmd =
+  let run file =
+    match Openmetrics.validate (read_file file) with
+    | Ok (samples, families) ->
+      Printf.printf "%s: valid openmetrics (%d samples, %d families)\n" file samples
+        families;
+      0
+    | Error msg ->
+      Printf.eprintf "%s: INVALID openmetrics: %s\n" file msg;
+      1
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Exposition written by waltz_cli metrics.")
+  in
+  Cmd.v
+    (Cmd.info "metrics-check"
+       ~doc:"Validate an OpenMetrics exposition written by waltz_cli metrics")
+    Term.(const run $ file)
+
+(* ---- flight-dump ---- *)
+
+let flight_dump_cmd =
+  let run family n cx_fraction strategy trajectories domains batch out_dir =
+    with_circuit family n cx_fraction (fun circuit ->
+        (match out_dir with Some d -> Recorder.set_dump_dir d | None -> ());
+        Recorder.reset ();
+        Recorder.arm ();
+        let compiled = Compile.compile strategy circuit in
+        ignore
+          (Executor.simulate_detailed
+             ~config:{ Executor.model = Noise.default; trajectories; base_seed = 2023 }
+             ?domains ?batch compiled);
+        let trace_path, text_path = Recorder.dump ~reason:"on-demand" () in
+        Recorder.disarm ();
+        Printf.printf "wrote flight dump:\n  %s\n  %s\n" trace_path text_path;
+        0)
+  in
+  let out_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output-dir" ] ~docv:"DIR"
+          ~doc:"Dump directory (default: \\$(b,WALTZ_FLIGHT_DIR) or the temp dir).")
+  in
+  Cmd.v
+    (Cmd.info "flight-dump"
+       ~doc:
+         "Run a compile + simulate with the flight recorder armed and dump the \
+          per-domain event rings as a Chrome trace + text post-mortem (the same \
+          dump a crash or an Error diagnostic produces with WALTZ_FLIGHT=1)")
+    Term.(
+      const run $ family_arg $ n_arg $ cx_fraction_arg $ strategy_arg $ trajectories_arg
+      $ domains_arg $ batch_arg $ out_dir)
+
+(* ---- profile ---- *)
+
+(* The profiled subcommand runs in-process (the sampler reads live span
+   stacks), so `profile -- simulate …` re-enters the command group through
+   this forward reference, which is set once the group below is built. *)
+let dispatch_ref : (string array -> int) ref =
+  ref (fun _ ->
+      prerr_endline "profile: dispatcher not initialized";
+      2)
+
+let profile_cmd =
+  let run hz out args =
+    match args with
+    | [] ->
+      prerr_endline
+        "profile: missing subcommand (usage: waltz_cli profile [--hz HZ] [-o FILE] -- \
+         <subcommand> [args])";
+      2
+    | "profile" :: _ ->
+      prerr_endline "profile: refusing to profile itself";
+      2
+    | args ->
+      (* Span stacks are only maintained while telemetry (or the flight
+         recorder) is on; enable it for the child's duration. *)
+      Telemetry.reset ();
+      Telemetry.enable ();
+      let sampler = Profiler.start ?hz () in
+      let rc = !dispatch_ref (Array.of_list ("waltz_cli" :: args)) in
+      let folded = Profiler.stop sampler in
+      Telemetry.disable ();
+      let total = List.fold_left (fun acc (_, c) -> acc + c) 0 folded in
+      (match out with
+      | Some path ->
+        Profiler.write path folded;
+        Printf.printf "wrote %d folded stacks (%d samples) to %s\n" (List.length folded)
+          total path
+      | None -> List.iter print_endline (Profiler.to_lines folded));
+      rc
+  in
+  let hz =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "hz" ] ~docv:"HZ"
+          ~doc:"Sampling rate (default: \\$(b,WALTZ_PROFILE_HZ) or 97).")
+  in
+  let args =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"SUBCOMMAND"
+          ~doc:"Subcommand to profile, after --, e.g. -- simulate -c qram -n 7.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run another waltz_cli subcommand under the sampling profiler and print \
+          flamegraph-compatible folded stacks (frame;frame count), one leading \
+          frame per domain")
+    Term.(const run $ hz $ output_file_arg $ args)
 
 (* ---- rb ---- *)
 
@@ -921,8 +1155,11 @@ let pulse_cmd =
 let () =
   let doc = "The Quantum Waltz: three-qubit gates on four-level architectures" in
   let info = Cmd.info "waltz_cli" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval' (Cmd.group info
-       [ compile_cmd; estimate_cmd; simulate_cmd; sweep_cmd; breakdown_cmd; verify_cmd;
-         analyze_cmd; sarif_check_cmd; sanitize_cmd; report_cmd; trace_check_cmd; rb_cmd;
-         pulse_cmd ]))
+  let group =
+    Cmd.group info
+      [ compile_cmd; estimate_cmd; simulate_cmd; sweep_cmd; breakdown_cmd; verify_cmd;
+        analyze_cmd; sarif_check_cmd; sanitize_cmd; report_cmd; trace_check_cmd;
+        metrics_cmd; metrics_check_cmd; flight_dump_cmd; profile_cmd; rb_cmd; pulse_cmd ]
+  in
+  dispatch_ref := (fun argv -> Cmd.eval' ~argv group);
+  exit (Cmd.eval' group)

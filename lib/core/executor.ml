@@ -4,6 +4,8 @@ open Waltz_noise
 open Waltz_sim
 open Waltz_runtime
 module Telemetry = Waltz_telemetry.Telemetry
+module Recorder = Waltz_telemetry.Recorder
+module Clock = Waltz_telemetry.Clock
 module Sanitize = Waltz_sanitizer.Sanitize
 
 type config = { model : Noise.model; trajectories : int; base_seed : int }
@@ -13,6 +15,28 @@ let default_config = { model = Noise.default; trajectories = 50; base_seed = 202
 type result = { mean_fidelity : float; sem : float; trajectories : int }
 
 let max_devices ~device_dim = if device_dim = 4 then 11 else 22
+
+(* Hot-path telemetry handles, interned once at module init so per-op and
+   per-trajectory instrumentation never hashes a metric name or takes the
+   telemetry state mutex (see Metrics.cell / Metrics.series). The
+   per-domain trajectory counter name depends on the recording domain, so
+   its cell is interned lazily per domain. *)
+let trajectories_cell = Telemetry.Metrics.cell "executor.trajectories"
+let blocks_cell = Telemetry.Metrics.cell "executor.batch.blocks"
+let lane_windows_cell = Telemetry.Metrics.cell "executor.batch.lane_windows"
+let mask_divergence_cell = Telemetry.Metrics.cell "executor.batch.mask_divergence"
+let plan_hit_cell = Telemetry.Metrics.cell "executor.plan_cache.hit"
+let plan_miss_cell = Telemetry.Metrics.cell "executor.plan_cache.miss"
+let lift_hit_cell = Telemetry.Metrics.cell "executor.lift_gate.hit"
+let lift_miss_cell = Telemetry.Metrics.cell "executor.lift_gate.miss"
+let lift_collision_cell = Telemetry.Metrics.cell "executor.lift_table.collision"
+let trajectory_us_series = Telemetry.Metrics.series "executor.trajectory_us"
+let block_us_series = Telemetry.Metrics.series "executor.block_us"
+
+let domain_traj_cell : Telemetry.Metrics.cell Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      Telemetry.Metrics.cell
+        (Printf.sprintf "executor.domain.%d.trajectories" (Domain.self () :> int)))
 
 (* An idle window resolved at plan time: the damping lambdas and the
    no-jump Kraus scales are pure functions of the window length, so both
@@ -24,8 +48,8 @@ type plan_op = {
   devices : int list;  (** state wires the lifted gate acts on, in order *)
   lifted : Mat.t;  (** unitary over those device wires *)
   kernel : Kernel.t;  (** plan-time classified apply path for [lifted] *)
-  dispatch_counter : string;
-      (** preallocated telemetry counter name for the kernel class *)
+  dispatch_cell : Telemetry.Metrics.cell;
+      (** preallocated telemetry counter handle for the kernel class *)
   error_p : float;
   error_parts : (int * Physical.noise_role) list;  (** device, role *)
   error_dims : int list;  (** radix of each error part's Pauli draw *)
@@ -59,6 +83,11 @@ type plan = {
           flattened form of [plan_allowed], fed to the Haar refill so no
           trajectory re-runs the per-index support test *)
   plan_leak : leakage_tables;  (** final-map leakage tables *)
+  plan_dispatch : (Telemetry.Metrics.cell * int) array;
+      (** per kernel class: (dispatch counter cell, ops of that class). The
+          dispatch tally per trajectory or block is a static function of
+          the plan, so the instrumented wrappers flush one increment per
+          class instead of one per op application. *)
 }
 
 (* Devices in order of first appearance among the targets. Reversed-cons
@@ -140,9 +169,8 @@ let lift_gate ~device_dim (op : Physical.op) =
   in
   Sanitize.Lock.release "executor.lift_mutex";
   Mutex.unlock lift_mutex;
-  Telemetry.Metrics.incr
-    (if hit then "executor.lift_gate.hit" else "executor.lift_gate.miss");
-  if collision then Telemetry.Metrics.incr "executor.lift_table.collision";
+  Telemetry.Metrics.cell_incr (if hit then lift_hit_cell else lift_miss_cell);
+  if collision then Telemetry.Metrics.cell_incr lift_collision_cell;
   (devices, lifted)
 
 (* Allowed levels per device under a placement map: a device's computational
@@ -260,7 +288,7 @@ let plan_uncached ~model (compiled : Physical.t) =
         { devices;
           lifted;
           kernel;
-          dispatch_counter = "executor.kernel_dispatch." ^ cls;
+          dispatch_cell = Telemetry.Metrics.cell ("executor.kernel_dispatch." ^ cls);
           error_p = Float.max 0. err;
           error_parts;
           error_dims =
@@ -278,12 +306,25 @@ let plan_uncached ~model (compiled : Physical.t) =
      domain, contention-free without a per-simulate warm pass). *)
   List.iter (fun d -> ignore (Noise.pauli_set ~d)) [ 2; device_dim ];
   let plan_allowed = allowed_table ~device_dim (initial_allowed compiled) in
+  let plan_dispatch =
+    (* Cells are interned per class name, so physical equality groups ops
+       by kernel class. *)
+    let acc = ref [] in
+    List.iter
+      (fun op ->
+        match List.assq_opt op.dispatch_cell !acc with
+        | Some n -> acc := (op.dispatch_cell, n + 1) :: List.remove_assq op.dispatch_cell !acc
+        | None -> acc := (op.dispatch_cell, 1) :: !acc)
+      plan_ops;
+    Array.of_list (List.rev !acc)
+  in
   { plan_dims;
     plan_ops;
     final_damp;
     plan_allowed;
     plan_support = support_indices ~dims:plan_dims plan_allowed;
-    plan_leak = leakage_tables_of ~map:compiled.Physical.final_map compiled }
+    plan_leak = leakage_tables_of ~map:compiled.Physical.final_map compiled;
+    plan_dispatch }
 
 (* Cross-call plan cache. Repeated [simulate] calls on one compiled program
    (benchmark reps, parameter sweeps over trajectories/seeds) replan from
@@ -318,12 +359,12 @@ let plan_shared ~model (compiled : Physical.t) =
       plan_cache := entry :: List.filter (fun e -> not (e == entry)) !plan_cache;
       Sanitize.Lock.release "executor.plan_cache_mutex";
       Mutex.unlock plan_cache_mutex;
-      Telemetry.Metrics.incr "executor.plan_cache.hit";
+      Telemetry.Metrics.cell_incr plan_hit_cell;
       p
     | None ->
       Sanitize.Lock.release "executor.plan_cache_mutex";
       Mutex.unlock plan_cache_mutex;
-      Telemetry.Metrics.incr "executor.plan_cache.miss";
+      Telemetry.Metrics.cell_incr plan_miss_cell;
       let p = plan_uncached ~model compiled in
       Mutex.lock plan_cache_mutex;
       Sanitize.Lock.acquire "executor.plan_cache_mutex";
@@ -355,7 +396,7 @@ let plan ~model (compiled : Physical.t) =
   let memo = Domain.DLS.get plan_memo in
   match !memo with
   | Some (c, m, p) when c == compiled && m = model ->
-    Telemetry.Metrics.incr "executor.plan_cache.hit";
+    Telemetry.Metrics.cell_incr plan_hit_cell;
     p
   | _ ->
     let p = plan_shared ~model compiled in
@@ -363,10 +404,10 @@ let plan ~model (compiled : Physical.t) =
     p
 
 (* The whole point of the kernel stage: per-op, per-trajectory cost is one
-   dispatch on the precompiled class, no re-validation or re-classification. *)
-let apply_plan_op state p =
-  Telemetry.Metrics.incr p.dispatch_counter;
-  Kernel.apply p.kernel (State.amplitudes state)
+   dispatch on the precompiled class, no re-validation or re-classification.
+   Dispatch counters are flushed per trajectory/block from [plan_dispatch],
+   not here, so the apply loop carries no instrumentation at all. *)
+let apply_plan_op state p = Kernel.apply p.kernel (State.amplitudes state)
 
 let embed_error ~device_dim role pauli =
   match (role, device_dim) with
@@ -411,6 +452,7 @@ let run_ideal (compiled : Physical.t) state =
   let plan = plan ~model:Noise.default compiled in
   let out = State.copy state in
   List.iter (fun p -> apply_plan_op out p) plan.plan_ops;
+  Array.iter (fun (c, n) -> Telemetry.Metrics.cell_incr ~by:n c) plan.plan_dispatch;
   out
 
 let leakage_with tables state =
@@ -545,9 +587,7 @@ let default_batch () =
     b
   | b -> b
 
-let apply_plan_op_block blk p =
-  Telemetry.Metrics.incr ~by:(State_block.live blk) p.dispatch_counter;
-  State_block.apply_kernel blk p.kernel
+let apply_plan_op_block blk p = State_block.apply_kernel blk p.kernel
 
 let simulate_detailed_body ~config ?domains ?batch (compiled : Physical.t) =
   let device_dim = compiled.Physical.device_dim in
@@ -575,15 +615,40 @@ let simulate_detailed_body ~config ?domains ?batch (compiled : Physical.t) =
   in
   (* Telemetry does not touch the trajectory's RNG stream or the reduction
      order, so the statistics are bit-identical with it on or off. *)
+  let flush_trajectory_metrics dur =
+    Telemetry.Metrics.series_observe trajectory_us_series dur;
+    Telemetry.Metrics.cell_add trajectories_cell 1;
+    Telemetry.Metrics.cell_add (Domain.DLS.get domain_traj_cell) 1;
+    (* Each plan op was dispatched twice: the ideal pass and the noisy
+       pass. *)
+    Array.iter (fun (c, n) -> Telemetry.Metrics.cell_add c (2 * n)) plan.plan_dispatch
+  in
   let run_trajectory k =
-    if not (Telemetry.enabled ()) then run_trajectory_raw k
+    if not (Telemetry.active ()) then run_trajectory_raw k
+    else if not (Telemetry.enabled ()) then begin
+      (* Always-on plane (metrics and/or armed flight recorder, no span
+         collection): hand-inlined so the per-trajectory cost is two
+         unboxed clock reads, the ring stores and the counter flush — no
+         closure, tuple or boxed-float allocation on the way. *)
+      let start_us = Clock.now_us () in
+      Recorder.record_begin_at "trajectory" start_us;
+      match run_trajectory_raw k with
+      | r ->
+        let end_us = Clock.now_us () in
+        Recorder.record_end_at "trajectory" end_us;
+        if Telemetry.metrics_enabled () then
+          flush_trajectory_metrics (end_us -. start_us);
+        r
+      | exception exn ->
+        let bt = Printexc.get_raw_backtrace () in
+        Recorder.record_end_at "trajectory" (Clock.now_us ());
+        Printexc.raise_with_backtrace exn bt
+    end
     else begin
-      Telemetry.Metrics.incr "executor.trajectories";
-      Telemetry.Metrics.incr
-        (Printf.sprintf "executor.domain.%d.trajectories" (Domain.self () :> int));
-      let t0 = Telemetry.now_us () in
-      let r = Telemetry.Span.with_ ~name:"trajectory" (fun () -> run_trajectory_raw k) in
-      Telemetry.Metrics.observe "executor.trajectory_us" (Telemetry.now_us () -. t0);
+      let r, dur =
+        Telemetry.Span.with_timed ~name:"trajectory" (fun () -> run_trajectory_raw k)
+      in
+      if Telemetry.metrics_enabled () then flush_trajectory_metrics dur;
       r
     end
   in
@@ -643,22 +708,46 @@ let simulate_detailed_body ~config ?domains ?batch (compiled : Physical.t) =
     leakage_block_with leak_tables ws.bnoisy ~inside:ws.binside ws.bleak;
     (Array.init live (fun k -> (ws.bover.(k), ws.bleak.(k), draws.(k))), !diverged, !windows)
   in
+  let flush_block_metrics samples ~diverged ~windows dur =
+    Telemetry.Metrics.series_observe block_us_series dur;
+    let n = Array.length samples in
+    Telemetry.Metrics.cell_add blocks_cell 1;
+    Telemetry.Metrics.cell_add trajectories_cell n;
+    Telemetry.Metrics.cell_add (Domain.DLS.get domain_traj_cell) n;
+    Telemetry.Metrics.cell_add lane_windows_cell windows;
+    Telemetry.Metrics.cell_add mask_divergence_cell diverged;
+    (* Each plan op was dispatched twice per live lane: the ideal pass and
+       the noisy pass. *)
+    Array.iter
+      (fun (c, cnt) -> Telemetry.Metrics.cell_add c (2 * cnt * n))
+      plan.plan_dispatch
+  in
   let run_block j ~batch =
-    if not (Telemetry.enabled ()) then
+    if not (Telemetry.active ()) then
       let samples, _, _ = run_block_raw j ~batch in
       samples
+    else if not (Telemetry.enabled ()) then begin
+      (* Always-on plane: same hand-inlined shape as [run_trajectory]. *)
+      let start_us = Clock.now_us () in
+      Recorder.record_begin_at "trajectory-block" start_us;
+      match run_block_raw j ~batch with
+      | samples, diverged, windows ->
+        let end_us = Clock.now_us () in
+        Recorder.record_end_at "trajectory-block" end_us;
+        if Telemetry.metrics_enabled () then
+          flush_block_metrics samples ~diverged ~windows (end_us -. start_us);
+        samples
+      | exception exn ->
+        let bt = Printexc.get_raw_backtrace () in
+        Recorder.record_end_at "trajectory-block" (Clock.now_us ());
+        Printexc.raise_with_backtrace exn bt
+    end
     else begin
-      Telemetry.Metrics.incr "executor.batch.blocks";
-      let t0 = Telemetry.now_us () in
-      let samples, diverged, windows =
-        Telemetry.Span.with_ ~name:"trajectory-block" (fun () -> run_block_raw j ~batch)
+      let (samples, diverged, windows), dur =
+        Telemetry.Span.with_timed ~name:"trajectory-block" (fun () ->
+            run_block_raw j ~batch)
       in
-      Telemetry.Metrics.observe "executor.block_us" (Telemetry.now_us () -. t0);
-      Telemetry.Metrics.incr ~by:(Array.length samples) "executor.trajectories";
-      Telemetry.Metrics.incr ~by:(Array.length samples)
-        (Printf.sprintf "executor.domain.%d.trajectories" (Domain.self () :> int));
-      Telemetry.Metrics.incr ~by:windows "executor.batch.lane_windows";
-      Telemetry.Metrics.incr ~by:diverged "executor.batch.mask_divergence";
+      if Telemetry.metrics_enabled () then flush_block_metrics samples ~diverged ~windows dur;
       samples
     end
   in
@@ -710,15 +799,23 @@ let simulate_detailed_body ~config ?domains ?batch (compiled : Physical.t) =
   { summary; mean_leakage; mean_error_draws }
 
 let simulate_detailed ?(config = default_config) ?domains ?batch (compiled : Physical.t) =
-  (* The span args (string building included) are only worth constructing
-     when telemetry is recording; with it off this is the whole overhead. *)
-  if not (Telemetry.enabled ()) then simulate_detailed_body ~config ?domains ?batch compiled
+  (* The span (args and string building included) is only worth
+     constructing under full telemetry; the always-on metrics+recorder
+     plane gets the per-block spans from [run_block] — on a short simulate
+     an extra wrapper span is measurable against the <= 5 % overhead
+     budget. The flight-recorder bracket dumps the per-domain rings when a
+     trajectory raises (then re-raises); disarmed it is exactly the body. *)
+  if not (Telemetry.enabled ()) then
+    Recorder.with_crash_dump ~label:"simulate" (fun () ->
+        simulate_detailed_body ~config ?domains ?batch compiled)
   else
     Telemetry.Span.with_ ~name:"executor/simulate"
       ~args:
         [ ("strategy", compiled.Physical.strategy.Strategy.name);
           ("trajectories", string_of_int config.trajectories) ]
-      (fun () -> simulate_detailed_body ~config ?domains ?batch compiled)
+      (fun () ->
+        Recorder.with_crash_dump ~label:"simulate" (fun () ->
+            simulate_detailed_body ~config ?domains ?batch compiled))
 
 let simulate ?config ?domains ?batch compiled =
   (match config with

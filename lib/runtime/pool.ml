@@ -15,6 +15,7 @@ type job = {
   mutable seats : int;  (* extra workers still allowed to join; under [m] *)
   mutable active : int;  (* participants not yet drained; under [m] *)
   failure : exn option Atomic.t;
+  published_us : float;  (* publish timestamp when telemetry is on; else 0 *)
 }
 
 type t = {
@@ -92,7 +93,7 @@ let participate ?(stolen = false) pool job =
     end
   in
   claim ();
-  if Waltz_telemetry.Telemetry.enabled () && !claimed > 0 then begin
+  if Waltz_telemetry.Telemetry.metrics_enabled () && !claimed > 0 then begin
     Waltz_telemetry.Telemetry.Metrics.incr ~by:!claimed "pool.items";
     if stolen then Waltz_telemetry.Telemetry.Metrics.incr ~by:!claimed "pool.items.stolen"
   end;
@@ -118,6 +119,12 @@ let worker pool =
           j.seats <- j.seats - 1;
           j.active <- j.active + 1;
           Waltz_telemetry.Telemetry.Metrics.incr "pool.seats.joined";
+          (* Seat-wait latency: publish-to-join, i.e. how long work sat
+             queued before this worker picked it up (ROADMAP item 1 wants
+             admission latency visible). *)
+          if Waltz_telemetry.Telemetry.metrics_enabled () then
+            Waltz_telemetry.Telemetry.Metrics.observe "pool.seat_wait_us"
+              (Waltz_telemetry.Telemetry.now_us () -. j.published_us);
           job := Some j
         end
       | _ -> ());
@@ -178,9 +185,14 @@ let map_array ?domains pool ~n ~f =
     done
   else begin
     let seats = min (budget - 1) pool.n_workers in
-    if Waltz_telemetry.Telemetry.enabled () then begin
+    let telemetry_on = Waltz_telemetry.Telemetry.metrics_enabled () in
+    if telemetry_on then begin
       Waltz_telemetry.Telemetry.Metrics.incr "pool.jobs";
-      Waltz_telemetry.Telemetry.Metrics.incr ~by:seats "pool.seats.offered"
+      Waltz_telemetry.Telemetry.Metrics.incr ~by:seats "pool.seats.offered";
+      (* Queue depth at publish: items admitted in this job. A gauge (last
+         write wins) — the daemon-facing "how much work is queued right
+         now" signal, surfaced in --stats and the OpenMetrics export. *)
+      Waltz_telemetry.Telemetry.Metrics.set_gauge "pool.queue_depth" (float_of_int n)
     end;
     let job =
       { run_item =
@@ -191,7 +203,8 @@ let map_array ?domains pool ~n ~f =
         next = Atomic.make 0;
         seats;
         active = 1;
-        failure = Atomic.make None }
+        failure = Atomic.make None;
+        published_us = (if telemetry_on then Waltz_telemetry.Telemetry.now_us () else 0.) }
     in
     lock_m pool;
     if pool.current <> None then begin

@@ -1,0 +1,17 @@
+(* Monotonic wall clock shared by the telemetry, flight-recorder and
+   profiler layers. On x86-64 a read is a raw RDTSC scaled by a factor
+   calibrated once at module init against CLOCK_MONOTONIC (~8 ns;
+   invariant TSC makes it constant-rate and core-synchronized); elsewhere
+   it is CLOCK_MONOTONIC through the vDSO (~20 ns). Neither source steps
+   backwards, so the trace exporter's nesting invariant needs no CAS
+   clamping loop. Values are microseconds since an arbitrary origin, so
+   only differences and orderings are meaningful. *)
+
+external calibrate : unit -> unit = "waltz_clock_calibrate"
+
+external now_us : unit -> (float[@unboxed])
+  = "waltz_monotonic_us" "waltz_monotonic_us_unboxed"
+[@@noalloc]
+
+(* Calibration spins ~2 ms once per process, before the first read. *)
+let () = calibrate ()

@@ -1,0 +1,11 @@
+(** Monotonic wall clock for the observability plane. *)
+
+external now_us : unit -> (float[@unboxed])
+  = "waltz_monotonic_us" "waltz_monotonic_us_unboxed"
+[@@noalloc]
+(** Monotonic microseconds (arbitrary origin): globally monotone across
+    domains, never steps backwards. Calibrated RDTSC on x86-64 (~8 ns per
+    read), CLOCK_MONOTONIC elsewhere (~20 ns). Use only differences and
+    orderings. Declared [external] here so every caller — telemetry is
+    compiled without flambda — gets the direct unboxed C call instead of a
+    boxed-float wrapper. *)

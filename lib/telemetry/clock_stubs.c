@@ -1,0 +1,82 @@
+/* Monotonic microsecond clock for the telemetry hot path.
+ *
+ * On x86-64 the read is a raw RDTSC (~8 ns) scaled to microseconds with a
+ * factor calibrated once against CLOCK_MONOTONIC; invariant-TSC hardware
+ * (everything this decade) makes the cycle counter a constant-rate
+ * monotonic clock synchronized across cores. Elsewhere — and before the
+ * calibration has run — reads fall back to CLOCK_MONOTONIC via the vDSO
+ * (~20 ns), which also never goes backwards, so the OCaml side needs no
+ * CAS monotonization loop either way. The [@unboxed] [@@noalloc] external
+ * keeps the FFI cost to a plain C call: no caml_enter_blocking_section,
+ * no float boxing.
+ *
+ * Both sources report microseconds on an arbitrary origin; only
+ * differences and orderings are meaningful, and a process never mixes
+ * sources (calibration runs at module init, before the first read).
+ */
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#define WALTZ_HAVE_TSC 1
+#endif
+
+static double clock_us(void)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (double) ts.tv_sec * 1e6 + (double) ts.tv_nsec * 1e-3;
+}
+
+#ifdef WALTZ_HAVE_TSC
+/* us-per-tick scale; 0 until calibration succeeds (fallback path). */
+static double tsc_scale = 0.0;
+static double tsc_origin_ticks = 0.0;
+
+double waltz_monotonic_us_unboxed(value unit)
+{
+  (void) unit;
+  if (tsc_scale != 0.0)
+    return ((double) __rdtsc() - tsc_origin_ticks) * tsc_scale;
+  return clock_us();
+}
+
+CAMLprim value waltz_clock_calibrate(value unit)
+{
+  (void) unit;
+  unsigned long long t0 = __rdtsc();
+  double c0 = clock_us();
+  /* Spin ~2 ms: long enough for a scale good to ~0.01 %, short enough to
+   * be invisible at process start. */
+  double c1;
+  unsigned long long t1;
+  do {
+    t1 = __rdtsc();
+    c1 = clock_us();
+  } while (c1 - c0 < 2000.0 && t1 - t0 < 100000000ULL);
+  if (c1 > c0 && t1 > t0) {
+    tsc_origin_ticks = (double) t1;
+    tsc_scale = (c1 - c0) / (double) (t1 - t0);
+  }
+  return Val_unit;
+}
+#else
+double waltz_monotonic_us_unboxed(value unit)
+{
+  (void) unit;
+  return clock_us();
+}
+
+CAMLprim value waltz_clock_calibrate(value unit)
+{
+  (void) unit;
+  return Val_unit;
+}
+#endif
+
+CAMLprim value waltz_monotonic_us(value unit)
+{
+  return caml_copy_double(waltz_monotonic_us_unboxed(unit));
+}

@@ -1,0 +1,24 @@
+(** Minimal self-contained JSON parsing and escaping for the observability
+    plane (trace validation, OpenMetrics export, bench regression records).
+    Deliberately dependency-free. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Full-document parse; rejects trailing garbage. *)
+
+val escape : string -> string
+(** Escapes a string for embedding inside JSON double quotes. *)
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on non-objects. *)
+
+val num : t -> float option
+
+val obj_fields : t -> (string * t) list option

@@ -1,0 +1,67 @@
+(** Flight recorder: fixed-size per-domain ring buffers of recent span
+    begin/end and counter events, dumped post-mortem as a Chrome trace plus
+    a text log.
+
+    Disarmed (the default) every recording call is a single atomic load and
+    runs are bit-identical to unrecorded ones. Armed, each domain writes
+    into its own preallocated ring (single-writer, lock-free, drop-oldest),
+    so steady-state recording allocates nothing. Arm at startup with the
+    [WALTZ_FLIGHT=1] environment variable or {!arm}. Dumps land in
+    [WALTZ_FLIGHT_DIR] (default: the system temp directory). *)
+
+val armed : unit -> bool
+val arm : unit -> unit
+val disarm : unit -> unit
+
+val record_begin : string -> unit
+(** Span entry. Called by [Telemetry.Span.with_]; call directly only when
+    instrumenting outside the telemetry layer. *)
+
+val record_end : string -> unit
+
+val record_count : string -> int -> unit
+(** Counter increment event (name, by). *)
+
+val record_begin_at : string -> float -> unit
+(** {!record_begin} with a caller-supplied {!Clock.now_us} timestamp, for
+    hot paths that already read the clock. *)
+
+val record_end_at : string -> float -> unit
+
+val reset : unit -> unit
+(** Lazily clears every domain's ring (writers re-initialize on next use). *)
+
+val set_capacity : int -> unit
+(** Events retained per domain (default 4096, minimum 16); implies
+    {!reset}. *)
+
+type kind = Begin | End | Count
+
+type event = { kind : kind; name : string; t_us : float; value : int }
+
+val events : unit -> (int * event list) list
+(** Current ring contents grouped by domain track, oldest event first,
+    tracks ascending. A racy snapshot: concurrent writers may tear the
+    newest slot (post-mortem use only). *)
+
+val dump : reason:string -> unit -> string * string
+(** Writes the ring contents as [(trace.json, txt)] files and returns both
+    paths. The trace pairs Begin/End events into Chrome "X" events
+    (orphaned Ends from ring wraparound are dropped; dangling Begins are
+    closed at dump time and suffixed " (unclosed)") and passes
+    [Telemetry.Trace.validate]. *)
+
+val note_error : reason:string -> unit
+(** Automatic dump hook for Error-severity diagnostics. No-op when
+    disarmed; rate-limited to 8 automatic dumps per process. *)
+
+val with_crash_dump : label:string -> (unit -> 'a) -> 'a
+(** Runs the thunk; if it raises while the recorder is armed, dumps the
+    rings (same rate limit as {!note_error}) and re-raises with the
+    original backtrace. Disarmed: exactly the thunk. *)
+
+val last_dump : unit -> (string * string) option
+(** Paths written by the most recent dump, if any. *)
+
+val set_dump_dir : string -> unit
+(** Overrides the dump directory (tests; the CLI's [flight-dump -o]). *)

@@ -1,0 +1,113 @@
+(* Bounded log-bucketed quantile sketch (DDSketch-style, with HDR-style
+   linear sub-buckets).
+
+   A positive value is binned by its IEEE-754 exponent plus the top four
+   mantissa bits — [sub = 16] linear sub-buckets per octave, read straight
+   out of the float's bit pattern, so binning costs a handful of integer
+   ops and no [log] call. The widest bucket (at the bottom of an octave)
+   spans the relative factor 17/16, so quantile estimates carry a relative
+   rank-error bound of gamma = 1.0625: the reported value and the exact
+   order statistic lie in the same bucket. Storage is one fixed
+   [int array] regardless of how many observations arrive — the
+   unbounded-growth fix for long daemon runs — and two sketches merge by
+   elementwise bin addition, which makes per-domain sketches cheap to
+   combine. *)
+
+let sub = 16           (* linear sub-buckets per octave *)
+let min_exp = -32      (* bucket 0 starts at 2^-32; covers 2^-32 .. 2^33 *)
+let offset = (1023 + min_exp) * sub  (* bit-pattern key of bucket 0 *)
+let n_bins = 65 * sub
+
+(* The float stats live in a 3-slot float array (sum, min, max) rather
+   than mutable record fields: a record mixing floats with ints keeps its
+   floats boxed, so [observe] would allocate three boxes per call — fatal
+   for a per-block hot path. The flat float array is unboxed, making
+   [observe] allocation-free. *)
+type t = {
+  mutable count : int;
+  mutable zeros : int;  (* observations <= 0, kept out of the log bins *)
+  fstats : float array;  (* [| sum; min; max |], unboxed *)
+  bins : int array;
+}
+
+let create () =
+  { count = 0; zeros = 0;
+    fstats = [| 0.; infinity; neg_infinity |];
+    bins = Array.make n_bins 0 }
+
+let gamma = 1. +. (1. /. float_of_int sub)
+
+let bucket_of v =
+  (* v > 0, so the sign bit is clear and [Int64.to_int]'s 63-bit
+     truncation is lossless. The shifted bit pattern —
+     biased exponent * 16 + top four mantissa bits — is monotone in [v]
+     and is the bucket key directly. *)
+  let key = Int64.to_int (Int64.bits_of_float v) lsr 48 in
+  let i = key - offset in
+  if i < 0 then 0 else if i >= n_bins then n_bins - 1 else i
+
+(* Exclusive upper bound of bucket [i] (the next bucket's lower bound);
+   any value binned there is within a factor gamma below it. *)
+let bucket_upper i =
+  let key = i + 1 + offset in
+  Float.ldexp (float_of_int (sub + (key mod sub)) /. float_of_int sub)
+    ((key / sub) - 1023)
+
+let observe t v =
+  t.count <- t.count + 1;
+  let f = t.fstats in
+  f.(0) <- f.(0) +. v;
+  if v < f.(1) then f.(1) <- v;
+  if v > f.(2) then f.(2) <- v;
+  if v <= 0. then t.zeros <- t.zeros + 1
+  else begin
+    let i = bucket_of v in
+    t.bins.(i) <- t.bins.(i) + 1
+  end
+
+let count t = t.count
+let sum t = t.fstats.(0)
+let min_value t = if t.count = 0 then 0. else t.fstats.(1)
+let max_value t = if t.count = 0 then 0. else t.fstats.(2)
+
+let quantile t q =
+  if t.count = 0 then 0.
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int t.count))) in
+    if rank <= t.zeros then t.fstats.(1)
+    else begin
+      let seen = ref t.zeros in
+      let est = ref t.fstats.(2) in
+      (try
+         for i = 0 to n_bins - 1 do
+           seen := !seen + t.bins.(i);
+           if !seen >= rank then begin
+             est := bucket_upper i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      (* The bucket bound can overshoot the true extremes; clamp. *)
+      Float.max t.fstats.(1) (Float.min t.fstats.(2) !est)
+    end
+  end
+
+let merge a b =
+  let m = create () in
+  m.count <- a.count + b.count;
+  m.fstats.(0) <- a.fstats.(0) +. b.fstats.(0);
+  m.fstats.(1) <- Float.min a.fstats.(1) b.fstats.(1);
+  m.fstats.(2) <- Float.max a.fstats.(2) b.fstats.(2);
+  m.zeros <- a.zeros + b.zeros;
+  for i = 0 to n_bins - 1 do
+    m.bins.(i) <- a.bins.(i) + b.bins.(i)
+  done;
+  m
+
+let nonempty_buckets t =
+  let acc = ref [] in
+  for i = n_bins - 1 downto 0 do
+    if t.bins.(i) > 0 then acc := (bucket_upper i, t.bins.(i)) :: !acc
+  done;
+  if t.zeros > 0 then (0., t.zeros) :: !acc else !acc

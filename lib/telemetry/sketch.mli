@@ -1,0 +1,40 @@
+(** Bounded log-bucketed quantile sketch (DDSketch-style, HDR-style
+    linear sub-buckets).
+
+    Fixed memory per sketch (one int array of 1040 buckets — 16 linear
+    sub-buckets per octave read straight out of the IEEE-754 bit pattern,
+    covering 2^-32 .. 2^33), mergeable by elementwise bin addition.
+    Quantile estimates are rank-accurate to one bucket: the estimate and
+    the exact order statistic differ by at most the factor gamma
+    (17/16, ~6 %). *)
+
+type t
+
+val create : unit -> t
+
+val gamma : float
+(** Worst-case relative width of a bucket: [17. /. 16.]. *)
+
+val observe : t -> float -> unit
+(** Non-positive values land in a dedicated zero bucket (they cannot be
+    log-binned) and are treated as the minimum for quantile purposes. *)
+
+val count : t -> int
+val sum : t -> float
+
+val min_value : t -> float
+(** Exact observed minimum; 0 on an empty sketch. *)
+
+val max_value : t -> float
+(** Exact observed maximum; 0 on an empty sketch. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] for q in [0,1]; clamped to the exact [min]/[max].
+    0 on an empty sketch. *)
+
+val merge : t -> t -> t
+(** Pure: neither input is modified. *)
+
+val nonempty_buckets : t -> (float * int) list
+(** Occupied buckets as (upper bound, count), ascending; non-positive
+    observations appear as a bucket with upper bound 0. *)

@@ -7,20 +7,44 @@
     bit-identical to uninstrumented ones.
 
     Spans are hierarchical (a per-domain parent stack) and timestamped with
-    a monotonized wall clock; counters and histograms accumulate under a
-    single mutex and are safe to update from worker domains. See
+    a monotonized wall clock; counters, gauges and histogram sketches
+    accumulate under a single mutex and are safe to update from worker
+    domains. Histograms are bounded log-bucketed quantile sketches
+    ({!Sketch}) — fixed memory however long the process runs. The same
+    span/counter entry points also feed the {!Recorder} flight-recorder
+    rings when that is armed, independently of this module's flag. See
     doc/OBSERVABILITY.md for the metric catalog and naming scheme. *)
 
 val enabled : unit -> bool
+(** Full telemetry: spans, metrics, live stacks. *)
+
 val enable : unit -> unit
+(** Turns on full telemetry (spans + metrics). *)
+
 val disable : unit -> unit
+(** Turns off both full telemetry and the metrics tier. *)
+
+val metrics_enabled : unit -> bool
+
+val enable_metrics : unit -> unit
+(** Turns on the metrics tier alone: counters, gauges and histogram
+    sketches accumulate, but spans are not collected and live stacks are
+    not maintained. Together with an armed {!Recorder} this is the
+    always-on plane — its hot-path cost is bounded by the {!Metrics.cell}
+    and {!Metrics.series} handles plus ring stores. *)
+
+val active : unit -> bool
+(** True when any plane wants instrumented paths to run: full telemetry,
+    the metrics tier, or an armed flight recorder. This is the gate hot
+    paths check before doing any instrumentation work. *)
 
 val reset : unit -> unit
-(** Clears completed spans, counters and histograms (the enable flag is
-    left as is). Open spans still record on completion. *)
+(** Clears completed spans, counters, gauges and histograms (the enable
+    flag is left as is). Open spans still record on completion. *)
 
 val now_us : unit -> float
-(** Microseconds since process start, clamped to be globally monotone. *)
+(** Monotonic microseconds, arbitrary origin (an alias of
+    {!Clock.now_us}); only differences and orderings are meaningful. *)
 
 module Span : sig
   type t = {
@@ -34,11 +58,27 @@ module Span : sig
   }
 
   val with_ : ?args:(string * string) list -> name:string -> (unit -> 'a) -> 'a
-  (** [with_ ~name f] runs [f] inside a span. Disabled: exactly [f ()].
-      Exceptions propagate; the span is recorded either way. *)
+  (** [with_ ~name f] runs [f] inside a span. With both telemetry and the
+      flight recorder off: exactly [f ()]. Exceptions propagate; the span
+      is recorded either way. Costs exactly two clock reads when some
+      plane is on — the timestamps are shared with the flight-recorder
+      Begin/End events. *)
+
+  val with_timed :
+    ?args:(string * string) list -> name:string -> (unit -> 'a) -> 'a * float
+  (** [with_] that also returns the measured duration (µs) using the
+      span's own clock reads — instrumented hot paths feed it straight
+      into {!Metrics.series_observe} without re-reading the clock. Always
+      measures; call it only from a path already gated on {!active}. *)
 
   val all : unit -> t list
   (** Completed spans in completion order. *)
+
+  val live_stacks : unit -> (int * string list) list
+  (** Each domain's currently-open span stack, innermost first, keyed by
+      track id and sorted by track. Stacks are sampled without
+      synchronizing with their owning domains (the sampling-profiler
+      contract): an individual stack may be momentarily stale. *)
 
   type aggregate = { agg_name : string; count : int; total_us : float; max_us : float }
 
@@ -52,19 +92,60 @@ module Metrics : sig
   val incr : ?by:int -> string -> unit
   val observe : string -> float -> unit
 
+  (** {2 Preallocated hot-path handles}
+
+      [incr]/[observe] hash their name string and take the state mutex on
+      every call — fine once per pipeline phase, too slow inside a
+      microsecond trajectory. Instrumentation that fires per gate
+      application or per trajectory block interns a handle once at setup
+      time (the executor stores them in its compiled plan) and pays one
+      atomic fetch-and-add ([cell]) or one uncontended private mutex plus
+      a sketch insert ([series]) per event. Handle updates do not emit
+      flight-recorder counter events; both are merged into every
+      read/export next to their string-keyed siblings and cleared by
+      [reset] (the handles themselves stay valid). *)
+
+  type cell
+
+  val cell : string -> cell
+  (** Interns (or finds) the counter cell with this name. *)
+
+  val cell_incr : ?by:int -> cell -> unit
+
+  val cell_add : cell -> int -> unit
+  (** [cell_incr] without the enablement check — for a call site that has
+      already branched on {!metrics_enabled} once around a batch of
+      updates. *)
+
+  type series
+
+  val series : string -> series
+  (** Interns (or finds) the histogram series with this name. *)
+
+  val series_observe : series -> float -> unit
+
+  val set_gauge : string -> float -> unit
+  (** Last-write-wins instantaneous value (e.g. [pool.queue_depth]). *)
+
   val counter : string -> int
   (** 0 when the counter never fired. *)
 
   val counters : unit -> (string * int) list
   (** Sorted by name. *)
 
+  val gauge : string -> float option
+  val gauges : unit -> (string * float) list
+
   type histogram = {
     count : int;
     sum : float;
     min : float;
     max : float;
+    p50 : float;  (** sketch quantiles, rank-accurate to one log bucket *)
+    p90 : float;
+    p99 : float;
     buckets : (float * int) list;
-        (** non-empty power-of-two bins as (upper bound, count) *)
+        (** non-empty sketch bins as (upper bound, count) *)
   }
 
   val histogram : string -> histogram option
@@ -74,10 +155,20 @@ module Metrics : sig
   (** [counter hit / (counter hit + counter miss)]; 0 when both are zero. *)
 end
 
+val export_openmetrics : unit -> string
+(** The full counter/gauge/histogram catalog as OpenMetrics text
+    (histograms as summaries with p50/p90/p99/max quantiles), terminated
+    by [# EOF]. Passes {!Openmetrics.validate}. *)
+
+val export_json : unit -> string
+(** The same catalog as a JSON object with "counters", "gauges" and
+    "histograms" members. *)
+
 module Report : sig
   val to_string : unit -> string
-  (** Human-readable report: spans aggregated by name, counters,
-      histogram summaries. This is what the CLI's [--stats] flag prints. *)
+  (** Human-readable report: spans aggregated by name, counters, gauges,
+      histogram summaries (with sketch quantiles). This is what the CLI's
+      [--stats] flag prints. *)
 end
 
 module Trace : sig

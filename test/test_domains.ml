@@ -76,6 +76,25 @@ let () =
           compare "telemetry-on/domains=3"
             (Executor.simulate_detailed ~config ~domains:3 compiled);
           Waltz_telemetry.Telemetry.disable ();
+          (* Same bar for the flight recorder (also reachable via
+             WALTZ_FLIGHT=1, covered by its own determinism rule): ring
+             writes may not perturb the statistics, alone or stacked on
+             telemetry, at any domain count or batch width. *)
+          let module Recorder = Waltz_telemetry.Recorder in
+          Recorder.reset ();
+          Recorder.arm ();
+          compare "recorder-on" (Executor.simulate_detailed ~config compiled);
+          compare "recorder-on/domains=3"
+            (Executor.simulate_detailed ~config ~domains:3 compiled);
+          compare "recorder-on/batch=2"
+            (Executor.simulate_detailed ~config ~batch:2 compiled);
+          Waltz_telemetry.Telemetry.reset ();
+          Waltz_telemetry.Telemetry.enable ();
+          compare "recorder+telemetry/domains=3"
+            (Executor.simulate_detailed ~config ~domains:3 compiled);
+          Waltz_telemetry.Telemetry.disable ();
+          if not (Sys.getenv_opt "WALTZ_FLIGHT" = Some "1") then Recorder.disarm ();
+          Recorder.reset ();
           (* The sanitizer must be observationally invisible in both states:
              with the flag off every shim is one atomic branch, so the
              statistics stay bit-identical at every domain count; with the
@@ -144,9 +163,10 @@ let () =
   end;
   Printf.printf
     "determinism: OK (%d circuits x %d strategies, WALTZ_DOMAINS=%s, default=%d domains, \
-     WALTZ_BATCH=%s, default=%d lanes)\n"
+     WALTZ_BATCH=%s, default=%d lanes, WALTZ_FLIGHT=%s)\n"
     (List.length circuits) (List.length strategies)
     (Option.value ~default:"unset" (Sys.getenv_opt "WALTZ_DOMAINS"))
     (Waltz_runtime.Pool.default_domains ())
     (Option.value ~default:"unset" (Sys.getenv_opt "WALTZ_BATCH"))
     (Executor.default_batch ())
+    (Option.value ~default:"unset" (Sys.getenv_opt "WALTZ_FLIGHT"))

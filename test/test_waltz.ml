@@ -28,4 +28,5 @@ let () =
       ("analysis", Test_analysis.suite);
       ("runtime", Test_runtime.suite);
       ("telemetry", Test_telemetry.suite);
-      ("sanitize", Test_sanitize.suite) ]
+      ("sanitize", Test_sanitize.suite);
+      ("obs", Test_obs.suite) ]
