@@ -1,5 +1,5 @@
-.PHONY: all build test lint bench-json bench-smoke trace-smoke analyze-smoke \
-	sanitize-smoke metrics-smoke flight-smoke regress-check clean
+.PHONY: all build test lint bench-json bench-smoke compile-smoke trace-smoke \
+	analyze-smoke sanitize-smoke metrics-smoke flight-smoke regress-check clean
 
 all: build test
 
@@ -24,6 +24,13 @@ bench-json:
 # baseline.
 bench-smoke: regress-check
 	dune exec bench/main.exe -- smoke
+
+# Compile determinism gate (also inside `make lint`): the program cache
+# (miss and hit paths) and the parallel portfolio (compile_all) must be
+# byte-identical to a fresh serial compile over the benchmark families x
+# sizes x fig7 strategies, under the canonical hex-float serialization.
+compile-smoke:
+	dune exec bench/main.exe -- compile-smoke
 
 # Regression gate (also inside `make lint`): compare a bench record against
 # the committed baseline. By default both sides are BENCH_micro.json (a

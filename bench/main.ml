@@ -548,7 +548,8 @@ let kernel_mix_program =
           device_dim = 4;
           ops;
           initial_map = map;
-          final_map = map }
+          final_map = map;
+          schedule_memo = None }
       in
       (* Guard against classifier drift: the mix must keep covering every
          class, or the benchmark silently stops measuring what it names. *)
@@ -573,6 +574,11 @@ let kernel_mix_program =
 let micro () =
   header "Bechamel micro-benchmarks (one Test.make per table/figure kernel)";
   let open Bechamel in
+  (* Every fig7/fig8 entry below must price a *fresh* compilation, so the
+     compiled-program cache is held off for the timed section; the hit path
+     gets its own fig7/compile-cached entry further down. *)
+  Compile.program_cache_clear ();
+  Compile.set_program_cache false;
   let toffoli = Circuit.of_gates ~n:3 [ Gate.make Gate.Ccx [ 0; 1; 2 ] ] in
   let cnu7 = Bench_circuits.cnu ~controls:4 in
   let toffoli_fq = Compile.compile Strategy.full_ququart toffoli in
@@ -896,6 +902,71 @@ let micro () =
   Printf.printf "  %-30s %14.0f ns/run\n" "observability/trajectory-sim-off" obs_off;
   Printf.printf "  %-30s %14.0f ns/run (%+.1f%%, recorder + metrics on)\n"
     "observability/trajectory-sim-on" obs_on obs_overhead_pct;
+  (* Compile-side profile on the fig7/compile-mixed-radix kernel: the
+     program-cache hit path, then per-phase span aggregates and routing
+     counters from an instrumented (telemetry-on) loop outside the timed
+     section, so the fig7 numbers above stay telemetry-free. All of it
+     lands in ns_per_run as well, so `waltz_cli report --baseline` gates
+     the phases and the cached path alongside the end-to-end compiles. *)
+  let compile_fresh_ns =
+    Option.value ~default:0. (List.assoc_opt "fig7/compile-mixed-radix" measured)
+  in
+  Compile.set_program_cache true;
+  Compile.program_cache_clear ();
+  let compile_cached_ns =
+    measure_one
+      (Test.make ~name:"fig7/compile-cached"
+         (Staged.stage (fun () -> ignore (Compile.compile Strategy.mixed_radix_ccz cnu7))))
+  in
+  Compile.set_program_cache false;
+  Compile.program_cache_clear ();
+  Printf.printf "  %-30s %14.0f ns/run (program-cache hit path)\n" "fig7/compile-cached"
+    compile_cached_ns;
+  let phase_reps = 200 in
+  Telemetry.reset ();
+  Telemetry.enable ();
+  for _ = 1 to phase_reps do
+    ignore (Compile.compile Strategy.mixed_radix_ccz cnu7)
+  done;
+  let router_steps = Telemetry.Metrics.counter "compile.router_steps" in
+  let bfs_calls = Telemetry.Metrics.counter "compile.bfs_calls" in
+  let phase_ns name =
+    match
+      List.find_opt
+        (fun (a : Telemetry.Span.aggregate) -> a.Telemetry.Span.agg_name = name)
+        (Telemetry.Span.aggregate ())
+    with
+    | Some a -> a.Telemetry.Span.total_us *. 1000. /. float_of_int phase_reps
+    | None -> 0.
+  in
+  let compile_phases =
+    List.map
+      (fun phase -> (phase, phase_ns ("compile/" ^ phase)))
+      [ "map"; "route"; "choreograph"; "schedule" ]
+  in
+  Telemetry.reset ();
+  (* Short cache-on probe for the hit/miss counters: one miss fills the
+     cache, the two repeats must both hit. *)
+  Compile.set_program_cache true;
+  Compile.program_cache_clear ();
+  for _ = 1 to 3 do
+    ignore (Compile.compile Strategy.mixed_radix_ccz cnu7)
+  done;
+  Telemetry.disable ();
+  let cache_hits = Telemetry.Metrics.counter "compile.program_cache.hit" in
+  let cache_misses = Telemetry.Metrics.counter "compile.program_cache.miss" in
+  Telemetry.reset ();
+  Compile.set_program_cache false;
+  Compile.program_cache_clear ();
+  List.iter
+    (fun (phase, ns) ->
+      Printf.printf "  %-30s %14.0f ns/run\n" ("fig7/compile-phases/" ^ phase) ns)
+    compile_phases;
+  let measured =
+    measured
+    @ ("fig7/compile-cached", compile_cached_ns)
+      :: List.map (fun (p, ns) -> ("fig7/compile-phases/" ^ p, ns)) compile_phases
+  in
   let oc = open_out "BENCH_micro.json" in
   Printf.fprintf oc "{\n  \"domains\": %d,\n" domains;
   Printf.fprintf oc "  \"throughput_trajectories\": %d,\n" throughput_trajectories;
@@ -954,6 +1025,24 @@ let micro () =
   Printf.fprintf oc "    \"enabled_ns_per_run\": %.1f,\n" obs_on;
   Printf.fprintf oc "    \"overhead_pct\": %.2f\n" obs_overhead_pct;
   Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"compile\": {\n";
+  Printf.fprintf oc "    \"benchmark\": \"fig7/compile-mixed-radix (cnu-7, mr-ccz)\",\n";
+  Printf.fprintf oc "    \"fresh_ns_per_run\": %.1f,\n" compile_fresh_ns;
+  Printf.fprintf oc "    \"cached_ns_per_run\": %.1f,\n" compile_cached_ns;
+  Printf.fprintf oc "    \"phases_ns_per_run\": {\n";
+  List.iteri
+    (fun i (phase, ns) ->
+      Printf.fprintf oc "      %S: %.1f%s\n" phase ns
+        (if i = List.length compile_phases - 1 then "" else ","))
+    compile_phases;
+  Printf.fprintf oc "    },\n";
+  Printf.fprintf oc "    \"router_steps_per_compile\": %.1f,\n"
+    (float_of_int router_steps /. float_of_int phase_reps);
+  Printf.fprintf oc "    \"bfs_calls_per_compile\": %.1f,\n"
+    (float_of_int bfs_calls /. float_of_int phase_reps);
+  Printf.fprintf oc "    \"program_cache_hits\": %d,\n" cache_hits;
+  Printf.fprintf oc "    \"program_cache_misses\": %d\n" cache_misses;
+  Printf.fprintf oc "  },\n";
   Printf.fprintf oc "  \"ns_per_run\": {\n";
   List.iteri
     (fun i (name, ns) ->
@@ -986,7 +1075,12 @@ let micro () =
   let hc = open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_history.jsonl" in
   Printf.fprintf hc "{\"ts\": \"%s\", \"record\": %s}\n" ts record;
   close_out hc;
-  Printf.printf "  appended %s to BENCH_history.jsonl\n" ts
+  Printf.printf "  appended %s to BENCH_history.jsonl\n" ts;
+  (* Hand the cache back in its env-default state for any later section. *)
+  Compile.set_program_cache
+    (match Sys.getenv_opt "WALTZ_COMPILE_CACHE" with
+    | Some ("0" | "false" | "off") -> false
+    | _ -> true)
 
 (* ---------------- Smoke (lint-gated) ---------------- *)
 
@@ -1091,6 +1185,73 @@ let smoke () =
   end;
   Printf.printf "  smoke OK\n"
 
+(* Compile determinism gate for `make compile-smoke` and the lint alias:
+   over the benchmark families x sizes x the fig7 strategy set, the
+   program cache (miss and hit paths) and the parallel portfolio
+   (compile_all at any domain count) must produce programs byte-identical
+   to a fresh serial compile under the canonical hex-float serialization
+   (Physical.dump prints floats with %h, so any bit difference shows).
+   Exits non-zero on the first divergence, so a cache or portfolio bug
+   fails `make lint` before it can contaminate a timed run. *)
+let compile_smoke () =
+  header "Compile determinism smoke (lint gate)";
+  let failures = ref 0 in
+  let jobs =
+    List.concat_map
+      (fun family ->
+        List.concat_map
+          (fun n ->
+            let circuit = Bench_circuits.by_total_qubits family n in
+            List.map (fun s -> (s, circuit)) Strategy.fig7_set)
+          [ 5; 7; 9 ])
+      Bench_circuits.all_families
+  in
+  let jobs_arr = Array.of_list jobs in
+  Compile.set_program_cache false;
+  Compile.program_cache_clear ();
+  let reference = Array.map (fun (s, c) -> Physical.dump (Compile.compile s c)) jobs_arr in
+  let check tag i dump =
+    if not (String.equal dump reference.(i)) then begin
+      incr failures;
+      let (s : Strategy.t), c = jobs_arr.(i) in
+      Printf.printf "  FAIL %s: job %d (%s, %d qubits) differs from the fresh serial compile\n"
+        tag i s.Strategy.name c.Circuit.n
+    end
+  in
+  (* Cached path, per job: the first compile fills the cache (miss), the
+     immediate repeat is served from it (hit) — compiling pairwise keeps
+     the hit guaranteed even though the MRU cache is smaller than the job
+     list. *)
+  Compile.set_program_cache true;
+  Compile.program_cache_clear ();
+  Array.iteri
+    (fun i (s, c) ->
+      check "cache-miss" i (Physical.dump (Compile.compile s c));
+      check "cache-hit" i (Physical.dump (Compile.compile s c)))
+    jobs_arr;
+  (* Parallel portfolio: fresh compiles on worker domains, then the same
+     fan-out against the shared cache. *)
+  Compile.set_program_cache false;
+  Compile.program_cache_clear ();
+  List.iteri (fun i p -> check "compile_all" i (Physical.dump p)) (Compile.compile_all jobs);
+  List.iteri
+    (fun i p -> check "compile_all/domains=1" i (Physical.dump p))
+    (Compile.compile_all ~domains:1 jobs);
+  Compile.set_program_cache true;
+  Compile.program_cache_clear ();
+  List.iteri
+    (fun i p -> check "compile_all/cached" i (Physical.dump p))
+    (Compile.compile_all jobs);
+  Compile.program_cache_clear ();
+  Printf.printf
+    "  %d jobs x 5 configurations byte-compared (families x sizes x fig7 strategies)\n"
+    (Array.length jobs_arr);
+  if !failures > 0 then begin
+    Printf.printf "compile-smoke: %d failures\n" !failures;
+    exit 1
+  end;
+  Printf.printf "  compile-smoke OK\n"
+
 (* ---------------- main ---------------- *)
 
 let all_sections =
@@ -1107,7 +1268,8 @@ let all_sections =
     ("resynth", resynth);
     ("pulses", pulses);
     ("micro", micro);
-    ("smoke", smoke) ]
+    ("smoke", smoke);
+    ("compile-smoke", compile_smoke) ]
 
 let () =
   let requested =

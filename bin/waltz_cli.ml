@@ -331,6 +331,12 @@ let sweep_cmd =
         Printf.printf "%-8s" "value";
         List.iter (fun s -> Printf.printf " %-16s" s.Strategy.name) strategies;
         print_newline ();
+        (* The compiled programs do not depend on the noise knob, so the
+           whole strategy portfolio is compiled once up front — in
+           parallel over the shared pool — and reused for every value. *)
+        let compiled_portfolio =
+          Compile.compile_all ?domains (List.map (fun s -> (s, circuit)) strategies)
+        in
         let rc = ref 0 in
         List.iter
           (fun v ->
@@ -341,15 +347,14 @@ let sweep_cmd =
             | Ok model ->
               Printf.printf "%-8.2f" v;
               List.iter
-                (fun strategy ->
-                  let compiled = Compile.compile strategy circuit in
+                (fun compiled ->
                   let result =
                     Executor.simulate
                       ~config:{ Executor.model; trajectories; base_seed = 2023 }
                       ?domains ?batch compiled
                   in
                   Printf.printf " %-16.4f" result.Executor.mean_fidelity)
-                strategies;
+                compiled_portfolio;
               print_newline ())
           values;
         !rc)

@@ -73,7 +73,11 @@ let heavy_hex n =
 let name t = t.name
 let device_count t = t.n
 let neighbors t d = t.adj.(d)
-let are_adjacent t a b = List.mem b t.adj.(a)
+let are_adjacent t a b = t.dist.(a).(b) = 1
+
+let dist_row t a =
+  if a < 0 || a >= t.n then invalid_arg "Topology.dist_row";
+  t.dist.(a)
 
 let distance t a b =
   if a < 0 || b < 0 || a >= t.n || b >= t.n then invalid_arg "Topology.distance";

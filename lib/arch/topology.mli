@@ -26,9 +26,14 @@ val device_count : t -> int
 val neighbors : t -> int -> int list
 
 val are_adjacent : t -> int -> int -> bool
+(** O(1): reads the precomputed all-pairs table ([distance t a b = 1]). *)
 
 val distance : t -> int -> int -> int
 (** Hop distance (precomputed all-pairs BFS). Raises if disconnected. *)
+
+val dist_row : t -> int -> int array
+(** The distance table row for one device ([dist_row t a].(b) is
+    [distance t a b]). Shared, not a copy — callers must not mutate it. *)
 
 val center : t -> int
 (** The device minimizing total distance to all others (ties broken by

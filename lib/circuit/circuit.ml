@@ -89,6 +89,15 @@ let interaction_weights c =
     (moments c);
   w
 
+let fingerprint c =
+  let mix acc x = (acc * 0x01000193) lxor x in
+  List.fold_left
+    (fun acc (g : Gate.t) ->
+      let acc = mix acc (Hashtbl.hash g.Gate.kind) in
+      List.fold_left (fun acc q -> mix acc (q + 1)) acc g.Gate.qubits)
+    (mix 0x811c9dc5 c.n) c.gates
+  land max_int
+
 let map_qubits f c =
   let gates =
     List.map (fun g -> Gate.make g.Gate.kind (List.map f g.Gate.qubits)) c.gates

@@ -34,6 +34,11 @@ val interaction_weights : t -> float array array
     w.(i).(j) = Σ over moments m containing a gate on both i and j of
     1/(m+1). All operand pairs of a three-qubit gate count as interacting. *)
 
+val fingerprint : t -> int
+(** Deterministic structural hash of (qubit count, gate sequence) — a fast
+    inequality filter for caches keyed by circuit. Collisions are possible;
+    cache lookups must confirm with a structural comparison. *)
+
 val map_qubits : (int -> int) -> t -> t
 (** Relabels qubit indices (new [n] is the max image + 1). *)
 

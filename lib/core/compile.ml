@@ -2,6 +2,7 @@ open Waltz_qudit
 open Waltz_circuit
 open Waltz_arch
 module Telemetry = Waltz_telemetry.Telemetry
+module Sanitize = Waltz_sanitizer.Sanitize
 
 let device_count strategy n =
   match strategy.Strategy.encoding with
@@ -383,16 +384,11 @@ let record_op_counts ops =
       ops
   end
 
-let compile ?topology ?(verify = false) ?(analyze = false) strategy circuit =
+let compile_uncached ~topo ?(verify = false) ?(analyze = false) strategy circuit =
   Telemetry.Span.with_ ~name:"compile"
     ~args:[ ("strategy", strategy.Strategy.name) ]
   @@ fun () ->
   let n = circuit.Circuit.n in
-  let topo =
-    match topology with Some t -> t | None -> Topology.mesh (device_count strategy n)
-  in
-  if Topology.device_count topo < device_count strategy n then
-    invalid_arg "Compile.compile: topology too small for the circuit";
   let prepared =
     Telemetry.Span.with_ ~name:"compile/decompose" (fun () -> Decompose.pre strategy circuit)
   in
@@ -450,7 +446,8 @@ let compile ?topology ?(verify = false) ?(analyze = false) strategy circuit =
           device_dim = Layout.device_dim layout;
           ops;
           initial_map;
-          final_map = Layout.snapshot_map layout })
+          final_map = Layout.snapshot_map layout;
+          schedule_memo = None })
   in
   if verify then begin
     match !verifier_hook with
@@ -485,3 +482,122 @@ let compile ?topology ?(verify = false) ?(analyze = false) strategy circuit =
     end
   end;
   compiled
+
+(* ---- Compiled-program cache ---- *)
+
+(* MRU cache over finished programs, the admission-side twin of the
+   executor's plan cache: sweeps and repeated service requests compile the
+   same (circuit, strategy, topology) over and over. Keyed by a cheap
+   circuit fingerprint, confirmed by structural equality — fingerprints may
+   collide, equal values may not. Programs are immutable once built, so
+   sharing one across callers (and domains) is safe; it also keeps the
+   executor's identity-keyed plan cache hot. Bounded MRU list: hits move to
+   the front, inserts evict the tail. *)
+type cache_entry = {
+  key_fp : int;
+  key_strategy : Strategy.t;
+  key_topo : Topology.t;
+  key_circuit : Circuit.t;
+  program : Physical.t;
+}
+
+let program_cache : cache_entry list ref = ref []
+let program_cache_mutex = Mutex.create ()
+let program_cache_capacity = 32
+let cache_hit_cell = Telemetry.Metrics.cell "compile.program_cache.hit"
+let cache_miss_cell = Telemetry.Metrics.cell "compile.program_cache.miss"
+
+let program_cache_enabled =
+  ref
+    (match Sys.getenv_opt "WALTZ_COMPILE_CACHE" with
+    | Some ("0" | "false" | "off") -> false
+    | _ -> true)
+
+let set_program_cache on = program_cache_enabled := on
+
+let program_cache_clear () =
+  Mutex.lock program_cache_mutex;
+  Sanitize.Lock.acquire "compile.program_cache_mutex";
+  Sanitize.Shared.write "compile.program_cache";
+  program_cache := [];
+  Sanitize.Lock.release "compile.program_cache_mutex";
+  Mutex.unlock program_cache_mutex
+
+let cache_find ~fp ~strategy ~topo circuit =
+  List.find_opt
+    (fun e ->
+      e.key_fp = fp && e.key_strategy = strategy && e.key_topo = topo
+      && e.key_circuit = circuit)
+    !program_cache
+
+let compile ?topology ?(verify = false) ?(analyze = false) strategy circuit =
+  let n = circuit.Circuit.n in
+  let topo =
+    match topology with Some t -> t | None -> Topology.mesh (device_count strategy n)
+  in
+  if Topology.device_count topo < device_count strategy n then
+    invalid_arg "Compile.compile: topology too small for the circuit";
+  (* Verification/analysis have caller-visible effects (they can raise on
+     the registered hooks), so those requests always compile fresh. *)
+  if (not !program_cache_enabled) || verify || analyze then
+    compile_uncached ~topo ~verify ~analyze strategy circuit
+  else begin
+    let fp = Circuit.fingerprint circuit in
+    Mutex.lock program_cache_mutex;
+    Sanitize.Lock.acquire "compile.program_cache_mutex";
+    let cached = cache_find ~fp ~strategy ~topo circuit in
+    match cached with
+    | Some entry ->
+      Sanitize.Shared.write "compile.program_cache";
+      program_cache := entry :: List.filter (fun e -> not (e == entry)) !program_cache;
+      Sanitize.Lock.release "compile.program_cache_mutex";
+      Mutex.unlock program_cache_mutex;
+      Telemetry.Metrics.cell_incr cache_hit_cell;
+      entry.program
+    | None ->
+      Sanitize.Lock.release "compile.program_cache_mutex";
+      Mutex.unlock program_cache_mutex;
+      Telemetry.Metrics.cell_incr cache_miss_cell;
+      let program = compile_uncached ~topo strategy circuit in
+      Mutex.lock program_cache_mutex;
+      Sanitize.Lock.acquire "compile.program_cache_mutex";
+      (* Re-check before inserting: compilation ran outside the lock, so a
+         concurrent caller may have compiled and inserted the same key in
+         the meantime. Adopting the winner keeps the executor's [==]-keyed
+         plan reuse exact and the effective capacity undiluted. *)
+      let program =
+        match cache_find ~fp ~strategy ~topo circuit with
+        | Some entry -> entry.program
+        | None ->
+          Sanitize.Shared.write "compile.program_cache";
+          program_cache :=
+            { key_fp = fp; key_strategy = strategy; key_topo = topo;
+              key_circuit = circuit; program }
+            :: (if List.length !program_cache >= program_cache_capacity then
+                  List.filteri (fun i _ -> i < program_cache_capacity - 1) !program_cache
+                else !program_cache);
+          program
+      in
+      Sanitize.Lock.release "compile.program_cache_mutex";
+      Mutex.unlock program_cache_mutex;
+      program
+  end
+
+(* ---- Parallel strategy portfolio ---- *)
+
+let compile_all ?topology ?domains jobs =
+  let jobs = Array.of_list jobs in
+  let n = Array.length jobs in
+  if n = 0 then []
+  else if n = 1 then
+    let s, c = jobs.(0) in
+    [ compile ?topology s c ]
+  else begin
+    let pool = Waltz_runtime.Pool.shared ?domains () in
+    let compiled =
+      Waltz_runtime.Pool.map_array ?domains pool ~n ~f:(fun i ->
+          let s, c = jobs.(i) in
+          compile ?topology s c)
+    in
+    Array.to_list compiled
+  end

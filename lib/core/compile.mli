@@ -31,4 +31,31 @@ val compile :
     [Invalid_argument] if no verifier is linked (reference
     [Waltz_verify.Verify] to register one). [~analyze:true] does the same
     through {!analyzer_hook} (reference [Waltz_analysis.Analysis]); analysis
-    warnings are allowed, errors abort. *)
+    warnings are allowed, errors abort.
+
+    Plain compilations (no verify/analyze) go through a bounded MRU program
+    cache keyed by (circuit, strategy, topology): a hit returns the
+    previously compiled program itself, which is safe to share because
+    programs are immutable, and keeps the executor's identity-keyed plan
+    cache hot. Disable with [WALTZ_COMPILE_CACHE=0] or {!set_program_cache};
+    hit/miss counts surface as [compile.program_cache.hit]/[.miss]. *)
+
+val compile_all :
+  ?topology:Topology.t ->
+  ?domains:int ->
+  (Strategy.t * Circuit.t) list ->
+  Physical.t list
+(** Compiles a portfolio of independent (strategy, circuit) jobs over the
+    shared domain pool (see [Waltz_runtime.Pool.shared]), returning results
+    in input order. Each job runs exactly [compile ?topology], so the
+    result list is element-for-element identical to a serial [List.map] —
+    at every [WALTZ_DOMAINS] setting. [?domains] bounds the fan-out below
+    the pool's size. *)
+
+val set_program_cache : bool -> unit
+(** Enables/disables the compiled-program cache at runtime (initial state:
+    enabled unless [WALTZ_COMPILE_CACHE] is [0], [false] or [off]). *)
+
+val program_cache_clear : unit -> unit
+(** Empties the compiled-program cache (e.g. between benchmark phases that
+    must measure fresh compilations). *)

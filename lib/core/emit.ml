@@ -48,15 +48,31 @@ let swap_op layout ((d1, s1) as p1) ((d2, s2) as p2) =
   Layout.emit layout op
 
 (* ENC as a permutation of the three touched virtual wires
-   (src slot 1, dst slot 0, dst slot 1) — see Waltz_qudit.Encoding. *)
+   (src slot 1, dst slot 0, dst slot 1) — see Waltz_qudit.Encoding. The two
+   8x8 permutations (and their adjoints for DEC) are built once at module
+   init: rebuilding them per emitted ENC/DEC dominated the choreograph
+   phase before they were hoisted. *)
+let enc_gate_slot0 = Embed.on_qubits ~n:3 ~targets:[ 0; 1 ] Gates.swap
+
+let enc_gate_slot1 =
+  Mat.permutation 8 (fun idx ->
+      let a = (idx lsr 2) land 1 and b = (idx lsr 1) land 1 and c = idx land 1 in
+      (b lsl 2) lor (c lsl 1) lor a)
+
+let dec_gate_slot0 = Mat.adjoint enc_gate_slot0
+let dec_gate_slot1 = Mat.adjoint enc_gate_slot1
+
 let enc_gate ~incoming_slot =
   match incoming_slot with
-  | 0 -> Embed.on_qubits ~n:3 ~targets:[ 0; 1 ] Gates.swap
-  | 1 ->
-    Mat.permutation 8 (fun idx ->
-        let a = (idx lsr 2) land 1 and b = (idx lsr 1) land 1 and c = idx land 1 in
-        (b lsl 2) lor (c lsl 1) lor a)
+  | 0 -> enc_gate_slot0
+  | 1 -> enc_gate_slot1
   | _ -> invalid_arg "Emit.enc_gate"
+
+let dec_gate ~outgoing_slot =
+  match outgoing_slot with
+  | 0 -> dec_gate_slot0
+  | 1 -> dec_gate_slot1
+  | _ -> invalid_arg "Emit.dec_gate"
 
 let enc_op layout ~src ~dst ~incoming_slot =
   check_adjacent layout src dst;
@@ -107,7 +123,7 @@ let dec_op layout ~ququart ~outgoing_slot ~dst =
     Physical.make_op ~label:"ENCdg"
       ~parts
       ~targets:[ (dst, 1); (ququart, 0); (ququart, 1) ]
-      ~gate:(Mat.adjoint (enc_gate ~incoming_slot:outgoing_slot))
+      ~gate:(dec_gate ~outgoing_slot)
       ~entry:Calibration.enc ~touches_ww:true
   in
   (match outgoing_slot with

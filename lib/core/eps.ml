@@ -15,12 +15,10 @@ let op_success model (op : Physical.op) =
   Float.max 0. (1. -. err)
 
 let estimate ?(model = Noise.default) (compiled : Physical.t) =
-  let schedule = Physical.schedule compiled in
-  let duration_ns =
-    List.fold_left (fun acc (op, s) -> Float.max acc (s +. op.Physical.duration_ns)) 0. schedule
-  in
+  let schedule = Physical.schedule_array compiled in
+  let duration_ns = Physical.total_duration compiled in
   let gate_eps =
-    List.fold_left (fun acc (op, _) -> acc *. op_success model op) 1. schedule
+    Array.fold_left (fun acc (op, _) -> acc *. op_success model op) 1. schedule
   in
   (* Per-device timeline: survival over idle and busy segments at the
      occupancy-dependent maximum level. *)
@@ -37,7 +35,7 @@ let estimate ?(model = Noise.default) (compiled : Physical.t) =
       coherence := !coherence *. Noise.decoherence_survival model ~max_level:level ~dt_ns:dt
     end
   in
-  List.iter
+  Array.iter
     (fun ((op : Physical.op), start) ->
       List.iter
         (fun (p : Physical.device_part) ->
@@ -94,10 +92,8 @@ type device_report = {
 }
 
 let device_breakdown ?(model = Noise.default) (compiled : Physical.t) =
-  let schedule = Physical.schedule compiled in
-  let duration_ns =
-    List.fold_left (fun acc (op, s) -> Float.max acc (s +. op.Physical.duration_ns)) 0. schedule
-  in
+  let schedule = Physical.schedule_array compiled in
+  let duration_ns = Physical.total_duration compiled in
   let nd = compiled.Physical.device_count in
   let busy = Array.make nd 0. and idle = Array.make nd 0. and encoded = Array.make nd 0. in
   let survival = Array.make nd 1. in
@@ -114,7 +110,7 @@ let device_breakdown ?(model = Noise.default) (compiled : Physical.t) =
         *. Noise.decoherence_survival model ~max_level:(level_of_occupancy occ.(d)) ~dt_ns:dt
     end
   in
-  List.iter
+  Array.iter
     (fun ((op : Physical.op), start) ->
       List.iter
         (fun (p : Physical.device_part) ->

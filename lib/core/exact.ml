@@ -36,9 +36,7 @@ let simulate_exact ?(model = Noise.default) ?(inputs = 10) ?(base_seed = 2023)
   if compiled.Physical.device_count > max_exact_devices ~device_dim then
     invalid_arg "Exact.simulate_exact: register too large for density evolution";
   let schedule = Physical.schedule compiled in
-  let total_duration =
-    List.fold_left (fun acc (op, s) -> Float.max acc (s +. op.Physical.duration_ns)) 0. schedule
-  in
+  let total_duration = Physical.total_duration compiled in
   let dims = Array.make compiled.Physical.device_count device_dim in
   let allowed = Executor.initial_allowed compiled in
   let lifted =

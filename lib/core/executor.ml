@@ -248,11 +248,7 @@ let plan_uncached ~model (compiled : Physical.t) =
   let device_dim = compiled.Physical.device_dim in
   let plan_dims = Array.make compiled.Physical.device_count device_dim in
   let schedule = Physical.schedule compiled in
-  let total_duration =
-    List.fold_left
-      (fun acc ((op : Physical.op), start) -> Float.max acc (start +. op.Physical.duration_ns))
-      0. schedule
-  in
+  let total_duration = Physical.total_duration compiled in
   let lambdas_of = Noise.damping_cache model ~d:device_dim in
   let last_busy = Array.make compiled.Physical.device_count 0. in
   let window device until =

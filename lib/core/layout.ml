@@ -1,5 +1,20 @@
 open Waltz_arch
 
+(* Epoch-stamped working storage for the router: membership masks and BFS
+   state sized to the device/logical counts once, reused across every
+   routing step of a compilation instead of allocated per call. Lives on
+   the layout (one compile = one domain) so parallel compilations never
+   share scratch. *)
+type scratch = {
+  mutable mask_epoch : int;
+  mutable bfs_epoch : int;
+  blocked_stamp : int array;  (* device  -> mask_epoch when blocked *)
+  frozen_stamp : int array;  (* logical -> mask_epoch when frozen *)
+  bfs_seen : int array;  (* device -> bfs_epoch when visited *)
+  bfs_prev : int array;  (* device -> BFS predecessor *)
+  bfs_queue : int array;  (* flat FIFO; each device enqueued at most once *)
+}
+
 type t = {
   topo : Topology.t;
   strategy : Strategy.t;
@@ -8,7 +23,14 @@ type t = {
   weights : float array array;
   slots : int option array array;  (* device -> slot -> logical *)
   positions : (int * int) option array;  (* logical -> (device, slot) *)
-  mutable emitted : Physical.op list;  (* reversed *)
+  device_index : int array;  (* logical -> device, -1 while unplaced *)
+  mutable emitted : Physical.op array;  (* first [emitted_len] entries live *)
+  mutable emitted_len : int;
+  (* Undo journal: 4-int records of every placement mutation, popped in
+     LIFO order by [restore] so a checkpoint is just a pair of lengths. *)
+  mutable journal : int array;
+  mutable journal_len : int;
+  scratch : scratch;
 }
 
 let create topo strategy ~n_logical ~weights =
@@ -21,13 +43,27 @@ let create topo strategy ~n_logical ~weights =
     weights;
     slots = Array.init nd (fun _ -> Array.make 2 None);
     positions = Array.make n_logical None;
-    emitted = [] }
+    device_index = Array.make n_logical (-1);
+    emitted = [||];
+    emitted_len = 0;
+    journal = Array.make 64 0;
+    journal_len = 0;
+    scratch =
+      { mask_epoch = 0;
+        bfs_epoch = 0;
+        blocked_stamp = Array.make nd 0;
+        frozen_stamp = Array.make n_logical 0;
+        bfs_seen = Array.make nd 0;
+        bfs_prev = Array.make nd 0;
+        bfs_queue = Array.make nd 0 } }
 
 let topology t = t.topo
 let strategy t = t.strategy
 let n_logical t = t.n_logical
 let device_dim t = t.device_dim
 let weights t = t.weights
+let device_index t = t.device_index
+let scratch t = t.scratch
 
 let pos t q =
   match t.positions.(q) with
@@ -46,40 +82,92 @@ let lone_slot t d =
   | None, Some _ -> Some 1
   | _ -> None
 
-let device_of t q = fst (pos t q)
-let is_placed t q = t.positions.(q) <> None
+let device_of t q =
+  let d = t.device_index.(q) in
+  if d < 0 then invalid_arg (Printf.sprintf "Layout.pos: qubit %d unplaced" q);
+  d
+
+let is_placed t q = t.device_index.(q) >= 0
 
 let check_slot t (d, s) =
   if d < 0 || d >= Topology.device_count t.topo then invalid_arg "Layout: device out of range";
   let max_slot = if t.device_dim = 2 then 0 else 1 in
   if s < 0 || s > max_slot then invalid_arg "Layout: slot out of range"
 
+(* Journal record tags. Each record is 4 ints: [tag; a; b; c]. *)
+let j_place = 0 (* a=q, b=d, c=s : undo clears the slot *)
+let j_swap = 1 (* a=d1*2+s1, b=d2*2+s2 : undo re-swaps *)
+let j_move = 2 (* a=q, b=old_d, c=old_s : undo moves back *)
+
+let journal_push t tag a b c =
+  let len = t.journal_len in
+  if len + 4 > Array.length t.journal then begin
+    let bigger = Array.make (2 * Array.length t.journal) 0 in
+    Array.blit t.journal 0 bigger 0 len;
+    t.journal <- bigger
+  end;
+  let j = t.journal in
+  j.(len) <- tag;
+  j.(len + 1) <- a;
+  j.(len + 2) <- b;
+  j.(len + 3) <- c;
+  t.journal_len <- len + 4
+
 let place t q (d, s) =
   check_slot t (d, s);
   if t.positions.(q) <> None then invalid_arg "Layout.place: qubit already placed";
   if t.slots.(d).(s) <> None then invalid_arg "Layout.place: slot occupied";
   t.slots.(d).(s) <- Some q;
-  t.positions.(q) <- Some (d, s)
+  t.positions.(q) <- Some (d, s);
+  t.device_index.(q) <- d;
+  journal_push t j_place q d s
 
-let swap_occupants t (d1, s1) (d2, s2) =
-  check_slot t (d1, s1);
-  check_slot t (d2, s2);
+let raw_swap t (d1, s1) (d2, s2) =
   let a = t.slots.(d1).(s1) and b = t.slots.(d2).(s2) in
   t.slots.(d1).(s1) <- b;
   t.slots.(d2).(s2) <- a;
-  Option.iter (fun q -> t.positions.(q) <- Some (d2, s2)) a;
-  Option.iter (fun q -> t.positions.(q) <- Some (d1, s1)) b
+  Option.iter
+    (fun q ->
+      t.positions.(q) <- Some (d2, s2);
+      t.device_index.(q) <- d2)
+    a;
+  Option.iter
+    (fun q ->
+      t.positions.(q) <- Some (d1, s1);
+      t.device_index.(q) <- d1)
+    b
+
+let swap_occupants t ((d1, s1) as p1) ((d2, s2) as p2) =
+  check_slot t p1;
+  check_slot t p2;
+  raw_swap t p1 p2;
+  journal_push t j_swap ((d1 * 2) + s1) ((d2 * 2) + s2) 0
+
+let raw_move t q (d, s) =
+  let d0, s0 = pos t q in
+  t.slots.(d0).(s0) <- None;
+  t.slots.(d).(s) <- Some q;
+  t.positions.(q) <- Some (d, s);
+  t.device_index.(q) <- d
 
 let move t q (d, s) =
   check_slot t (d, s);
   if t.slots.(d).(s) <> None then invalid_arg "Layout.move: destination occupied";
   let d0, s0 = pos t q in
-  t.slots.(d0).(s0) <- None;
-  t.slots.(d).(s) <- Some q;
-  t.positions.(q) <- Some (d, s)
+  raw_move t q (d, s);
+  journal_push t j_move q d0 s0
 
-let emit t op = t.emitted <- op :: t.emitted
-let ops t = List.rev t.emitted
+let emit t op =
+  let len = t.emitted_len in
+  if len = Array.length t.emitted then begin
+    let bigger = Array.make (max 32 (2 * len)) op in
+    Array.blit t.emitted 0 bigger 0 len;
+    t.emitted <- bigger
+  end;
+  t.emitted.(len) <- op;
+  t.emitted_len <- len + 1
+
+let ops t = List.init t.emitted_len (fun i -> t.emitted.(i))
 
 let snapshot_map t =
   Array.map
@@ -104,18 +192,24 @@ let part t ?occ_after device =
   in
   { Physical.device = device; noise; occ_before; occ_after }
 
-type checkpoint = {
-  cp_slots : int option array array;
-  cp_positions : (int * int) option array;
-  cp_emitted : Physical.op list;
-}
+type checkpoint = { cp_journal : int; cp_emitted : int }
 
-let checkpoint t =
-  { cp_slots = Array.map Array.copy t.slots;
-    cp_positions = Array.copy t.positions;
-    cp_emitted = t.emitted }
+let checkpoint t = { cp_journal = t.journal_len; cp_emitted = t.emitted_len }
 
 let restore t cp =
-  Array.iteri (fun d row -> Array.blit row 0 t.slots.(d) 0 (Array.length row)) cp.cp_slots;
-  Array.blit cp.cp_positions 0 t.positions 0 (Array.length cp.cp_positions);
-  t.emitted <- cp.cp_emitted
+  if cp.cp_journal > t.journal_len || cp.cp_emitted > t.emitted_len then
+    invalid_arg "Layout.restore: checkpoint is newer than the layout state";
+  let j = t.journal in
+  while t.journal_len > cp.cp_journal do
+    let base = t.journal_len - 4 in
+    let tag = j.(base) and a = j.(base + 1) and b = j.(base + 2) and c = j.(base + 3) in
+    if tag = j_place then begin
+      t.slots.(b).(c) <- None;
+      t.positions.(a) <- None;
+      t.device_index.(a) <- -1
+    end
+    else if tag = j_swap then raw_swap t (a / 2, a mod 2) (b / 2, b mod 2)
+    else raw_move t a (b, c);
+    t.journal_len <- base
+  done;
+  t.emitted_len <- cp.cp_emitted

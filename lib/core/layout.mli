@@ -9,6 +9,21 @@ open Waltz_arch
 
 type t
 
+type scratch = {
+  mutable mask_epoch : int;
+  mutable bfs_epoch : int;
+  blocked_stamp : int array;  (** device → [mask_epoch] when blocked *)
+  frozen_stamp : int array;  (** logical → [mask_epoch] when frozen *)
+  bfs_seen : int array;  (** device → [bfs_epoch] when visited *)
+  bfs_prev : int array;  (** device → BFS predecessor *)
+  bfs_queue : int array;  (** flat FIFO; each device enqueued at most once *)
+}
+(** Epoch-stamped working storage for the router, sized once at [create]
+    and reused across every routing step (see [Waltz_core.Router]). A
+    membership test is "stamp equals current epoch", so clearing a mask is
+    a single epoch bump, never an array wipe. Lives on the layout so
+    parallel compilations never share scratch. *)
+
 val create :
   Topology.t ->
   Strategy.t ->
@@ -42,6 +57,14 @@ val device_of : t -> int -> int
 
 val is_placed : t -> int -> bool
 
+val device_index : t -> int array
+(** Incrementally maintained logical → device aggregate (-1 while
+    unplaced), kept in sync by [place]/[move]/[swap_occupants]/[restore].
+    The router's disruption loop reads it directly instead of unpacking
+    [pos] options. Shared, not a copy — callers must not mutate it. *)
+
+val scratch : t -> scratch
+
 val place : t -> int -> int * int -> unit
 (** Initial placement into a free slot. *)
 
@@ -62,10 +85,14 @@ val snapshot_map : t -> (int * int) array
 type checkpoint
 
 val checkpoint : t -> checkpoint
-(** Snapshot of placement and emitted ops, for backtracking when a routing
-    order dead-ends. *)
+(** O(1) mark of the placement undo journal and the emission buffer, for
+    backtracking when a routing order dead-ends. Restoring replays only the
+    mutations made since the mark, so an attempt that touched little costs
+    little to roll back. Checkpoints must be restored in LIFO order. *)
 
 val restore : t -> checkpoint -> unit
+(** Rolls the layout back to [checkpoint]. Raises [Invalid_argument] when
+    the checkpoint is newer than the current state (LIFO violation). *)
 
 val part : t -> ?occ_after:int -> int -> Physical.device_part
 (** Builds the noise/occupancy annotation for a device using the *current*

@@ -22,6 +22,7 @@ type t = {
   ops : op list;
   initial_map : (int * int) array;
   final_map : (int * int) array;
+  mutable schedule_memo : (op * float) array option;
 }
 
 let make_op ~label ~parts ~targets ~gate ~entry ~touches_ww =
@@ -53,18 +54,39 @@ let make_op ~label ~parts ~targets ~gate ~entry ~touches_ww =
     fidelity = entry.Waltz_qudit.Calibration.fidelity;
     touches_ww }
 
-let schedule t =
-  let ready = Hashtbl.create 16 in
-  let time_of d = Option.value ~default:0. (Hashtbl.find_opt ready d) in
-  List.map
-    (fun (op : op) ->
-      let start = List.fold_left (fun acc p -> Float.max acc (time_of p.device)) 0. op.parts in
-      List.iter (fun p -> Hashtbl.replace ready p.device (start +. op.duration_ns)) op.parts;
-      (op, start))
-    t.ops
+(* The ASAP schedule is a pure function of [ops], so it is computed once and
+   memoized on the program: [total_duration], [pp_ops], the EPS estimator,
+   the verifier's SCHED pass and the analysis COST pass all re-read it. The
+   unsynchronized memo write is a benign race — every computation yields the
+   same array and programs are otherwise immutable. *)
+let schedule_array t =
+  match t.schedule_memo with
+  | Some a -> a
+  | None ->
+    let ready = Hashtbl.create 16 in
+    let time_of d = Option.value ~default:0. (Hashtbl.find_opt ready d) in
+    let a =
+      Array.of_list
+        (List.map
+           (fun (op : op) ->
+             let start =
+               List.fold_left (fun acc p -> Float.max acc (time_of p.device)) 0. op.parts
+             in
+             List.iter
+               (fun p -> Hashtbl.replace ready p.device (start +. op.duration_ns))
+               op.parts;
+             (op, start))
+           t.ops)
+    in
+    t.schedule_memo <- Some a;
+    a
+
+let schedule t = Array.to_list (schedule_array t)
 
 let total_duration t =
-  List.fold_left (fun acc (op, start) -> Float.max acc (start +. op.duration_ns)) 0. (schedule t)
+  Array.fold_left
+    (fun acc (op, start) -> Float.max acc (start +. op.duration_ns))
+    0. (schedule_array t)
 
 let op_count t = List.length t.ops
 let two_device_op_count t = List.length (List.filter (fun op -> List.length op.parts >= 2) t.ops)
@@ -75,11 +97,53 @@ let summary t =
 
 let pp_ops ppf t =
   Format.fprintf ppf "@[<v>";
-  List.iter
+  Array.iter
     (fun (op, start) ->
       Format.fprintf ppf "%8.0f ns  %-14s on %s@,"
         start op.label
         (String.concat ","
            (List.map (fun (d, s) -> Printf.sprintf "%d.%d" d s) op.targets)))
-    (schedule t);
+    (schedule_array t);
   Format.fprintf ppf "@]"
+
+(* Canonical full-precision serialization: every float is printed with %h
+   (hex, lossless), so two programs render identically iff they are
+   bit-identical — the compiler's byte-identity tests and `make
+   compile-smoke` diff these strings. *)
+let dump_op buf i (op : op) =
+  Buffer.add_string buf
+    (Printf.sprintf "op %d %s ww=%b dur=%h fid=%h\n" i op.label op.touches_ww op.duration_ns
+       op.fidelity);
+  List.iter
+    (fun (p : device_part) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  part d=%d occ=%d->%d noise=%s\n" p.device p.occ_before p.occ_after
+           (match p.noise with
+           | P2 s -> Printf.sprintf "P2:%d" s
+           | P4 -> "P4"
+           | Quiet -> "Q")))
+    op.parts;
+  List.iter (fun (d, s) -> Buffer.add_string buf (Printf.sprintf "  tgt %d.%d\n" d s)) op.targets;
+  let g = op.gate in
+  Buffer.add_string buf (Printf.sprintf "  gate %dx%d" g.Mat.rows g.Mat.cols);
+  for r = 0 to g.Mat.rows - 1 do
+    for c = 0 to g.Mat.cols - 1 do
+      let z = Mat.get g r c in
+      Buffer.add_string buf (Printf.sprintf " %h,%h" z.Complex.re z.Complex.im)
+    done
+  done;
+  Buffer.add_char buf '\n'
+
+let dump t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "program %s n=%d devs=%d dim=%d ops=%d\n" t.strategy.Strategy.name
+       t.n_logical t.device_count t.device_dim (List.length t.ops));
+  Array.iteri
+    (fun q (d, s) -> Buffer.add_string buf (Printf.sprintf "  init %d->%d.%d\n" q d s))
+    t.initial_map;
+  Array.iteri
+    (fun q (d, s) -> Buffer.add_string buf (Printf.sprintf "  final %d->%d.%d\n" q d s))
+    t.final_map;
+  List.iteri (dump_op buf) t.ops;
+  Buffer.contents buf

@@ -38,6 +38,9 @@ type t = {
   ops : op list;
   initial_map : (int * int) array;  (** logical qubit → (device, slot) at t=0 *)
   final_map : (int * int) array;
+  mutable schedule_memo : (op * float) array option;
+      (** lazily memoized ASAP schedule — construct with [None] and treat as
+          private; {!schedule_array} fills it on first read *)
 }
 
 val make_op :
@@ -52,7 +55,14 @@ val make_op :
     matches the target count. *)
 
 val schedule : t -> (op * float) list
-(** ASAP start times: each op starts when all its devices are free. *)
+(** ASAP start times: each op starts when all its devices are free.
+    Allocates a fresh list from {!schedule_array} — prefer the array form
+    in hot paths. *)
+
+val schedule_array : t -> (op * float) array
+(** The memoized ASAP schedule, computed on first call and cached on the
+    program (programs are immutable once built, so the schedule never
+    changes). Shared, not a copy — callers must not mutate it. *)
 
 val total_duration : t -> float
 
@@ -65,3 +75,8 @@ val summary : t -> string
 (** One-line human summary: ops, 2-device ops, duration. *)
 
 val pp_ops : Format.formatter -> t -> unit
+
+val dump : t -> string
+(** Canonical full-precision serialization (floats as [%h] hex): two
+    programs dump identically iff they are bit-identical. Used by the
+    compile determinism tests and [make compile-smoke]. *)

@@ -61,7 +61,7 @@ let check_schedule (p : Physical.t) =
      finished its previous op (the dependency-DAG longest path). *)
   let free = Array.make (max 1 p.Physical.device_count) 0. in
   let critical = ref 0. in
-  List.iteri
+  Array.iteri
     (fun i ((op : Physical.op), start) ->
       if (not (Float.is_finite op.Physical.duration_ns)) || op.Physical.duration_ns < 0. then
         add
@@ -88,7 +88,7 @@ let check_schedule (p : Physical.t) =
         (fun (part : Physical.device_part) -> free.(part.Physical.device) <- finish)
         op.Physical.parts;
       if finish > !critical then critical := finish)
-    (Physical.schedule p);
+    (Physical.schedule_array p);
   let total = Physical.total_duration p in
   if Float.abs (total -. !critical) > 1e-6 then
     add

@@ -280,7 +280,8 @@ let mk_program ~devices ~initial ~final ops =
     device_dim = 4;
     ops;
     initial_map = initial;
-    final_map = final }
+    final_map = final;
+    schedule_memo = None }
 
 let enc_fixture_op =
   mk_op ~ww:true ~label:"ENC"

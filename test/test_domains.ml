@@ -37,6 +37,25 @@ let () =
       List.iter
         (fun (strategy : Strategy.t) ->
           let compiled = Compile.compile strategy circuit in
+          (* Compile determinism under this WALTZ_DOMAINS setting: a
+             repeated fresh compile, the program-cache miss and the hit
+             path must all serialize byte-identically under the canonical
+             hex-float dump (%h floats, so any ULP drift shows), and must
+             match the program compiled above through the default cache
+             state. *)
+          let lc field = Printf.sprintf "%s/%s %s" cname strategy.Strategy.name field in
+          Compile.set_program_cache false;
+          Compile.program_cache_clear ();
+          let fresh = Physical.dump (Compile.compile strategy circuit) in
+          check_string (lc "compile-repeat") fresh
+            (Physical.dump (Compile.compile strategy circuit));
+          Compile.set_program_cache true;
+          Compile.program_cache_clear ();
+          check_string (lc "compile-cache-miss") fresh
+            (Physical.dump (Compile.compile strategy circuit));
+          check_string (lc "compile-cache-hit") fresh
+            (Physical.dump (Compile.compile strategy circuit));
+          check_string (lc "compile-vs-initial") fresh (Physical.dump compiled);
           let default_run = Executor.simulate_detailed ~config compiled in
           let compare tag other =
             let l field = Printf.sprintf "%s/%s %s %s" cname strategy.Strategy.name tag field in
@@ -157,6 +176,35 @@ let () =
             sarif_off (analysis_sarif ()))
         strategies)
     circuits;
+  (* The parallel strategy portfolio must be element-for-element
+     byte-identical to a serial List.map — at the env-default domain
+     count and when forced sequential or wide, with the program cache
+     off (fresh compiles on worker domains) and on (shared MRU cache
+     under its mutex). *)
+  let jobs =
+    List.concat_map
+      (fun (_, circuit) -> List.map (fun s -> (s, circuit)) strategies)
+      circuits
+  in
+  Compile.set_program_cache false;
+  Compile.program_cache_clear ();
+  let serial = Array.of_list (List.map (fun (s, c) -> Physical.dump (Compile.compile s c)) jobs) in
+  let check_portfolio tag programs =
+    List.iteri
+      (fun i p ->
+        if not (String.equal (Physical.dump p) serial.(i)) then begin
+          incr failures;
+          Printf.eprintf "MISMATCH compile_all %s: job %d differs from the serial compile\n"
+            tag i
+        end)
+      programs
+  in
+  check_portfolio "default" (Compile.compile_all jobs);
+  check_portfolio "domains=1" (Compile.compile_all ~domains:1 jobs);
+  check_portfolio "domains=3" (Compile.compile_all ~domains:3 jobs);
+  Compile.set_program_cache true;
+  Compile.program_cache_clear ();
+  check_portfolio "cached" (Compile.compile_all jobs);
   if !failures > 0 then begin
     Printf.eprintf "determinism: %d mismatches\n" !failures;
     exit 1

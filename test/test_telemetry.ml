@@ -48,11 +48,19 @@ let identical_on_off ~domains () =
   close ~tol:0. "mean_error_draws" off.Executor.mean_error_draws
     on.Executor.mean_error_draws
 
+(* These observe compile- and plan-time work, which the program cache
+   elides on a hit (the same program object comes back, so the executor's
+   identity-keyed plan cache fires too) — force fresh compiles. *)
+let without_program_cache f =
+  Compile.set_program_cache false;
+  Fun.protect ~finally:(fun () -> Compile.set_program_cache true) f
+
 let span_nesting () =
   let spans =
-    with_telemetry (fun () ->
-        ignore (Compile.compile Strategy.mixed_radix_ccz cuccaro5);
-        Telemetry.Span.all ())
+    without_program_cache (fun () ->
+        with_telemetry (fun () ->
+            ignore (Compile.compile Strategy.mixed_radix_ccz cuccaro5);
+            Telemetry.Span.all ()))
   in
   let find name = List.filter (fun s -> s.Telemetry.Span.name = name) spans in
   check_bool "compile span present" true (find "compile" <> []);
@@ -112,6 +120,7 @@ let metrics_basics () =
         (Telemetry.Metrics.hit_rate ~hit:"no.hit" ~miss:"no.miss"))
 
 let executor_counters () =
+  without_program_cache @@ fun () ->
   (* Default (batched) engine: 6 trajectories at the default width fit one
      lockstep block — per-trajectory counters still count trajectories, and
      durations land in the block histogram. *)

@@ -31,7 +31,8 @@ let program ?(strategy = Strategy.mixed_radix_ccz) ?(device_dim = 4) ~n ~devices
     device_dim;
     ops;
     initial_map = initial;
-    final_map = final }
+    final_map = final;
+    schedule_memo = None }
 
 let expect_only ?(passes = Verify.all_passes) ?topology ?(circuit = None) rule p =
   let report = Verify.run ?topology ~passes circuit p in
