@@ -1,5 +1,6 @@
 .PHONY: all build test lint bench-json bench-smoke compile-smoke trace-smoke \
-	analyze-smoke sanitize-smoke metrics-smoke flight-smoke regress-check clean
+	analyze-smoke budget-smoke sanitize-smoke metrics-smoke flight-smoke \
+	regress-check clean
 
 all: build test
 
@@ -91,6 +92,17 @@ analyze-smoke:
 	  --format sarif -o /tmp/waltz_analysis.sarif
 	dune exec bin/waltz_cli.exe -- sarif-check /tmp/waltz_analysis.sarif
 	dune exec bin/waltz_cli.exe -- analyze -c cuccaro -n 6 -s full-ququart
+
+# Resource-certification smoke (also inside `make lint` via the @lint
+# alias): certify a benchmark, run it instrumented and cross-check the
+# certificate against the telemetry readbacks — any RES02 divergence is an
+# analysis bug and exits non-zero. Then prove the admission controller
+# rejects the same job under a 1000-byte budget (RES01, exit 1).
+budget-smoke:
+	dune exec bin/waltz_cli.exe -- budget -c cuccaro -n 6 -s mr-ccz \
+	  --trajectories 8 --batch 4 --domains 2
+	! dune exec bin/waltz_cli.exe -- budget -c cuccaro -n 6 -s mr-ccz \
+	  --static --limit-bytes 1000
 
 clean:
 	dune clean

@@ -665,7 +665,7 @@ let micro () =
   let analysis_compiled = Compile.compile Strategy.mixed_radix_ccz analysis_circuit in
   let analysis_passes =
     [ Analysis.Stabilizer_pass; Analysis.Leakage_pass; Analysis.Cost_pass;
-      Analysis.Liveness_pass ]
+      Analysis.Liveness_pass; Analysis.Resource_pass ]
   in
   let analysis_ops =
     (Analysis.run (Some analysis_circuit) analysis_compiled)
@@ -682,8 +682,18 @@ let micro () =
                     analysis_compiled))))
       analysis_passes
   in
+  (* resource/certify: the bare certification primitive (no Diagnostic
+     wrapping), the figure the admission controller pays per admitted
+     program. The JSON report records ns/op plus the certified byte
+     figures themselves — deterministic, so drift means the model moved. *)
+  let module Resource = Waltz_analysis.Resource in
+  let resource_cert = Resource.certify analysis_compiled in
+  let resource_tests =
+    [ Test.make ~name:"resource/certify"
+        (Staged.stage (fun () -> ignore (Resource.certify analysis_compiled))) ]
+  in
   let tests =
-    kernel_tests @ kernel_batched_tests @ analysis_tests
+    kernel_tests @ kernel_batched_tests @ analysis_tests @ resource_tests
     @
     [ Test.make ~name:"table1/calibration-lookup"
         (Staged.stage (fun () -> ignore (Calibration.mr_cx ~control:Qubit ~target:(Slot 0))));
@@ -1042,6 +1052,17 @@ let micro () =
     (float_of_int bfs_calls /. float_of_int phase_reps);
   Printf.fprintf oc "    \"program_cache_hits\": %d,\n" cache_hits;
   Printf.fprintf oc "    \"program_cache_misses\": %d\n" cache_misses;
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"resource\": {\n";
+  Printf.fprintf oc "    \"benchmark\": \"cuccaro-6/mr-ccz\",\n";
+  Printf.fprintf oc "    \"ops\": %d,\n" resource_cert.Resource.ops;
+  Printf.fprintf oc "    \"certify_ns_per_op\": %.1f,\n"
+    (match List.assoc_opt "resource/certify" measured with
+    | Some ns -> ns /. float_of_int (max 1 resource_cert.Resource.ops)
+    | None -> 0.);
+  Printf.fprintf oc "    \"peak_bytes\": %d,\n" resource_cert.Resource.peak_bytes;
+  Printf.fprintf oc "    \"cache_bytes\": %d,\n" resource_cert.Resource.cache_bytes;
+  Printf.fprintf oc "    \"plan_bytes\": %d\n" resource_cert.Resource.plan_bytes;
   Printf.fprintf oc "  },\n";
   Printf.fprintf oc "  \"ns_per_run\": {\n";
   List.iteri

@@ -467,8 +467,8 @@ let analyze_cmd =
             | Ok ps, Some p -> Ok (p :: ps)
             | Ok _, None ->
               Error
-                (Printf.sprintf "unknown pass %s (stabilizer, leakage, cost, liveness)"
-                   name)
+                (Printf.sprintf
+                   "unknown pass %s (stabilizer, leakage, cost, liveness, res)" name)
             | (Error _ as e), _ -> e)
           (String.split_on_char ',' spec)
           (Ok [])
@@ -484,11 +484,17 @@ let analyze_cmd =
       with_circuit ~qasm ~optimize family n cx_fraction (fun circuit ->
           with_telemetry ~stats ~trace (fun () ->
               let chosen = if all_strategies then strategies else [ strategy ] in
+              (* The strategy portfolio compiles in parallel over the shared
+                 pool; compile_all returns results in input order, so the
+                 report stream is byte-identical to the serial loop (the
+                 determinism grid pins this down). *)
+              let compiled_portfolio =
+                Compile.compile_all (List.map (fun s -> (s, circuit)) chosen)
+              in
               let rc = ref 0 in
               let buf = Buffer.create 4096 in
-              List.iter
-                (fun strategy ->
-                  let compiled = Compile.compile strategy circuit in
+              List.iter2
+                (fun strategy compiled ->
                   let report = Analysis.run ~passes (Some circuit) compiled in
                   (match format with
                   | "json" -> Buffer.add_string buf (Sarif.to_json report ^ "\n")
@@ -500,7 +506,7 @@ let analyze_cmd =
                     Buffer.add_string buf
                       (Format.asprintf "%a@." Analysis.pp_report report));
                   if not (Waltz_verify.Diagnostic.is_clean report) then rc := 1)
-                chosen;
+                chosen compiled_portfolio;
               (match output with
               | Some path ->
                 let oc = open_out path in
@@ -529,7 +535,7 @@ let analyze_cmd =
       value
       & opt string "all"
       & info [ "passes" ] ~docv:"P1,P2"
-          ~doc:"Comma-separated pass subset: stabilizer, leakage, cost, liveness.")
+          ~doc:"Comma-separated pass subset: stabilizer, leakage, cost, liveness, res.")
   in
   let output_arg =
     Arg.(
@@ -540,8 +546,8 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
-         "Run the fixpoint dataflow analyses (stabilizer, leakage, cost, liveness) over \
-          a compiled program")
+         "Run the fixpoint dataflow analyses (stabilizer, leakage, cost, liveness, res) \
+          over a compiled program")
     Term.(
       const run $ family_arg $ n_arg $ cx_fraction_arg $ strategy_arg $ all_strategies_arg
       $ qasm_arg $ optimize_arg $ format_arg $ passes_arg $ output_arg $ stats_arg
@@ -569,6 +575,136 @@ let sarif_check_cmd =
     (Cmd.info "sarif-check"
        ~doc:"Validate a SARIF 2.1.0 file written by analyze --format sarif")
     Term.(const run $ file)
+
+(* ---- budget ---- *)
+
+let budget_cmd =
+  let module Resource = Waltz_analysis.Resource in
+  let module Sarif = Waltz_analysis.Sarif in
+  let module Pool = Waltz_runtime.Pool in
+  let run family n cx_fraction strategy trajectories seed qasm optimize domains batch
+      limit_bytes limit_ms static format output =
+    if format <> "text" && format <> "sarif" then begin
+      Printf.eprintf "unknown format %s (text, sarif)\n" format;
+      1
+    end
+    else
+      with_circuit ~qasm ~optimize family n cx_fraction (fun circuit ->
+          let compiled = Compile.compile ~certify:true strategy circuit in
+          (* Certify the shape the run below will actually use: explicit
+             flags first, then the same environment defaults the executor
+             would resolve. *)
+          let domains =
+            match domains with Some d -> max 1 d | None -> Pool.default_domains ()
+          in
+          let batch =
+            match batch with Some b -> max 1 b | None -> Executor.default_batch ()
+          in
+          let cert = Resource.certify ~trajectories ~batch ~domains compiled in
+          let budget_diags =
+            Resource.check_budget cert { Resource.limit_bytes; limit_ms }
+          in
+          let observed_diags =
+            if static then []
+            else begin
+              (* Single-run readback discipline (see Resource.check_observed):
+                 the telemetry window must hold exactly this run, or the
+                 dispatch/trajectory equalities would see foreign counts. *)
+              Telemetry.reset ();
+              Telemetry.enable ();
+              Pool.set_seat_hint (Some cert.Resource.seat_demand);
+              Fun.protect
+                ~finally:(fun () ->
+                  Pool.set_seat_hint None;
+                  Telemetry.disable ())
+                (fun () ->
+                  ignore
+                    (Executor.simulate_detailed
+                       ~config:
+                         { Executor.model = Noise.default; trajectories; base_seed = seed }
+                       ~domains ~batch compiled);
+                  Resource.check_observed cert)
+            end
+          in
+          let report =
+            { Waltz_verify.Diagnostic.diagnostics =
+                (Resource.summary cert :: budget_diags) @ observed_diags;
+              ops_checked = List.length compiled.Physical.ops;
+              passes_run = [ "res" ] }
+          in
+          let body =
+            match format with
+            | "sarif" -> Sarif.to_sarif report ^ "\n"
+            | _ ->
+              let buf = Buffer.create 1024 in
+              Buffer.add_string buf (Resource.dump cert);
+              List.iter
+                (fun d ->
+                  Buffer.add_string buf
+                    (Format.asprintf "%a@." Waltz_verify.Diagnostic.pp d))
+                (budget_diags @ observed_diags);
+              Buffer.add_string buf
+                (if Waltz_verify.Diagnostic.is_clean report then
+                   "within budget: admitted\n"
+                 else "over budget or diverged: rejected\n");
+              Buffer.contents buf
+          in
+          (match output with
+          | Some path ->
+            let oc = open_out path in
+            output_string oc body;
+            close_out oc;
+            Printf.printf "wrote %s\n" path
+          | None -> print_string body);
+          if Waltz_verify.Diagnostic.is_clean report then 0 else 1)
+  in
+  let seed = Arg.(value & opt int 2023 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
+  let limit_bytes_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit-bytes" ] ~docv:"N"
+          ~doc:"Admission budget on certified peak payload bytes (RES01 when exceeded).")
+  in
+  let limit_ms_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "limit-ms" ] ~docv:"MS"
+          ~doc:
+            "Admission budget on certified worst-case modeled duration, in \
+             milliseconds (RES01 when exceeded).")
+  in
+  let static_arg =
+    Arg.(
+      value & flag
+      & info [ "static" ]
+          ~doc:
+            "Certify and check the budget only; skip the instrumented run and the \
+             certificate/observation cross-check.")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt string "text"
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text (default) or sarif.")
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the report to a file.")
+  in
+  Cmd.v
+    (Cmd.info "budget"
+       ~doc:
+         "Certify a program's resource demand (peak bytes, modeled duration, pool \
+          seats), enforce admission limits and cross-check the certificate against an \
+          instrumented run")
+    Term.(
+      const run $ family_arg $ n_arg $ cx_fraction_arg $ strategy_arg $ trajectories_arg
+      $ seed $ qasm_arg $ optimize_arg $ domains_arg $ batch_arg $ limit_bytes_arg
+      $ limit_ms_arg $ static_arg $ format_arg $ output_arg)
 
 (* ---- sanitize ---- *)
 
@@ -1163,8 +1299,10 @@ let () =
   let group =
     Cmd.group info
       [ compile_cmd; estimate_cmd; simulate_cmd; sweep_cmd; breakdown_cmd; verify_cmd;
-        analyze_cmd; sarif_check_cmd; sanitize_cmd; report_cmd; trace_check_cmd;
-        metrics_cmd; metrics_check_cmd; flight_dump_cmd; profile_cmd; rb_cmd; pulse_cmd ]
+        analyze_cmd; sarif_check_cmd; budget_cmd; sanitize_cmd; report_cmd;
+        trace_check_cmd;
+        metrics_cmd; metrics_check_cmd; flight_dump_cmd; profile_cmd; rb_cmd;
+        pulse_cmd ]
   in
   dispatch_ref := (fun argv -> Cmd.eval' ~argv group);
   exit (Cmd.eval' group)

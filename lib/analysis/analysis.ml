@@ -3,21 +3,24 @@ open Waltz_core
 module Telemetry = Waltz_telemetry.Telemetry
 module Diagnostic = Waltz_verify.Diagnostic
 
-type pass = Stabilizer_pass | Leakage_pass | Cost_pass | Liveness_pass
+type pass = Stabilizer_pass | Leakage_pass | Cost_pass | Liveness_pass | Resource_pass
 
-let all_passes = [ Stabilizer_pass; Leakage_pass; Cost_pass; Liveness_pass ]
+let all_passes =
+  [ Stabilizer_pass; Leakage_pass; Cost_pass; Liveness_pass; Resource_pass ]
 
 let pass_name = function
   | Stabilizer_pass -> "stabilizer"
   | Leakage_pass -> "leakage"
   | Cost_pass -> "cost"
   | Liveness_pass -> "liveness"
+  | Resource_pass -> "res"
 
 let pass_of_name = function
   | "stabilizer" -> Some Stabilizer_pass
   | "leakage" -> Some Leakage_pass
   | "cost" -> Some Cost_pass
   | "liveness" -> Some Liveness_pass
+  | "res" | "resource" -> Some Resource_pass
   | _ -> None
 
 let run ?(passes = all_passes) (circuit : Circuit.t option) (p : Physical.t) =
@@ -49,7 +52,8 @@ let run ?(passes = all_passes) (circuit : Circuit.t option) (p : Physical.t) =
         | None -> [ Diagnostic.info "LIVE00" "liveness analysis skipped: no source circuit" ]
         | Some c -> Liveness.check c)
   in
-  { Diagnostic.diagnostics = stabilizer @ leakage @ cost @ liveness;
+  let resource = timed Resource_pass (fun () -> Resource.check p) in
+  { Diagnostic.diagnostics = stabilizer @ leakage @ cost @ liveness @ resource;
     ops_checked = List.length p.Physical.ops;
     passes_run = List.rev !ran }
 
@@ -75,6 +79,8 @@ let hook ~topology circuit compiled =
 
 let install () =
   Compile.analyzer_hook := Some hook;
+  Compile.certifier_hook :=
+    Some (fun compiled -> Resource.remember compiled (Resource.certify compiled));
   Optimizer.cancellable_pairs_hook := Some Liveness.cancellable_pairs
 
 (* Registering at module-initialisation time means any program that links

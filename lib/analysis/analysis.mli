@@ -10,6 +10,9 @@
     Referencing this module (e.g. [Analysis.run]) also registers:
     - {!Waltz_core.Compile.analyzer_hook}, enabling
       [Compile.compile ~analyze:true];
+    - {!Waltz_core.Compile.certifier_hook}, enabling
+      [Compile.compile ~certify:true] (resource certificates, see
+      {!Resource});
     - {!Waltz_circuit.Optimizer.cancellable_pairs_hook}, enabling
       [Optimizer.simplify_deep] to apply liveness facts. *)
 
@@ -18,7 +21,7 @@ open Waltz_arch
 open Waltz_core
 module Diagnostic = Waltz_verify.Diagnostic
 
-type pass = Stabilizer_pass | Leakage_pass | Cost_pass | Liveness_pass
+type pass = Stabilizer_pass | Leakage_pass | Cost_pass | Liveness_pass | Resource_pass
 
 val all_passes : pass list
 

@@ -1,0 +1,331 @@
+(* Static resource certification over compiled programs: sound per-run
+   bounds on memory, modeled duration and pool seats, cross-checked against
+   telemetry after a run. See resource.mli for the contract and
+   doc/ANALYSIS.md for the soundness argument and the RES rule catalog. *)
+
+open Waltz_core
+module Telemetry = Waltz_telemetry.Telemetry
+module Metrics = Telemetry.Metrics
+module Diagnostic = Waltz_verify.Diagnostic
+module Kernel = Waltz_sim.Kernel
+
+type interval = { lo : float; hi : float }
+type run_shape = { trajectories : int; batch : int; domains : int }
+
+type t = {
+  strategy : string;
+  device_count : int;
+  device_dim : int;
+  dim : int;
+  ops : int;
+  shape : run_shape;
+  program_bytes : int;
+  state_bytes : int;
+  scalar_workspace_bytes : int;
+  block_workspace_bytes : int;
+  scratch_bytes : int;
+  plan_bytes : int;
+  plan_table_bytes : int;
+  cache_bytes : int;
+  peak_bytes : int;
+  schedule_ns : interval;
+  total_ns : interval;
+  expected_ns : float;
+  seat_demand : int;
+  queue_depth : int;
+  dispatch_mix : (string * int) list;
+}
+
+(* Stable kernel-class catalog, in Kernel's classification order — the
+   dispatch mix always lists all six so serializations have a fixed
+   shape. *)
+let kernel_classes =
+  [ "diagonal"; "monomial"; "controlled_block"; "single_wire"; "two_wire"; "generic" ]
+
+let mat_bytes (m : Waltz_linalg.Mat.t) = 2 * 8 * m.Waltz_linalg.Mat.rows * m.Waltz_linalg.Mat.cols
+
+let certify ?(trajectories = 1) ?(batch = 1) ?(domains = 1) (p : Physical.t) =
+  let trajectories = max 1 trajectories and batch = max 1 batch and domains = max 1 domains in
+  let device_dim = p.Physical.device_dim in
+  let device_count = p.Physical.device_count in
+  let dims = Array.make device_count device_dim in
+  let dim = Array.fold_left ( * ) 1 dims in
+  let nops = List.length p.Physical.ops in
+  (* Dispatch mix and plan-resident bytes: replay the executor's planning
+     pipeline — the memoized gate lift then kernel classification against
+     the same register shape — so the mix is the exact [plan_dispatch] the
+     instrumented wrappers will flush and the byte sum goes through
+     [Executor.plan_op_bytes], the very formula the executor observes
+     with. *)
+  let mix = Hashtbl.create 8 in
+  let plan_bytes = ref 0 and g_max = ref 1 in
+  List.iter
+    (fun (op : Physical.op) ->
+      let devices, lifted = Executor.lift_gate ~device_dim op in
+      let kernel = Kernel.compile ~dims ~targets:devices lifted in
+      let cls = Kernel.class_name kernel in
+      Hashtbl.replace mix cls (1 + Option.value ~default:0 (Hashtbl.find_opt mix cls));
+      plan_bytes := !plan_bytes + Executor.plan_op_bytes ~lifted ~kernel;
+      g_max := max !g_max lifted.Waltz_linalg.Mat.rows)
+    p.Physical.ops;
+  let dispatch_mix =
+    List.map
+      (fun cls -> (cls, Option.value ~default:0 (Hashtbl.find_opt mix cls)))
+      kernel_classes
+  in
+  (* Plan-side lookup tables (initial-support and leakage sweeps, damping
+     specs, dispatch cells): each bound covers the corresponding structure
+     in the executor's [plan] record with room to spare. *)
+  let plan_table_bytes =
+    (8 * dim) (* l_ok membership table *)
+    + (8 * dim) (* plan_support index list (<= dim entries) *)
+    + (2 * 8 * device_count * device_dim) (* allowed-level tables, both maps *)
+    + (2 * 8 * device_dim * (nops + device_count)) (* damp lambdas+scales *)
+    + (8 * device_count) (* leakage strides *)
+    + (16 * nops) (* dispatch tally pairs *)
+  in
+  let program_bytes =
+    List.fold_left (fun acc (op : Physical.op) -> acc + mat_bytes op.Physical.gate) 0
+      p.Physical.ops
+    + (2 * 2 * 8 * p.Physical.n_logical) (* initial/final placement maps *)
+  in
+  let state_bytes = 2 * 8 * dim in
+  (* Run-shape folding mirrors the executor's clamps exactly: the batch
+     never exceeds the trajectory count, a width of one selects the scalar
+     engine, and the parallel path only engages with more than one item and
+     more than one domain. *)
+  let batch_eff = if trajectories <= 1 then 1 else min batch trajectories in
+  let scalar_path = batch_eff <= 1 in
+  let queue_depth =
+    if scalar_path then trajectories
+    else (trajectories + batch_eff - 1) / batch_eff
+  in
+  let seat_demand = if domains > 1 && queue_depth > 1 then min domains queue_depth else 1 in
+  let scalar_workspace_bytes = Executor.workspace_bytes ~dims in
+  let block_workspace_bytes = Executor.block_workspace_bytes ~dims ~cap:batch_eff in
+  (* Per-domain scratch arena: gather buffers scale with the widest kernel
+     subspace (scalar slots) and with subspace × lanes (batched slots);
+     damping scratch scales with device_dim and lanes. The flat constant
+     absorbs the odometer/int slots. *)
+  let scratch_bytes =
+    8 * ((2 * !g_max) + (2 * !g_max * batch_eff) + (2 * device_dim) + (2 * batch_eff) + 64)
+  in
+  let workspace_per_domain =
+    (if scalar_path then scalar_workspace_bytes else block_workspace_bytes)
+    + scratch_bytes
+  in
+  let peak_bytes =
+    program_bytes + !plan_bytes + plan_table_bytes + (seat_demand * workspace_per_domain)
+  in
+  let cache_bytes =
+    (Executor.plan_cache_capacity * (!plan_bytes + plan_table_bytes))
+    + (Compile.program_cache_capacity * program_bytes)
+    + !plan_bytes (* lift-table residency: one lifted matrix per distinct key *)
+  in
+  (* Modeled duration: the COST interval analysis replays the ASAP schedule
+     in interval arithmetic; its makespan is the certified bound for one
+     schedule replay. Each trajectory replays the schedule twice (ideal and
+     noisy pass); the worst case runs every trajectory serially, the
+     expected case spreads them across the certified seats. *)
+  let schedule_ns =
+    if nops = 0 then { lo = 0.; hi = 0. }
+    else begin
+      let sol = Cost.solve p in
+      let lo, hi = Cost.makespan sol.Engine.after.(nops - 1) in
+      { lo; hi }
+    end
+  in
+  let passes = 2. *. float_of_int trajectories in
+  let total_ns =
+    { lo = schedule_ns.lo *. passes /. float_of_int seat_demand;
+      hi = schedule_ns.hi *. passes }
+  in
+  let expected_ns =
+    (schedule_ns.lo +. schedule_ns.hi) /. 2. *. passes /. float_of_int seat_demand
+  in
+  { strategy = p.Physical.strategy.Strategy.name;
+    device_count;
+    device_dim;
+    dim;
+    ops = nops;
+    shape = { trajectories; batch; domains };
+    program_bytes;
+    state_bytes;
+    scalar_workspace_bytes;
+    block_workspace_bytes;
+    scratch_bytes;
+    plan_bytes = !plan_bytes;
+    plan_table_bytes;
+    cache_bytes;
+    peak_bytes;
+    schedule_ns;
+    total_ns;
+    expected_ns;
+    seat_demand;
+    queue_depth;
+    dispatch_mix }
+
+type budget = { limit_bytes : int option; limit_ms : float option }
+
+let check_budget t { limit_bytes; limit_ms } =
+  let diags = ref [] in
+  (match limit_bytes with
+  | Some limit when t.peak_bytes > limit ->
+    diags :=
+      Diagnostic.error "RES01"
+        (Printf.sprintf
+           "certified peak %d bytes exceeds the %d-byte admission budget (%s, %d ops, %d \
+            seats)"
+           t.peak_bytes limit t.strategy t.ops t.seat_demand)
+      :: !diags
+  | _ -> ());
+  (match limit_ms with
+  | Some limit when t.total_ns.hi /. 1e6 > limit ->
+    diags :=
+      Diagnostic.error "RES01"
+        (Printf.sprintf
+           "certified worst-case duration %.3f ms exceeds the %.3f ms admission budget \
+            (%d trajectories x [%.1f, %.1f] ns)"
+           (t.total_ns.hi /. 1e6) limit t.shape.trajectories t.schedule_ns.lo
+           t.schedule_ns.hi)
+      :: !diags
+  | _ -> ());
+  List.rev !diags
+
+(* Relative containment slack for the duration cross-check: the COST pass
+   itself certifies agreement with the scheduler at 1e-6 relative
+   tolerance, so the certificate inherits the same slack. *)
+let rel_slack = 1e-6
+
+let check_observed ?(cache_blowup_ratio = 4.) t =
+  let diags = ref [] in
+  let res02 fmt = Printf.ksprintf (fun m -> diags := Diagnostic.error "RES02" m :: !diags) fmt in
+  (* Byte bounds hold against an empty readback trivially (all counters 0),
+     so the <= checks run unconditionally; the exact-equality checks are
+     gated on the trajectory counter matching the certified shape (metrics
+     enabled for the whole run). *)
+  let obs_traj = Metrics.counter "executor.trajectories" in
+  if obs_traj > 0 && obs_traj <> t.shape.trajectories then
+    res02 "observed %d trajectories but the certificate covers %d" obs_traj
+      t.shape.trajectories;
+  if obs_traj = t.shape.trajectories then
+    List.iter
+      (fun (cls, n) ->
+        let expected = 2 * n * t.shape.trajectories in
+        let obs = Metrics.counter ("executor.kernel_dispatch." ^ cls) in
+        if obs <> expected then
+          res02 "kernel class %s dispatched %d times, certificate predicts %d (2 passes x \
+                 %d ops x %d trajectories)"
+            cls obs expected n t.shape.trajectories)
+      t.dispatch_mix;
+  let bound name obs limit =
+    if obs > limit then
+      res02 "%s observed %d payload bytes, certified bound is %d" name obs limit
+  in
+  bound "scalar workspace"
+    (Metrics.counter "executor.workspace.bytes")
+    (t.scalar_workspace_bytes * t.seat_demand);
+  bound "block workspace"
+    (Metrics.counter "executor.workspace.block_bytes")
+    (t.block_workspace_bytes * t.seat_demand);
+  bound "plan residency" (Metrics.counter "executor.plan.bytes") t.plan_bytes;
+  (match Metrics.gauge "executor.schedule_ns" with
+  | Some v ->
+    let slack x = (rel_slack *. Float.max 1. (Float.abs x)) in
+    if v < t.schedule_ns.lo -. slack t.schedule_ns.lo
+       || v > t.schedule_ns.hi +. slack t.schedule_ns.hi
+    then
+      res02 "executed schedule of %.3f ns falls outside the certified [%.3f, %.3f] ns \
+             makespan interval"
+        v t.schedule_ns.lo t.schedule_ns.hi
+  | None -> ());
+  (* Pool-shape checks only make sense when the readback window holds
+     exactly the certified job. *)
+  if Metrics.counter "pool.jobs" = 1 then begin
+    (match Metrics.gauge "pool.queue_depth" with
+    | Some q ->
+      if q > float_of_int t.queue_depth then
+        res02 "pool queue depth %.0f exceeds the certified %d items" q t.queue_depth
+    | None -> ());
+    let offered = Metrics.counter "pool.seats.offered" in
+    if offered > t.shape.domains - 1 then
+      res02 "pool offered %d seats, certificate caps extra workers at %d" offered
+        (t.shape.domains - 1)
+  end;
+  if float_of_int t.cache_bytes
+     > cache_blowup_ratio *. float_of_int (max 1 t.peak_bytes)
+  then
+    diags :=
+      Diagnostic.warning "RES03"
+        (Printf.sprintf
+           "worst-case cache residency %d bytes is %.1fx the live peak of %d bytes \
+            (threshold %.1fx): eviction pressure, not the program, will drive memory"
+           t.cache_bytes
+           (float_of_int t.cache_bytes /. float_of_int (max 1 t.peak_bytes))
+           t.peak_bytes cache_blowup_ratio)
+      :: !diags;
+  List.rev !diags
+
+let mix_to_string mix =
+  String.concat " "
+    (List.filter_map
+       (fun (cls, n) -> if n = 0 then None else Some (Printf.sprintf "%s:%d" cls n))
+       mix)
+
+let summary t =
+  Diagnostic.info "RES00"
+    (Printf.sprintf
+       "certified %s at %d trajectories x batch %d x %d domains: peak %d bytes (plan %d, \
+        workspace %d/domain, caches <= %d), schedule [%.1f, %.1f] ns, worst-case %.1f ns \
+        total, %d seats over %d items; dispatch %s"
+       t.strategy t.shape.trajectories t.shape.batch t.shape.domains t.peak_bytes
+       t.plan_bytes
+       ((if t.shape.batch <= 1 then t.scalar_workspace_bytes else t.block_workspace_bytes)
+       + t.scratch_bytes)
+       t.cache_bytes t.schedule_ns.lo t.schedule_ns.hi t.total_ns.hi t.seat_demand
+       t.queue_depth (mix_to_string t.dispatch_mix))
+
+let check p = [ summary (certify p) ]
+
+let dump t =
+  let b = Buffer.create 512 in
+  Printf.bprintf b "resource-certificate v1\n";
+  Printf.bprintf b "strategy %s devices %d dim %d n %d ops %d\n" t.strategy
+    t.device_count t.device_dim t.dim t.ops;
+  Printf.bprintf b "shape trajectories %d batch %d domains %d\n" t.shape.trajectories
+    t.shape.batch t.shape.domains;
+  Printf.bprintf b
+    "bytes program %d state %d workspace %d block %d scratch %d plan %d tables %d \
+     caches %d peak %d\n"
+    t.program_bytes t.state_bytes t.scalar_workspace_bytes t.block_workspace_bytes
+    t.scratch_bytes t.plan_bytes t.plan_table_bytes t.cache_bytes t.peak_bytes;
+  Printf.bprintf b "schedule_ns %h %h total_ns %h %h expected_ns %h\n" t.schedule_ns.lo
+    t.schedule_ns.hi t.total_ns.lo t.total_ns.hi t.expected_ns;
+  Printf.bprintf b "pool seats %d queue %d\n" t.seat_demand t.queue_depth;
+  List.iter (fun (cls, n) -> Printf.bprintf b "dispatch %s %d\n" cls n) t.dispatch_mix;
+  Buffer.contents b
+
+(* Identity-keyed certificate side table (the [Compile.compile ~certify]
+   attachment point). A [Physical.t] is immutable once built and
+   recompiling yields a fresh value, so [==] is exactly "same compilation"
+   — the plan cache uses the same key. Bounded MRU under a mutex; crucially
+   this is a side table, so [Physical.dump] stays byte-identical whether or
+   not a program was certified. *)
+let table : (Physical.t * t) list ref = ref []
+let table_mutex = Mutex.create ()
+let table_capacity = 32
+
+let remember p cert =
+  Mutex.lock table_mutex;
+  table :=
+    (p, cert)
+    :: List.filteri
+         (fun i (q, _) -> q != p && i < table_capacity - 1)
+         !table;
+  Mutex.unlock table_mutex
+
+let certificate_of p =
+  Mutex.lock table_mutex;
+  let found = List.find_opt (fun (q, _) -> q == p) !table in
+  Mutex.unlock table_mutex;
+  Option.map snd found

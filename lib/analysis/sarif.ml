@@ -23,7 +23,7 @@ let level_of = function
   | Diagnostic.Warning -> "warning"
   | Diagnostic.Info -> "note"
 
-let analysis_families = [ "STAB"; "LEAK"; "COST"; "LIVE" ]
+let analysis_families = [ "STAB"; "LEAK"; "COST"; "LIVE"; "RES" ]
 
 let owned_rules families =
   List.filter
@@ -329,8 +329,15 @@ let validate (text : string) =
         (fun i result ->
           let ctx = Printf.sprintf "results[%d]" i in
           let rule_id = str_field ctx result "ruleId" in
-          if rule_ids <> [] && not (List.mem rule_id rule_ids) then
-            raise (Bad (Printf.sprintf "%s: ruleId %s not in driver.rules" ctx rule_id));
+          (if rule_ids <> [] then begin
+             if not (List.mem rule_id rule_ids) then
+               raise (Bad (Printf.sprintf "%s: ruleId %s not in driver.rules" ctx rule_id))
+           end
+           else if Rules.find rule_id = None then
+             raise
+               (Bad
+                  (Printf.sprintf "%s: ruleId %s not in the registered rule catalog" ctx
+                     rule_id)));
           (match field result "ruleIndex" with
           | Some (Num f) ->
             let idx = int_of_float f in

@@ -1,7 +1,7 @@
 (** SARIF 2.1.0 output for analysis reports, plus a self-contained validator.
 
     The writer emits one run whose tool driver is [waltz_analysis], with the
-    STAB/LEAK/COST/LIVE rule catalog inlined and one result per diagnostic
+    STAB/LEAK/COST/LIVE/RES rule catalog inlined and one result per diagnostic
     (severity mapped to error/warning/note, op anchors as logical locations
     ["op[i]"], fixes as a result property). Output is deterministic: fixed
     key order, no timestamps.
@@ -26,4 +26,8 @@ val to_json : Diagnostic.report -> string
 
 val validate : string -> (int, string) result
 (** Parses a SARIF document and checks the envelope; returns the number of
-    results, or a message locating the first violation. *)
+    results, or a message locating the first violation. When the driver
+    declares a rule catalog, every result's ruleId must appear in it; when
+    it declares none, ruleIds are checked against the registered
+    [Waltz_verify.Rules] catalog instead — unknown ids are rejected rather
+    than silently accepted. *)

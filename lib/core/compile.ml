@@ -20,6 +20,13 @@ let verifier_hook : verifier option ref = ref None
    analysis over the finished program ([compile ~analyze:true]). *)
 let analyzer_hook : verifier option ref = ref None
 
+(* Filled in by [Waltz_analysis.Analysis] as well: static resource
+   certification ([compile ~certify:true]). Unlike verify/analyze it never
+   fails the compile — it attaches a certificate to the program in the
+   analysis layer's side table (retrieved via
+   [Waltz_analysis.Resource.certificate_of]). *)
+let certifier_hook : (Physical.t -> unit) option ref = ref None
+
 let dist layout a b =
   Topology.distance (Layout.topology layout)
     (Layout.device_of layout a) (Layout.device_of layout b)
@@ -530,13 +537,15 @@ let cache_find ~fp ~strategy ~topo circuit =
       && e.key_circuit = circuit)
     !program_cache
 
-let compile ?topology ?(verify = false) ?(analyze = false) strategy circuit =
+let compile ?topology ?(verify = false) ?(analyze = false) ?(certify = false) strategy
+    circuit =
   let n = circuit.Circuit.n in
   let topo =
     match topology with Some t -> t | None -> Topology.mesh (device_count strategy n)
   in
   if Topology.device_count topo < device_count strategy n then
     invalid_arg "Compile.compile: topology too small for the circuit";
+  let program =
   (* Verification/analysis have caller-visible effects (they can raise on
      the registered hooks), so those requests always compile fresh. *)
   if (not !program_cache_enabled) || verify || analyze then
@@ -582,6 +591,21 @@ let compile ?topology ?(verify = false) ?(analyze = false) strategy circuit =
       Mutex.unlock program_cache_mutex;
       program
   end
+  in
+  (* Certification composes with the cache: it never raises and attaches
+     its result to the returned program instance by identity, so a cache
+     hit is simply re-certified (the analysis layer's own side table
+     absorbs the repeat). *)
+  if certify then begin
+    match !certifier_hook with
+    | None ->
+      invalid_arg
+        "Compile.compile ~certify:true: no certifier registered (link waltz_analysis \
+         and reference Waltz_analysis.Analysis)"
+    | Some attach ->
+      Telemetry.Span.with_ ~name:"compile/certify" (fun () -> attach program)
+  end;
+  program
 
 (* ---- Parallel strategy portfolio ---- *)
 

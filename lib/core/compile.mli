@@ -20,8 +20,21 @@ val analyzer_hook : verifier option ref
 (** Same indirection for the fixpoint static-analysis layer; set by
     [Waltz_analysis.Analysis] and called by [compile ~analyze:true]. *)
 
+val certifier_hook : (Physical.t -> unit) option ref
+(** Link-time indirection for static resource certification; set by
+    [Waltz_analysis.Analysis] and called by [compile ~certify:true] on the
+    finished (possibly cache-shared) program. Never fails the compile: the
+    certificate lands in the analysis layer's identity-keyed side table
+    ([Waltz_analysis.Resource.certificate_of]). *)
+
 val compile :
-  ?topology:Topology.t -> ?verify:bool -> ?analyze:bool -> Strategy.t -> Circuit.t -> Physical.t
+  ?topology:Topology.t ->
+  ?verify:bool ->
+  ?analyze:bool ->
+  ?certify:bool ->
+  Strategy.t ->
+  Circuit.t ->
+  Physical.t
 (** Compiles a logical circuit for the given strategy. The default topology
     is the paper's 2D mesh sized by [device_count]. Raises [Failure] when
     routing cannot make progress (pathological topologies only).
@@ -38,7 +51,11 @@ val compile :
     previously compiled program itself, which is safe to share because
     programs are immutable, and keeps the executor's identity-keyed plan
     cache hot. Disable with [WALTZ_COMPILE_CACHE=0] or {!set_program_cache};
-    hit/miss counts surface as [compile.program_cache.hit]/[.miss]. *)
+    hit/miss counts surface as [compile.program_cache.hit]/[.miss].
+
+    [~certify:true] additionally runs the registered {!certifier_hook} on
+    the result (cache hits included — certification is effect-free, so it
+    composes with the program cache). *)
 
 val compile_all :
   ?topology:Topology.t ->
@@ -59,3 +76,7 @@ val set_program_cache : bool -> unit
 val program_cache_clear : unit -> unit
 (** Empties the compiled-program cache (e.g. between benchmark phases that
     must measure fresh compilations). *)
+
+val program_cache_capacity : int
+(** MRU capacity of the compiled-program cache — the multiplier in the
+    resource certificates' worst-case cache-residency bound (RES03). *)

@@ -243,6 +243,23 @@ let leakage_tables_of ~map (compiled : Physical.t) =
   in
   { l_allowed; l_strides = strides; l_dim = device_dim; l_ok }
 
+(* Payload-byte accounting shared with the static resource certificates
+   (Waltz_analysis.Resource): the executor reports what it actually
+   allocates through these formulas, and the certificate computes its
+   bounds through the same ones, so "certified >= observed" can never be
+   broken by the two sides counting different things. All figures are
+   array payload bytes (8 per float or int word), headers excluded. *)
+let workspace_bytes ~dims =
+  let n = Array.fold_left ( * ) 1 dims in
+  3 * 2 * 8 * n
+
+let block_workspace_bytes ~dims ~cap =
+  let n = Array.fold_left ( * ) 1 dims in
+  (3 * 2 * 8 * n * cap) + (3 * 8 * cap)
+
+let plan_op_bytes ~lifted ~kernel =
+  (2 * 8 * lifted.Mat.rows * lifted.Mat.cols) + Kernel.footprint_bytes kernel
+
 let plan_uncached ~model (compiled : Physical.t) =
   Telemetry.Span.with_ ~name:"executor/plan" @@ fun () ->
   let device_dim = compiled.Physical.device_dim in
@@ -297,6 +314,15 @@ let plan_uncached ~model (compiled : Physical.t) =
       (fun d -> window d total_duration)
       (List.init compiled.Physical.device_count Fun.id)
   in
+  (* Plan-resident payload bytes, through the same formula the resource
+     certificates use — fires once per plan build (cache misses only), so a
+     single certified run observes exactly one plan's worth. *)
+  Telemetry.Metrics.incr
+    ~by:
+      (List.fold_left
+         (fun acc p -> acc + plan_op_bytes ~lifted:p.lifted ~kernel:p.kernel)
+         0 plan_ops)
+    "executor.plan.bytes";
   (* Warm the shared Pauli tables once at plan time (they are mutex-guarded
      globals, so pre-filling here keeps every later trajectory, on every
      domain, contention-free without a per-simulate warm pass). *)
@@ -515,6 +541,7 @@ let workspace_for dims =
         noisy = State.create ~dims;
         wowner = Sanitize.Arena.create "executor.workspace" }
     in
+    Telemetry.Metrics.incr ~by:(workspace_bytes ~dims) "executor.workspace.bytes";
     slot := Some ws;
     ws
 
@@ -556,6 +583,8 @@ let block_workspace_for dims ~cap =
         binside = Array.make cap 0.;
         bowner = Sanitize.Arena.create "executor.block_workspace" }
     in
+    Telemetry.Metrics.incr ~by:(block_workspace_bytes ~dims ~cap)
+      "executor.workspace.block_bytes";
     slot := Some ws;
     ws
 
@@ -593,6 +622,13 @@ let simulate_detailed_body ~config ?domains ?batch (compiled : Physical.t) =
          compiled.Physical.device_count (max_devices ~device_dim));
   let model = config.model in
   let plan = plan ~model compiled in
+  (* The modeled schedule duration this run executes — the certificate
+     checker's duration oracle (the COST makespan interval must contain
+     it). A gauge, so it reflects the last simulate in the readback
+     window. *)
+  if Telemetry.metrics_enabled () then
+    Telemetry.Metrics.set_gauge "executor.schedule_ns"
+      (Physical.total_duration compiled);
   let dims = plan.plan_dims in
   let support = plan.plan_support in
   let leak_tables = plan.plan_leak in

@@ -84,3 +84,30 @@ val embed_error : device_dim:int -> Physical.noise_role -> Waltz_linalg.Mat.t ->
 val initial_allowed : Physical.t -> int list array
 (** Allowed levels per device for preparing random logical inputs under the
     initial placement. *)
+
+(** {1 Byte accounting shared with the resource certificates}
+
+    The executor observes its own allocations through these formulas
+    (counters [executor.workspace.bytes], [executor.workspace.block_bytes]
+    and [executor.plan.bytes], flushed when a per-domain workspace or a plan
+    is built), and [Waltz_analysis.Resource] certifies through the same
+    ones, so the soundness invariant "certified >= observed" cannot be
+    broken by the two sides counting different things. All figures are
+    array payload bytes (8 per float or int word), headers excluded. *)
+
+val workspace_bytes : dims:int array -> int
+(** Payload bytes of one domain's scalar trajectory workspace (the
+    input/ideal/noisy state triple) for a register shape. *)
+
+val block_workspace_bytes : dims:int array -> cap:int -> int
+(** Payload bytes of one domain's lockstep workspace at batch width [cap]
+    (three SoA blocks plus the per-lane reduction buffers). *)
+
+val plan_op_bytes :
+  lifted:Waltz_linalg.Mat.t -> kernel:Waltz_sim.Kernel.t -> int
+(** Plan-resident payload bytes of one compiled op: the lifted unitary plus
+    the kernel's {!Waltz_sim.Kernel.footprint_bytes}. *)
+
+val plan_cache_capacity : int
+(** MRU capacity of the cross-call plan cache — the multiplier in the
+    certificate's worst-case cache-residency bound (RES03). *)

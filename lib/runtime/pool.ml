@@ -173,10 +173,28 @@ let shutdown pool =
     pool.handles;
   pool.handles <- []
 
+(* Advisory seat cap (admission hint). 0 encodes "no hint" so the common
+   path is a single atomic load; writes are rare (one per admitted job in a
+   serve-mode deployment). Determinism makes the cap observationally
+   invisible in the results, so consulting it cannot change statistics. *)
+let seat_hint_state = Atomic.make 0
+
+let set_seat_hint hint =
+  let v = match hint with None -> 0 | Some h -> max 1 h in
+  Atomic.set seat_hint_state v;
+  if Waltz_telemetry.Telemetry.metrics_enabled () then
+    Waltz_telemetry.Telemetry.Metrics.set_gauge "pool.seat_hint" (float_of_int v)
+
+let seat_hint () =
+  match Atomic.get seat_hint_state with 0 -> None | h -> Some h
+
 let map_array ?domains pool ~n ~f =
   if n < 0 then invalid_arg "Pool.map_array: negative length";
   let budget =
     match domains with Some d -> max 1 d | None -> pool.n_workers + 1
+  in
+  let budget =
+    match seat_hint () with Some h -> min budget h | None -> budget
   in
   let results = Array.make (max n 1) None in
   if budget = 1 || pool.n_workers = 0 || n <= 1 then

@@ -128,6 +128,30 @@ let compile ~dims ~targets m =
 let class_name t = t.cls
 let targets t = Array.to_list t.tgt
 
+(* Payload bytes of the compiled representation (float/int array contents,
+   excluding OCaml block headers) — the per-kernel-class byte table backing
+   the static resource certificates. Must track the fields allocated by
+   [compile] exactly: an undercount here voids the certificate soundness
+   argument. *)
+let footprint_bytes t =
+  let ints len = 8 * len and floats len = 8 * len in
+  let iter_bytes =
+    match t.iter with
+    | Single _ | Pair _ -> 0
+    | Odometer { odims; ostrides; _ } ->
+      ints (Array.length odims) + ints (Array.length ostrides)
+  in
+  let body_bytes =
+    match t.body with
+    | Diagonal { dre; dim } -> floats (Array.length dre) + floats (Array.length dim)
+    | Monomial { src; pre; pim } ->
+      ints (Array.length src) + floats (Array.length pre) + floats (Array.length pim)
+    | Controlled { aoff; bre; bim; _ } ->
+      ints (Array.length aoff) + floats (Array.length bre) + floats (Array.length bim)
+    | Dense { mre; mim } -> floats (Array.length mre) + floats (Array.length mim)
+  in
+  ints (Array.length t.tgt) + ints (Array.length t.offsets) + iter_bytes + body_bytes
+
 (* Enumerate bases in ascending order; [f] must not re-enter the same
    scratch slots. The closure is allocated once per [apply], not per base. *)
 let iterate t f =

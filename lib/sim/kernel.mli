@@ -65,3 +65,11 @@ val class_name : t -> string
 
 val targets : t -> int list
 (** The wires the kernel acts on, in compile order. *)
+
+val footprint_bytes : t -> int
+(** Payload bytes of the compiled representation (index tables, phase/
+    matrix entries; OCaml block headers excluded) — the per-kernel-class
+    byte table consumed by the static resource certificates
+    (doc/ANALYSIS.md, RES family). Exact for every class, so plan-resident
+    memory observed by the executor equals the sum of its kernels'
+    footprints. *)

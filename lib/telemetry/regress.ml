@@ -94,6 +94,19 @@ let compare_json ?(thresholds = default_thresholds) ~baseline ~current () =
           detail =
             Printf.sprintf "rose %.4f > %.4f allowed" (cv -. bv) thresholds.divergence_rise }
   | None -> ());
+  (* Admission-control certification must stay cheap: certify ns/op gates
+     like a ns_per_run entry (higher is worse, same loose threshold). *)
+  (match both "resource.certify_ns_per_op" baseline current with
+  | Some (bv, cv) when bv > 0. ->
+    let limit = bv *. (1. +. (thresholds.ns_pct /. 100.)) in
+    if cv > limit then
+      add
+        { metric = "resource.certify_ns_per_op"; baseline_v = bv; current_v = cv;
+          detail =
+            Printf.sprintf "+%.1f%% > +%.0f%% allowed"
+              ((cv -. bv) /. bv *. 100.)
+              thresholds.ns_pct }
+  | _ -> ());
   List.rev !findings
 
 let compare_strings ?thresholds ~baseline ~current () =

@@ -4,10 +4,12 @@
 
     Checked, for metrics present in both records: every [ns_per_run] entry
     (may rise at most [ns_pct] percent), the lift-gate / damping-cache /
-    pool-utilization rates (may drop at most [hit_rate_drop] absolute) and
+    pool-utilization rates (may drop at most [hit_rate_drop] absolute),
     [batch.mask_divergence_rate] (may rise at most [divergence_rise]
-    absolute). Metrics present on only one side are ignored, so adding or
-    removing benchmarks never trips the gate. *)
+    absolute) and [resource.certify_ns_per_op] (the admission controller's
+    per-op certification cost, gated like a [ns_per_run] entry). Metrics
+    present on only one side are ignored, so adding or removing benchmarks
+    never trips the gate. *)
 
 type thresholds = {
   ns_pct : float;

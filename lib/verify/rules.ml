@@ -106,6 +106,20 @@ let all =
       "rotations by multiples of 2*pi are removable dead code";
     r "LIVE03" Diagnostic.Info "fuseable rotation pair separated by commuting gates"
       "same-axis rotations merge once commuting gates are moved aside";
+    (* static resource certification (waltz_analysis) *)
+    r "RES00" Diagnostic.Info "resource certificate"
+      "sound static bounds on peak bytes, modeled duration and pool seats \
+       for one (program x model x batch x domains) configuration";
+    r "RES01" Diagnostic.Error "certified demand exceeds the admission budget"
+      "the certificate's peak-byte or worst-case-duration bound is over the \
+       user limit, so an admission controller must reject the job unrun";
+    r "RES02" Diagnostic.Error "certificate diverges from the observed run"
+      "certificates are sound by construction; telemetry observing more \
+       memory, work or time than certified is an analysis bug";
+    r "RES03" Diagnostic.Warning "cache residency dominates the working set"
+      "worst-case lift/plan/program cache residency exceeds the live \
+       working set by the configured ratio: eviction pressure, not the \
+       program, will drive peak memory";
     (* concurrency sanitizer (waltz_sanitize) *)
     r "RACE00" Diagnostic.Info "sanitizer run summary"
       "instrumented accesses, locks and sites observed by the enabled recorder";

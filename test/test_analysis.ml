@@ -1,9 +1,10 @@
-(* Tests for waltz_analysis: the fixpoint engine, the four dataflow domains
-   (stabilizer, leakage, cost, liveness), the SARIF writer/validator and the
-   hooks into Compile/Optimizer. The stabilizer and leakage domains are
-   checked against exact simulation (unitaries / state-vector replay), cost
-   against the Eps and scheduler oracles, liveness against matrix
-   commutation. *)
+(* Tests for waltz_analysis: the fixpoint engine, the five analysis domains
+   (stabilizer, leakage, cost, liveness, resource), the SARIF
+   writer/validator and the hooks into Compile/Optimizer. The stabilizer and
+   leakage domains are checked against exact simulation (unitaries /
+   state-vector replay), cost against the Eps and scheduler oracles,
+   liveness against matrix commutation, and the resource certificates
+   against the telemetry counters an instrumented run leaves behind. *)
 open Waltz_linalg
 open Waltz_qudit
 open Waltz_circuit
@@ -471,10 +472,10 @@ let golden_report =
           "critical path 120.0 ns (serialized 240.0 ns, 2.00x parallelism); gate EPS \
            0.010000; error budget 0.010000" ];
     ops_checked = 6;
-    passes_run = [ "stabilizer"; "leakage"; "cost"; "liveness" ] }
+    passes_run = [ "stabilizer"; "leakage"; "cost"; "liveness"; "res" ] }
 
 let golden_sarif =
-  {sarif|{"$schema":"https://json.schemastore.org/sarif-2.1.0.json","version":"2.1.0","runs":[{"tool":{"driver":{"name":"waltz_analysis","informationUri":"doc/ANALYSIS.md","rules":[{"id":"STAB00","shortDescription":{"text":"stabilizer analysis partial or skipped"},"help":{"text":"Clifford tableaux only track H/S/X/Y/Z/CX/CZ/SWAP segments exactly"},"defaultConfiguration":{"level":"note"}},{"id":"STAB01","shortDescription":{"text":"optimizer output certified equivalent"},"help":{"text":"tableau equality proves unitary equality up to global phase at any width"},"defaultConfiguration":{"level":"note"}},{"id":"STAB02","shortDescription":{"text":"identity-composing gate run"},"help":{"text":"a Clifford run conjugating every Pauli to itself is removable dead code"},"defaultConfiguration":{"level":"warning"}},{"id":"STAB03","shortDescription":{"text":"optimizer output not equivalent"},"help":{"text":"stabilizer images diverge: simplification changed the circuit unitary"},"defaultConfiguration":{"level":"error"}},{"id":"LEAK01","shortDescription":{"text":"two-qubit-only pulse reachable in an encoded state"},"help":{"text":"Fig. 9b: a pulse not calibrated for |2>/|3> sees a device that can hold them"},"defaultConfiguration":{"level":"warning"}},{"id":"LEAK02","shortDescription":{"text":"provably dead ENC/DEC pair"},"help":{"text":"Sec. 4.1: an encode immediately undone by its decode wastes two ww pulses"},"defaultConfiguration":{"level":"warning"}},{"id":"LEAK03","shortDescription":{"text":"reachable-level summary"},"help":{"text":"Sec. 3: the fixpoint level sets bound every state the schedule can prepare"},"defaultConfiguration":{"level":"note"}},{"id":"COST01","shortDescription":{"text":"cost intervals disagree with the EPS oracle"},"help":{"text":"Tables 1-2: interval replay must bracket Eps.label_breakdown exactly at zero jitter"},"defaultConfiguration":{"level":"error"}},{"id":"COST02","shortDescription":{"text":"makespan outside computed bounds"},"help":{"text":"Sec. 5.5: total_duration is the ASAP critical path"},"defaultConfiguration":{"level":"error"}},{"id":"COST03","shortDescription":{"text":"duration and EPS bounds"},"help":{"text":"Sec. 6: per-program min/max duration and log-fidelity interval"},"defaultConfiguration":{"level":"note"}},{"id":"LIVE00","shortDescription":{"text":"liveness analysis skipped"},"help":{"text":"needs the source circuit"},"defaultConfiguration":{"level":"note"}},{"id":"LIVE01","shortDescription":{"text":"cancellable gate pair separated by commuting gates"},"help":{"text":"gates commuting with everything between them cancel; peephole only sees neighbours"},"defaultConfiguration":{"level":"warning"}},{"id":"LIVE02","shortDescription":{"text":"gate is an identity rotation"},"help":{"text":"rotations by multiples of 2*pi are removable dead code"},"defaultConfiguration":{"level":"warning"}},{"id":"LIVE03","shortDescription":{"text":"fuseable rotation pair separated by commuting gates"},"help":{"text":"same-axis rotations merge once commuting gates are moved aside"},"defaultConfiguration":{"level":"note"}}]}},"columnKind":"utf16CodeUnits","properties":{"opsChecked":6,"passes":["stabilizer","leakage","cost","liveness"]},"results":[{"ruleId":"STAB03","ruleIndex":3,"level":"error","message":{"text":"optimizer output NOT equivalent: stabilizer images diverge on the 4-qubit circuit"}},{"ruleId":"LEAK02","ruleIndex":5,"level":"warning","message":{"text":"ENC at op 2 is decoded at op 5 with no pulse in between: the pair is dead"},"locations":[{"logicalLocations":[{"fullyQualifiedName":"op[2]","kind":"instruction"}]}],"properties":{"fix":"drop ops 2 and 5"}},{"ruleId":"COST03","ruleIndex":9,"level":"note","message":{"text":"critical path 120.0 ns (serialized 240.0 ns, 2.00x parallelism); gate EPS 0.010000; error budget 0.010000"}}]}]}|sarif}
+  {sarif|{"$schema":"https://json.schemastore.org/sarif-2.1.0.json","version":"2.1.0","runs":[{"tool":{"driver":{"name":"waltz_analysis","informationUri":"doc/ANALYSIS.md","rules":[{"id":"STAB00","shortDescription":{"text":"stabilizer analysis partial or skipped"},"help":{"text":"Clifford tableaux only track H/S/X/Y/Z/CX/CZ/SWAP segments exactly"},"defaultConfiguration":{"level":"note"}},{"id":"STAB01","shortDescription":{"text":"optimizer output certified equivalent"},"help":{"text":"tableau equality proves unitary equality up to global phase at any width"},"defaultConfiguration":{"level":"note"}},{"id":"STAB02","shortDescription":{"text":"identity-composing gate run"},"help":{"text":"a Clifford run conjugating every Pauli to itself is removable dead code"},"defaultConfiguration":{"level":"warning"}},{"id":"STAB03","shortDescription":{"text":"optimizer output not equivalent"},"help":{"text":"stabilizer images diverge: simplification changed the circuit unitary"},"defaultConfiguration":{"level":"error"}},{"id":"LEAK01","shortDescription":{"text":"two-qubit-only pulse reachable in an encoded state"},"help":{"text":"Fig. 9b: a pulse not calibrated for |2>/|3> sees a device that can hold them"},"defaultConfiguration":{"level":"warning"}},{"id":"LEAK02","shortDescription":{"text":"provably dead ENC/DEC pair"},"help":{"text":"Sec. 4.1: an encode immediately undone by its decode wastes two ww pulses"},"defaultConfiguration":{"level":"warning"}},{"id":"LEAK03","shortDescription":{"text":"reachable-level summary"},"help":{"text":"Sec. 3: the fixpoint level sets bound every state the schedule can prepare"},"defaultConfiguration":{"level":"note"}},{"id":"COST01","shortDescription":{"text":"cost intervals disagree with the EPS oracle"},"help":{"text":"Tables 1-2: interval replay must bracket Eps.label_breakdown exactly at zero jitter"},"defaultConfiguration":{"level":"error"}},{"id":"COST02","shortDescription":{"text":"makespan outside computed bounds"},"help":{"text":"Sec. 5.5: total_duration is the ASAP critical path"},"defaultConfiguration":{"level":"error"}},{"id":"COST03","shortDescription":{"text":"duration and EPS bounds"},"help":{"text":"Sec. 6: per-program min/max duration and log-fidelity interval"},"defaultConfiguration":{"level":"note"}},{"id":"LIVE00","shortDescription":{"text":"liveness analysis skipped"},"help":{"text":"needs the source circuit"},"defaultConfiguration":{"level":"note"}},{"id":"LIVE01","shortDescription":{"text":"cancellable gate pair separated by commuting gates"},"help":{"text":"gates commuting with everything between them cancel; peephole only sees neighbours"},"defaultConfiguration":{"level":"warning"}},{"id":"LIVE02","shortDescription":{"text":"gate is an identity rotation"},"help":{"text":"rotations by multiples of 2*pi are removable dead code"},"defaultConfiguration":{"level":"warning"}},{"id":"LIVE03","shortDescription":{"text":"fuseable rotation pair separated by commuting gates"},"help":{"text":"same-axis rotations merge once commuting gates are moved aside"},"defaultConfiguration":{"level":"note"}},{"id":"RES00","shortDescription":{"text":"resource certificate"},"help":{"text":"sound static bounds on peak bytes, modeled duration and pool seats for one (program x model x batch x domains) configuration"},"defaultConfiguration":{"level":"note"}},{"id":"RES01","shortDescription":{"text":"certified demand exceeds the admission budget"},"help":{"text":"the certificate's peak-byte or worst-case-duration bound is over the user limit, so an admission controller must reject the job unrun"},"defaultConfiguration":{"level":"error"}},{"id":"RES02","shortDescription":{"text":"certificate diverges from the observed run"},"help":{"text":"certificates are sound by construction; telemetry observing more memory, work or time than certified is an analysis bug"},"defaultConfiguration":{"level":"error"}},{"id":"RES03","shortDescription":{"text":"cache residency dominates the working set"},"help":{"text":"worst-case lift/plan/program cache residency exceeds the live working set by the configured ratio: eviction pressure, not the program, will drive peak memory"},"defaultConfiguration":{"level":"warning"}}]}},"columnKind":"utf16CodeUnits","properties":{"opsChecked":6,"passes":["stabilizer","leakage","cost","liveness","res"]},"results":[{"ruleId":"STAB03","ruleIndex":3,"level":"error","message":{"text":"optimizer output NOT equivalent: stabilizer images diverge on the 4-qubit circuit"}},{"ruleId":"LEAK02","ruleIndex":5,"level":"warning","message":{"text":"ENC at op 2 is decoded at op 5 with no pulse in between: the pair is dead"},"locations":[{"logicalLocations":[{"fullyQualifiedName":"op[2]","kind":"instruction"}]}],"properties":{"fix":"drop ops 2 and 5"}},{"ruleId":"COST03","ruleIndex":9,"level":"note","message":{"text":"critical path 120.0 ns (serialized 240.0 ns, 2.00x parallelism); gate EPS 0.010000; error budget 0.010000"}}]}]}|sarif}
 
 let test_sarif_golden () =
   let s = Sarif.to_sarif golden_report in
@@ -499,9 +500,24 @@ let test_sarif_validator_rejects () =
     { golden_report with
       Diagnostic.diagnostics = [ Diagnostic.error "ZZZ99" "not a catalogued rule" ] }
   in
-  match Sarif.validate (Sarif.to_sarif rogue) with
+  (match Sarif.validate (Sarif.to_sarif rogue) with
   | Error _ -> ()
-  | Ok _ -> Alcotest.fail "undeclared ruleId accepted"
+  | Ok _ -> Alcotest.fail "undeclared ruleId accepted");
+  (* A driver that declares no rule catalog falls back to the registered
+     Rules catalog: known ids pass, unknown ids are rejected rather than
+     silently accepted. *)
+  let naked id =
+    Printf.sprintf
+      {|{"version":"2.1.0","runs":[{"tool":{"driver":{"name":"x"}},"results":[{"ruleId":"%s","level":"note","message":{"text":"m"}}]}]}|}
+      id
+  in
+  (match Sarif.validate (naked "RES00") with
+  | Ok 1 -> ()
+  | Ok n -> Alcotest.failf "catalogued rule without driver.rules: %d results" n
+  | Error e -> Alcotest.failf "catalogued rule without driver.rules rejected: %s" e);
+  match Sarif.validate (naked "ZZZ99") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown ruleId accepted when driver declares no rules"
 
 (* ---- Analysis.run / hooks ---- *)
 
@@ -510,7 +526,8 @@ let test_analysis_run_report () =
   let p = Compile.compile Strategy.mixed_radix_ccz circuit in
   let report = Analysis.run (Some circuit) p in
   check_bool "passes run in order" true
-    (report.Diagnostic.passes_run = [ "stabilizer"; "leakage"; "cost"; "liveness" ]);
+    (report.Diagnostic.passes_run
+    = [ "stabilizer"; "leakage"; "cost"; "liveness"; "res" ]);
   check_int "ops checked" (List.length p.Physical.ops) report.Diagnostic.ops_checked;
   (* Every emitted rule id must be in the shared catalog, and findings that
      point at a specific op/gate must carry the anchor. *)
@@ -555,6 +572,143 @@ let test_compile_analyze_flag () =
     (List.length b.Physical.ops)
     (List.length a.Physical.ops)
 
+(* ---- resource certificates ---- *)
+
+module Telemetry = Waltz_telemetry.Telemetry
+module Executor = Waltz_core.Executor
+
+let rule_ids diags = List.map (fun (d : Diagnostic.t) -> d.Diagnostic.rule) diags
+
+(* The acceptance gate for the RES family: across benchmark family x
+   strategy x batch x domains, an instrumented run must never observe more
+   memory, work or modeled time than the certificate promises (zero RES02),
+   and the raw byte counters must sit under the certified peak. *)
+let test_resource_soundness_grid () =
+  let grid_circuits =
+    [ ("cuccaro-5", Bench.by_total_qubits Cuccaro 5);
+      ("cnu-5", Bench.by_total_qubits Cnu 5) ]
+  in
+  let grid_strategies = [ Strategy.mixed_radix_ccz; Strategy.full_ququart ] in
+  let trajectories = 6 in
+  List.iter
+    (fun (cname, circuit) ->
+      List.iter
+        (fun strategy ->
+          List.iter
+            (fun batch ->
+              List.iter
+                (fun domains ->
+                  let label =
+                    Printf.sprintf "%s/%s b%d d%d" cname strategy.Strategy.name batch
+                      domains
+                  in
+                  let compiled = Compile.compile strategy circuit in
+                  let cert =
+                    Resource.certify ~trajectories ~batch ~domains compiled
+                  in
+                  (* Single-run readback window: reset, run once, check. *)
+                  Telemetry.reset ();
+                  Telemetry.enable ();
+                  ignore
+                    (Executor.simulate_detailed
+                       ~config:
+                         { Executor.model = Waltz_noise.Noise.default;
+                           trajectories;
+                           base_seed = 2023 }
+                       ~domains ~batch compiled);
+                  let observed_ws = Telemetry.Metrics.counter "executor.workspace.bytes" in
+                  let observed_block =
+                    Telemetry.Metrics.counter "executor.workspace.block_bytes"
+                  in
+                  let observed_plan = Telemetry.Metrics.counter "executor.plan.bytes" in
+                  let diags = Resource.check_observed cert in
+                  Telemetry.disable ();
+                  List.iter
+                    (fun (d : Diagnostic.t) ->
+                      if d.Diagnostic.rule = "RES02" then
+                        Alcotest.failf "%s: certificate diverged: %s" label
+                          d.Diagnostic.message)
+                    diags;
+                  check_bool (label ^ ": certified peak covers observed bytes") true
+                    (cert.Resource.peak_bytes
+                    >= observed_ws + observed_block + observed_plan);
+                  check_bool (label ^ ": schedule interval non-empty") true
+                    (cert.Resource.schedule_ns.Resource.lo
+                    <= cert.Resource.schedule_ns.Resource.hi))
+                [ 1; 2 ])
+            [ 1; 5 ])
+        grid_strategies)
+    grid_circuits
+
+let test_resource_budget_res01 () =
+  let circuit = Bench.by_total_qubits Cuccaro 5 in
+  let compiled = Compile.compile Strategy.mixed_radix_ccz circuit in
+  let cert = Resource.certify ~trajectories:10 compiled in
+  check_bool "no limits, no diagnostics" true
+    (Resource.check_budget cert { Resource.limit_bytes = None; limit_ms = None } = []);
+  check_bool "exact limits admit" true
+    (Resource.check_budget cert
+       { Resource.limit_bytes = Some cert.Resource.peak_bytes;
+         limit_ms = Some (cert.Resource.total_ns.Resource.hi /. 1e6) }
+    = []);
+  let over =
+    Resource.check_budget cert
+      { Resource.limit_bytes = Some (cert.Resource.peak_bytes - 1);
+        limit_ms = Some (cert.Resource.total_ns.Resource.hi /. 1e6 /. 2.) }
+  in
+  check_int "both limits breached" 2 (List.length over);
+  List.iter
+    (fun (d : Diagnostic.t) ->
+      check_bool "RES01 severity is error" true (d.Diagnostic.severity = Diagnostic.Error))
+    over;
+  check_bool "both are RES01" true (rule_ids over = [ "RES01"; "RES01" ])
+
+let test_resource_cache_blowup_res03 () =
+  let circuit = Bench.by_total_qubits Cnu 5 in
+  let compiled = Compile.compile Strategy.full_ququart circuit in
+  let cert = Resource.certify compiled in
+  (* With telemetry reset every counter reads zero, so the only possible
+     diagnostic is the (telemetry-independent) RES03 residency warning. *)
+  Telemetry.reset ();
+  check_bool "generous ratio stays quiet" true
+    (Resource.check_observed ~cache_blowup_ratio:1e9 cert = []);
+  match Resource.check_observed ~cache_blowup_ratio:0.001 cert with
+  | [ d ] ->
+    check_bool "RES03 fired" true (d.Diagnostic.rule = "RES03");
+    check_bool "RES03 is a warning" true (d.Diagnostic.severity = Diagnostic.Warning)
+  | ds -> Alcotest.failf "expected exactly RES03, got %d diagnostics" (List.length ds)
+
+let test_compile_certify_flag () =
+  let circuit = Bench.by_total_qubits Qram 6 in
+  let a = Compile.compile ~certify:true Strategy.mixed_radix_ccz circuit in
+  (match Resource.certificate_of a with
+  | None -> Alcotest.fail "certify:true left no certificate in the side table"
+  | Some cert ->
+    check_int "attached certificate covers the program"
+      (List.length a.Physical.ops)
+      cert.Resource.ops;
+    check_int "attached certificate uses the default shape" 1
+      cert.Resource.shape.Resource.trajectories);
+  (* Certification is observational: the program itself (and its canonical
+     dump) is the one the plain compile produces. *)
+  let b = Compile.compile Strategy.mixed_radix_ccz circuit in
+  Alcotest.(check string) "certify flag is dump-invisible" (Physical.dump b)
+    (Physical.dump a)
+
+let test_resource_dump_roundtrip_determinism () =
+  let circuit = Bench.by_total_qubits Cuccaro 6 in
+  let compiled = Compile.compile Strategy.full_ququart circuit in
+  let d1 = Resource.dump (Resource.certify ~trajectories:7 ~batch:3 ~domains:2 compiled) in
+  let d2 = Resource.dump (Resource.certify ~trajectories:7 ~batch:3 ~domains:2 compiled) in
+  Alcotest.(check string) "certificates are bit-stable" d1 d2;
+  check_bool "dump carries the versioned header" true
+    (String.length d1 > 24 && String.sub d1 0 22 = "resource-certificate v");
+  (* Every kernel class appears in the dispatch mix, catalogue order. *)
+  let cert = Resource.certify compiled in
+  check_int "dispatch mix lists every class" 6 (List.length cert.Resource.dispatch_mix);
+  check_int "mix total matches op count" cert.Resource.ops
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 cert.Resource.dispatch_mix)
+
 let suite =
   [ case "engine chain solutions" test_engine_chain;
     case "engine loop widening" test_engine_loop_widening;
@@ -575,4 +729,9 @@ let suite =
     case "SARIF validator rejects malformed input" test_sarif_validator_rejects;
     case "Analysis.run report" test_analysis_run_report;
     case "pass names roundtrip" test_pass_names_roundtrip;
-    case "compile ~analyze:true" test_compile_analyze_flag ]
+    case "compile ~analyze:true" test_compile_analyze_flag;
+    case "resource soundness grid" test_resource_soundness_grid;
+    case "resource budget RES01" test_resource_budget_res01;
+    case "resource cache blowup RES03" test_resource_cache_blowup_res03;
+    case "compile ~certify:true" test_compile_certify_flag;
+    case "resource certificate determinism" test_resource_dump_roundtrip_determinism ]

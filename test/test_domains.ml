@@ -173,7 +173,26 @@ let () =
             sarif_off sarif_on;
           check_string
             (Printf.sprintf "%s/%s analysis SARIF repeat" cname strategy.Strategy.name)
-            sarif_off (analysis_sarif ()))
+            sarif_off (analysis_sarif ());
+          (* The resource certificate pins its default shape at 1/1/1
+             (never the WALTZ_BATCH/WALTZ_DOMAINS env), so its canonical
+             dump must be bit-identical under every grid setting, with
+             telemetry on or off and across repeats — and certifying must
+             stay off-path for the simulator. *)
+          let module Resource = Waltz_analysis.Resource in
+          let cert_dump () = Resource.dump (Resource.certify compiled) in
+          let cert_off = cert_dump () in
+          Waltz_telemetry.Telemetry.reset ();
+          Waltz_telemetry.Telemetry.enable ();
+          let cert_on = cert_dump () in
+          Waltz_telemetry.Telemetry.disable ();
+          check_string
+            (Printf.sprintf "%s/%s certificate telemetry-on" cname strategy.Strategy.name)
+            cert_off cert_on;
+          check_string
+            (Printf.sprintf "%s/%s certificate repeat" cname strategy.Strategy.name)
+            cert_off (cert_dump ());
+          compare "post-certify" (Executor.simulate_detailed ~config compiled))
         strategies)
     circuits;
   (* The parallel strategy portfolio must be element-for-element
@@ -205,6 +224,28 @@ let () =
   Compile.set_program_cache true;
   Compile.program_cache_clear ();
   check_portfolio "cached" (Compile.compile_all jobs);
+  (* `analyze --all-strategies` rides the same parallel portfolio: the
+     analysis report of every portfolio-compiled program must serialize
+     byte-identically to the report of its serial compile. *)
+  let serial_sarif =
+    Array.of_list
+      (List.map
+         (fun (s, c) ->
+           Waltz_analysis.Sarif.to_sarif
+             (Waltz_analysis.Analysis.run (Some c) (Compile.compile s c)))
+         jobs)
+  in
+  let jobs_arr = Array.of_list jobs in
+  List.iteri
+    (fun i p ->
+      let _, c = jobs_arr.(i) in
+      let s = Waltz_analysis.Sarif.to_sarif (Waltz_analysis.Analysis.run (Some c) p) in
+      if not (String.equal s serial_sarif.(i)) then begin
+        incr failures;
+        Printf.eprintf
+          "MISMATCH analyze portfolio: job %d report differs from the serial compile's\n" i
+      end)
+    (Compile.compile_all jobs);
   if !failures > 0 then begin
     Printf.eprintf "determinism: %d mismatches\n" !failures;
     exit 1
